@@ -1,0 +1,90 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table/figure of the paper's evaluation
+(Section 7) at a compressed scale: traces of a few thousand accesses per
+thread instead of minutes of execution, with the Bounded Splitting epoch
+compressed proportionally (see EXPERIMENTS.md, "time-scale compression").
+Absolute numbers therefore differ from the paper; the *shapes* -- who
+wins, by what factor, where the crossovers are -- are asserted.
+
+Each benchmark prints the rows/series the paper's figure plots, so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation as
+text tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.runner import RunnerConfig, run_system, scaling_sweep
+from repro.sim.stats import RunResult
+from repro.workloads import (
+    GraphLikeWorkload,
+    MemcachedYcsbWorkload,
+    NativeKvsWorkload,
+    TensorFlowLikeWorkload,
+    UniformSharingWorkload,
+)
+
+#: threads per compute blade in the inter-blade experiments (paper: 10).
+THREADS_PER_BLADE = 10
+#: trace length per thread (compressed from the paper's minutes-long runs).
+ACCESSES = 2_000
+#: compute-blade counts swept in Fig. 5 / 6 / 7.
+BLADE_COUNTS = [1, 2, 4, 8]
+
+#: compressed Bounded Splitting epoch for replays (paper: 100 ms).
+EPOCH_US = 2_000.0
+
+
+def runner_config(**overrides) -> RunnerConfig:
+    defaults = dict(num_memory_blades=4, epoch_us=EPOCH_US)
+    defaults.update(overrides)
+    return RunnerConfig(**defaults)
+
+
+# -- the paper's four application workloads ---------------------------------
+
+def make_tf(num_threads: int, accesses: int = ACCESSES) -> TensorFlowLikeWorkload:
+    return TensorFlowLikeWorkload(num_threads, accesses_per_thread=accesses)
+
+
+def make_gc(num_threads: int, accesses: int = ACCESSES) -> GraphLikeWorkload:
+    return GraphLikeWorkload(num_threads, accesses_per_thread=accesses)
+
+
+def make_ma(num_threads: int, accesses: int = ACCESSES) -> MemcachedYcsbWorkload:
+    return MemcachedYcsbWorkload.workload_a(num_threads, accesses_per_thread=accesses)
+
+
+def make_mc(num_threads: int, accesses: int = ACCESSES) -> MemcachedYcsbWorkload:
+    return MemcachedYcsbWorkload.workload_c(num_threads, accesses_per_thread=accesses)
+
+
+WORKLOADS = {"TF": make_tf, "GC": make_gc, "M_A": make_ma, "M_C": make_mc}
+
+
+def perf(result: RunResult) -> float:
+    """The scaling metric: useful work per unit simulated time."""
+    return result.total_accesses / result.runtime_us
+
+
+def normalized_series(results: Dict[int, RunResult], base: float) -> Dict[int, float]:
+    return {k: perf(r) / base for k, r in results.items()}
+
+
+def print_table(title: str, header: List[str], rows: List[List]) -> None:
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

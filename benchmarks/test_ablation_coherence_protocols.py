@@ -1,0 +1,90 @@
+"""Ablation: MSI vs MESI vs MOESI in the switch (Section 8, "Other
+coherence protocols").
+
+The paper argues richer protocols are realizable (the STT grows by only
+tens of entries) and could reduce broadcasts and write-backs to
+disaggregated memory.  With MOESI implemented, this ablation measures it:
+
+- **MESI** removes the S->M upgrade invalidation for private
+  read-then-write patterns (a sole reader gets an exclusive copy).
+- **MOESI** additionally serves read-steals cache-to-cache (M->O),
+  eliminating the owner flush: fewer pages written back to memory blades
+  and a faster steal path.
+"""
+
+import pytest
+
+from common import ACCESSES, make_gc, print_table, runner_config
+from repro.core.stt import build_mesi_stt, build_moesi_stt, build_msi_stt, stt_size
+from repro.runner import run_system
+from repro.workloads import UniformSharingWorkload
+
+NUM_BLADES = 4
+TPB = 4
+PROTOCOLS = ["mind", "mind-mesi", "mind-moesi"]
+
+
+def read_steal_workload(num_threads):
+    """Write-then-widely-read: the pattern MOESI's O state accelerates."""
+    return UniformSharingWorkload(
+        num_threads,
+        accesses_per_thread=ACCESSES,
+        read_ratio=0.8,
+        sharing_ratio=0.8,
+        shared_pages=600,
+        private_pages_per_thread=256,
+        burst=4,
+    )
+
+
+def run_figure():
+    cfg = runner_config(num_memory_blades=2)
+    data = {}
+    for wl_name, factory in (
+        ("read-steal", read_steal_workload),
+        ("GC", make_gc),
+    ):
+        for system in PROTOCOLS:
+            result = run_system(system, factory(NUM_BLADES * TPB), NUM_BLADES, cfg)
+            data[(wl_name, system)] = {
+                "runtime_ms": result.runtime_us / 1000,
+                "written_back": result.stats.counter("pages_written_back"),
+                "cache_to_cache": result.stats.counter("cache_to_cache_transfers"),
+                "mean_fault_us": result.stats.mean_latency("fault"),
+            }
+    return data
+
+
+def test_ablation_coherence_protocols(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    for wl_name in ("read-steal", "GC"):
+        print_table(
+            f"Ablation (Sec 8): protocol comparison on {wl_name}",
+            ["protocol", "runtime (ms)", "pages written back", "c2c transfers", "mean fault (us)"],
+            [
+                [
+                    system,
+                    data[(wl_name, system)]["runtime_ms"],
+                    data[(wl_name, system)]["written_back"],
+                    data[(wl_name, system)]["cache_to_cache"],
+                    data[(wl_name, system)]["mean_fault_us"],
+                ]
+                for system in PROTOCOLS
+            ],
+        )
+    # STT growth is tens of entries, as the paper predicts.
+    assert stt_size(build_msi_stt()) <= stt_size(build_mesi_stt())
+    assert stt_size(build_moesi_stt()) < 40
+
+    for wl_name in ("read-steal", "GC"):
+        msi = data[(wl_name, "mind")]
+        moesi = data[(wl_name, "mind-moesi")]
+        # MOESI replaces owner flushes with cache-to-cache transfers:
+        # strictly fewer pages pushed back to memory blades -- exactly the
+        # "reducing write-backs to disaggregated memory" of Section 8.
+        assert moesi["cache_to_cache"] > 0
+        assert moesi["written_back"] < msi["written_back"], wl_name
+        # End-to-end it stays roughly neutral: the saved flushes are
+        # balanced by O->M steals (two-phase where MSI's S->M after a
+        # read-steal was one-phase) -- an honest protocol tradeoff.
+        assert moesi["runtime_ms"] <= msi["runtime_ms"] * 1.15, wl_name

@@ -1,0 +1,62 @@
+"""Ablation: how directory capacity shapes contended-workload performance.
+
+Section 7.2 attributes part of M_A's poor scaling to the directory limit:
+entries pinned at the 30 k budget force coarse regions and capacity
+evictions, i.e. false invalidations.  The paper speculates that future
+ASICs with more TCAM/SRAM would remove the bottleneck; this sweep measures
+exactly that counterfactual by growing the (scaled) directory budget.
+"""
+
+import pytest
+
+from common import ACCESSES, make_ma, print_table, runner_config
+from repro.core.mmu import MindConfig
+from repro.runner import run_system
+
+NUM_BLADES = 4
+TPB = 10
+BUDGETS = [500, 1_500, 5_000, 50_000]
+
+
+def run_figure():
+    data = {}
+    for budget in BUDGETS:
+        cfg = runner_config(
+            mind=MindConfig(directory_capacity=budget, epoch_us=1_000.0)
+        )
+        result = run_system(
+            "mind", make_ma(NUM_BLADES * TPB, ACCESSES), NUM_BLADES, cfg
+        )
+        data[budget] = {
+            "throughput_miops": result.throughput_iops / 1e6,
+            "false_invalidations": result.stats.counter("false_invalidations"),
+            "capacity_events": result.stats.counter("directory_capacity_events"),
+            "peak_entries": result.stats.counter("directory_peak"),
+        }
+    return data
+
+
+def test_ablation_directory_capacity(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    print_table(
+        "Ablation (Sec 7.2): M_A vs directory budget",
+        ["budget", "throughput (M IOPS)", "false invals", "capacity events", "peak entries"],
+        [
+            [b, d["throughput_miops"], d["false_invalidations"],
+             d["capacity_events"], d["peak_entries"]]
+            for b, d in data.items()
+        ],
+    )
+    # Small budgets thrash: capacity events by the thousand.
+    assert data[500]["capacity_events"] > 100
+    # A large budget eliminates capacity pressure entirely...
+    assert data[50_000]["capacity_events"] == 0
+    # ...and reduces false invalidations dramatically.
+    assert (
+        data[50_000]["false_invalidations"]
+        < 0.5 * data[500]["false_invalidations"]
+    )
+    # Throughput improves monotonically (within noise) with the budget.
+    assert (
+        data[50_000]["throughput_miops"] > 1.1 * data[500]["throughput_miops"]
+    )

@@ -1,0 +1,67 @@
+"""Ablation: sharing-aware thread placement (Section 8, "Thread
+management").
+
+The paper proposes co-locating threads with a high proportion of shared
+accesses as an orthogonal optimization to in-network coherence.  This
+ablation quantifies it on a team-structured workload: round-robin
+placement scatters each team across blades and pays coherence for every
+team interaction; affinity placement recovers the team structure from the
+traces and keeps that traffic on-blade.
+"""
+
+import pytest
+
+from common import print_table, runner_config
+from repro.placement import (
+    affinity_placement,
+    cross_blade_share_fraction,
+    round_robin_placement,
+    run_with_placement,
+)
+from repro.workloads import TeamSharingWorkload
+
+NUM_BLADES = 4
+TEAM_SIZE = 4
+NUM_THREADS = NUM_BLADES * TEAM_SIZE
+ACCESSES = 3_000
+
+
+def run_figure():
+    cfg = runner_config(num_memory_blades=2)
+    wl = TeamSharingWorkload(
+        NUM_THREADS, accesses_per_thread=ACCESSES, team_size=TEAM_SIZE
+    )
+    bases = [0x100000 + (1 << 32) * i for i in range(len(wl.region_specs()))]
+    traces = wl.all_traces(bases)
+    placements = {
+        "round-robin": round_robin_placement(NUM_THREADS, NUM_BLADES),
+        "affinity": affinity_placement(traces, NUM_BLADES, TEAM_SIZE),
+    }
+    out = {}
+    for name, placement in placements.items():
+        result = run_with_placement(wl, NUM_BLADES, placement, cfg)
+        out[name] = {
+            "runtime_ms": result.runtime_us / 1000,
+            "invalidations": result.stats.counter("invalidations_sent"),
+            "flushed": result.stats.counter("flushed_pages"),
+            "cross_share": cross_blade_share_fraction(traces, placement),
+        }
+    return out
+
+
+def test_ablation_thread_placement(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    print_table(
+        "Ablation (Sec 8): thread placement on a team-sharing workload",
+        ["policy", "runtime (ms)", "invalidations", "flushed pages", "cross-blade share"],
+        [
+            [name, d["runtime_ms"], d["invalidations"], d["flushed"], d["cross_share"]]
+            for name, d in data.items()
+        ],
+    )
+    rr, aff = data["round-robin"], data["affinity"]
+    # Affinity placement eliminates nearly all cross-blade sharing...
+    assert aff["cross_share"] < 0.1 < rr["cross_share"]
+    # ...and with it the bulk of the coherence traffic and runtime.
+    assert aff["invalidations"] < rr["invalidations"] / 3
+    assert aff["runtime_ms"] < rr["runtime_ms"] / 1.5

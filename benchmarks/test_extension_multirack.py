@@ -1,0 +1,103 @@
+"""Extension: scaling beyond a rack (Section 8).
+
+The multi-rack fabric partitions the global VA space across racks, each
+rack's switch remaining the home for its slice.  This benchmark maps the
+resulting NUMA-like cost structure: intra- vs cross-rack fault latency,
+and throughput of a sharing workload as its cross-rack fraction grows --
+the quantitative argument for the paper's closing remark that rack-to-
+datacenter scaling mirrors the single-node-to-NUMA shift.
+"""
+
+import pytest
+
+from common import print_table
+from repro.multirack import MultiRackConfig, MultiRackFabric
+from repro.sim.network import PAGE_SIZE
+
+CROSS_FRACTIONS = [0.0, 0.25, 0.5, 1.0]
+OPS_PER_BLADE = 300
+
+
+def build_fabric():
+    return MultiRackFabric(
+        MultiRackConfig(
+            num_racks=2, compute_blades_per_rack=2, cache_capacity_pages=512
+        )
+    )
+
+
+def measure_latencies():
+    fabric = build_fabric()
+    pdid = fabric.spawn_process()
+    local = fabric.mmap(pdid, 1 << 16, rack=0)
+    remote = fabric.mmap(pdid, 1 << 16, rack=1)
+    blade = fabric.compute_blades[0]
+    t0 = fabric.engine.now
+    fabric.run_process(blade.ensure_page(pdid, local, False))
+    intra = fabric.engine.now - t0
+    t0 = fabric.engine.now
+    fabric.run_process(blade.ensure_page(pdid, remote, False))
+    cross = fabric.engine.now - t0
+    # Cross-rack write steal: owner in the other rack.
+    other = fabric.compute_blades[2]
+    fabric.run_process(other.ensure_page(pdid, remote + PAGE_SIZE, True))
+    t0 = fabric.engine.now
+    fabric.run_process(blade.ensure_page(pdid, remote + PAGE_SIZE, True))
+    cross_steal = fabric.engine.now - t0
+    return {"intra": intra, "cross": cross, "cross_steal": cross_steal}
+
+
+def measure_throughput(cross_fraction):
+    """Each blade sweeps pages, a fraction of them homed in the other rack."""
+    import numpy as np
+
+    fabric = build_fabric()
+    pdid = fabric.spawn_process()
+    bufs = {r: fabric.mmap(pdid, 1 << 21, rack=r) for r in (0, 1)}
+    rng = np.random.default_rng(3)
+    gens = []
+    for blade in fabric.compute_blades:
+        home = blade.home_rack
+        away = 1 - home
+        accesses = []
+        for i in range(OPS_PER_BLADE):
+            rack = away if rng.random() < cross_fraction else home
+            page = int(rng.integers(0, 256))
+            accesses.append(
+                (bufs[rack] + page * PAGE_SIZE, bool(rng.random() < 0.3))
+            )
+        gens.append(blade.run_thread(pdid, accesses))
+    t0 = fabric.engine.now
+    fabric.run_all(gens)
+    elapsed = fabric.engine.now - t0
+    total = OPS_PER_BLADE * len(fabric.compute_blades)
+    return total / elapsed  # accesses per us
+
+
+def run_figure():
+    data = {"latency": measure_latencies()}
+    for frac in CROSS_FRACTIONS:
+        data[("throughput", frac)] = measure_throughput(frac)
+    return data
+
+
+def test_extension_multirack(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    lat = data["latency"]
+    print_table(
+        "Extension (Sec 8): multi-rack fault latency (us)",
+        ["intra-rack", "cross-rack", "cross-rack write steal"],
+        [[lat["intra"], lat["cross"], lat["cross_steal"]]],
+    )
+    print_table(
+        "Extension (Sec 8): throughput vs cross-rack access fraction",
+        ["cross fraction", "accesses/us"],
+        [[f, data[("throughput", f)]] for f in CROSS_FRACTIONS],
+    )
+    # The NUMA-like structure: one spine round trip per cross-rack fault.
+    assert lat["cross"] > lat["intra"] + 5.0
+    assert lat["cross_steal"] > lat["cross"]
+    # Locality matters: all-local beats all-remote sharing clearly.
+    assert data[("throughput", 0.0)] > 1.3 * data[("throughput", 1.0)]
+    # Monotone degradation as sharing crosses the spine more often.
+    assert data[("throughput", 0.25)] >= data[("throughput", 1.0)]

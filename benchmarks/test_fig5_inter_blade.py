@@ -1,0 +1,90 @@
+"""Fig. 5 (center): performance scaling across compute blades.
+
+Paper results, 10 threads per blade, 1-8 blades:
+
+- **TF** scales well under MIND despite TSO (~1.67x per doubling).
+- **GC** improves from 1 to 2 blades, then degrades: random contentious
+  shared writes trigger M-state transitions and invalidations.
+- **M_A / M_C** do not scale beyond one blade: many sharers + shared
+  writes saturate both the coherence protocol and the switch directory.
+- **MIND-PSO / MIND-PSO+** (simulated weaker consistency / infinite
+  directory) recover part of the loss; **GAM** keeps scaling because its
+  slow software path makes extra remote traffic relatively cheap.
+"""
+
+import pytest
+
+from common import (
+    ACCESSES,
+    BLADE_COUNTS,
+    THREADS_PER_BLADE,
+    WORKLOADS,
+    perf,
+    print_table,
+    runner_config,
+)
+from repro.runner import scaling_sweep
+
+SYSTEMS = ["mind", "mind-pso", "mind-pso+", "gam"]
+
+
+def run_figure():
+    cfg = runner_config()
+    data = {}
+    for wl_name, factory in WORKLOADS.items():
+        mind_base = None
+        for system in SYSTEMS:
+            results = scaling_sweep(
+                system, factory, BLADE_COUNTS, THREADS_PER_BLADE, cfg
+            )
+            if system == "mind":
+                mind_base = perf(results[1])
+            data[(wl_name, system)] = {
+                b: perf(r) / mind_base for b, r in results.items()
+            }
+    return data
+
+
+def test_fig5_inter_blade_scaling(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    for wl_name in WORKLOADS:
+        rows = [
+            [system] + [data[(wl_name, system)][b] for b in BLADE_COUNTS]
+            for system in SYSTEMS
+        ]
+        print_table(
+            f"Fig 5 (center): {wl_name} inter-blade scaling "
+            "(normalized to MIND @ 1 blade)",
+            ["system"] + [f"{b}b" for b in BLADE_COUNTS],
+            rows,
+        )
+
+    mind = {w: data[(w, "mind")] for w in WORKLOADS}
+    # TF keeps scaling with blades (the paper's best case) and is the best
+    # scaler of the four workloads.
+    assert mind["TF"][8] > 3.0
+    assert mind["TF"][8] > mind["TF"][2] > mind["TF"][1] * 1.4
+    assert mind["TF"][8] == max(mind[w][8] for w in WORKLOADS)
+    # GC stops scaling early: barely above 1x at 2 blades and far below TF
+    # at 8.  (Paper shows a peak at 2 then decline; our reproduction
+    # plateaus instead -- see EXPERIMENTS.md -- but the headline "GC does
+    # not scale like TF" holds.)
+    assert mind["GC"][2] < 1.35
+    assert mind["GC"][8] < 0.60 * mind["TF"][8]
+    assert mind["GC"][8] < 2.4
+    # M_A does not scale beyond one blade.
+    assert mind["M_A"][8] < 1.6
+    assert mind["M_A"][8] == min(mind[w][8] for w in WORKLOADS)
+    # M_C improves from 4 to 8 blades (invalidations grow little), but
+    # stays below TF.
+    assert mind["M_C"][8] > mind["M_C"][4]
+    assert mind["M_C"][8] < 0.85 * mind["TF"][8]
+    # The simulated relaxations help the contended workloads.
+    assert data[("M_A", "mind-pso")][8] >= mind["M_A"][8] * 0.95
+    assert data[("M_A", "mind-pso+")][8] >= data[("M_A", "mind-pso")][8] * 0.95
+    assert data[("M_C", "mind-pso")][8] > mind["M_C"][8] * 0.95
+    # GAM scales on write-heavy workloads but from a much lower base: at a
+    # single blade GAM is several times slower than MIND.
+    assert data[("M_A", "gam")][1] < 0.6
+    assert data[("TF", "gam")][1] < 0.6
+    assert data[("TF", "gam")][8] < mind["TF"][8]

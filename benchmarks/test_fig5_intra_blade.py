@@ -1,0 +1,51 @@
+"""Fig. 5 (left): performance scaling on a single compute blade.
+
+Paper result: MIND and FastSwap scale almost linearly with thread count up
+to 10 threads (hardware-MMU page-fault path); GAM scales linearly only to
+~4 threads and sub-linearly after, because its user-level library checks
+permissions on every access under a lock.
+"""
+
+from common import make_tf, perf, print_table, runner_config
+from repro.runner import run_system
+
+THREAD_COUNTS = [1, 2, 4, 10]
+SYSTEMS = ["mind", "gam", "fastswap"]
+
+
+def run_figure():
+    cfg = runner_config(num_memory_blades=2)
+    curves = {}
+    for system in SYSTEMS:
+        base = None
+        curve = {}
+        for threads in THREAD_COUNTS:
+            result = run_system(system, make_tf(threads), 1, cfg)
+            p = perf(result)
+            if base is None:
+                base = p
+            curve[threads] = p / base
+        curves[system] = curve
+    return curves
+
+
+def test_fig5_intra_blade_scaling(benchmark):
+    curves = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    rows = [
+        [system] + [curves[system][t] for t in THREAD_COUNTS]
+        for system in SYSTEMS
+    ]
+    print_table(
+        "Fig 5 (left): TF intra-blade scaling (normalized to 1 thread)",
+        ["system"] + [f"{t}t" for t in THREAD_COUNTS],
+        rows,
+    )
+    # MIND and FastSwap near-linear at 10 threads; GAM clearly sub-linear.
+    assert curves["mind"][10] > 8.0
+    assert curves["fastswap"][10] > 8.0
+    assert curves["gam"][10] < 7.0
+    # GAM is fine at low thread counts (the knee is past 2).
+    assert curves["gam"][2] > 1.7
+    # MIND ~linear at every point.
+    for t in THREAD_COUNTS:
+        assert curves["mind"][t] > 0.85 * t

@@ -1,0 +1,85 @@
+"""Fig. 5 (right): Native-KVS scaling on MIND and FastSwap.
+
+Paper results: on a single blade both systems scale near-linearly to 10
+threads.  Beyond a blade (MIND only -- FastSwap cannot share state across
+blades): YCSB-C (read-only) keeps scaling linearly since reads incur no
+invalidations; YCSB-A (50 % writes) scales poorly, though better than
+Memcached M_A thanks to the KVS's per-blade partitioning.
+"""
+
+from common import ACCESSES, perf, print_table, runner_config, make_ma
+from repro.runner import run_system, scaling_sweep
+from repro.workloads import NativeKvsWorkload
+
+INTRA_THREADS = [1, 2, 4, 10]
+INTER_BLADES = [1, 2, 4, 8]
+TPB = 10
+
+
+def kvs_a(num_threads):
+    return NativeKvsWorkload(num_threads, accesses_per_thread=ACCESSES, read_ratio=0.5)
+
+
+def kvs_c(num_threads):
+    return NativeKvsWorkload(num_threads, accesses_per_thread=ACCESSES, read_ratio=1.0)
+
+
+def run_figure():
+    cfg = runner_config()
+    out = {}
+    # Intra-blade on MIND and FastSwap.
+    for label, factory in (("A", kvs_a), ("C", kvs_c)):
+        for system in ("mind", "fastswap"):
+            base = None
+            curve = {}
+            for threads in INTRA_THREADS:
+                r = run_system(system, factory(threads), 1, cfg)
+                p = perf(r)
+                base = base or p
+                curve[threads] = p / base
+            out[(label, system, "intra")] = curve
+    # Inter-blade on MIND only.
+    for label, factory in (("A", kvs_a), ("C", kvs_c)):
+        results = scaling_sweep("mind", factory, INTER_BLADES, TPB, cfg)
+        base = perf(results[1])
+        out[(label, "mind", "inter")] = {b: perf(r) / base for b, r in results.items()}
+    # Memcached comparison point for the partitioning claim.
+    ma = scaling_sweep("mind", make_ma, [1, 8], TPB, cfg)
+    out[("M_A", "mind", "inter")] = {b: perf(r) / perf(ma[1]) for b, r in ma.items()}
+    return out
+
+
+def test_fig5_native_kvs(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    rows = []
+    for label in ("A", "C"):
+        for system in ("mind", "fastswap"):
+            curve = data[(label, system, "intra")]
+            rows.append([f"YCSB-{label}/{system}"] + [curve[t] for t in INTRA_THREADS])
+    print_table(
+        "Fig 5 (right): Native-KVS intra-blade (normalized to 1 thread)",
+        ["config"] + [f"{t}t" for t in INTRA_THREADS],
+        rows,
+    )
+    rows = [
+        [f"YCSB-{label}/mind"]
+        + [data[(label, "mind", "inter")][b] for b in INTER_BLADES]
+        for label in ("A", "C")
+    ]
+    print_table(
+        "Fig 5 (right): Native-KVS inter-blade on MIND (normalized to 1 blade)",
+        ["config"] + [f"{b}b" for b in INTER_BLADES],
+        rows,
+    )
+
+    # Intra-blade: both systems near-linear to 10 threads.
+    for label in ("A", "C"):
+        assert data[(label, "mind", "intra")][10] > 7.0
+        assert data[(label, "fastswap", "intra")][10] > 7.0
+    # Read-only YCSB-C scales across blades; YCSB-A does not scale well.
+    c_curve = data[("C", "mind", "inter")]
+    a_curve = data[("A", "mind", "inter")]
+    assert c_curve[8] > 4.0
+    assert a_curve[8] < 0.6 * c_curve[8]
+    # Native-KVS YCSB-A beats Memcached M_A at 8 blades (partitioning).
+    assert a_curve[8] > data[("M_A", "mind", "inter")][8]

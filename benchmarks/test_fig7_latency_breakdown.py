@@ -1,0 +1,70 @@
+"""Fig. 7 (right): end-to-end latency break-down under full sharing.
+
+Paper result: with sharing-ratio 1, read-only traffic sees S->S-like
+latency regardless of blade count; lower read ratios pay two extra costs
+on top of the base M-steal latency: synchronous TLB shootdowns at the
+invalidated blades and queueing delay while invalidation requests wait to
+be processed, both of which grow with blade count.
+"""
+
+import pytest
+
+from common import print_table, runner_config
+from repro.runner import run_system
+from repro.workloads import UniformSharingWorkload
+
+READ_RATIOS = [1.0, 0.5, 0.0]
+BLADE_COUNTS = [2, 4, 8]
+ACCESSES = 2_500
+
+
+def run_figure():
+    cfg = runner_config()
+    data = {}
+    for read_ratio in READ_RATIOS:
+        for blades in BLADE_COUNTS:
+            wl = UniformSharingWorkload(
+                blades,
+                accesses_per_thread=ACCESSES,
+                read_ratio=read_ratio,
+                sharing_ratio=1.0,
+                shared_pages=1_000,
+                burst=4,
+            )
+            result = run_system("mind", wl, blades, cfg)
+            inv = result.stats.breakdown("invalidation")
+            n_inv = max(1, result.stats.counter("invalidations_sent"))
+            data[(read_ratio, blades)] = {
+                "fault_us": result.stats.mean_latency("fault"),
+                "inv_tlb_us": inv.get("tlb", 0.0) / n_inv,
+                "inv_queue_us": inv.get("queue", 0.0) / n_inv,
+            }
+    return data
+
+
+def test_fig7_latency_breakdown(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    for metric in ("fault_us", "inv_tlb_us", "inv_queue_us"):
+        rows = [
+            [f"R={r}"] + [data[(r, b)][metric] for b in BLADE_COUNTS]
+            for r in READ_RATIOS
+        ]
+        print_table(
+            f"Fig 7 (right): {metric} at sharing ratio 1",
+            ["read-ratio"] + [f"{b}C" for b in BLADE_COUNTS],
+            rows,
+        )
+    # Read-only latency is a single clean fetch, independent of blades.
+    for b in BLADE_COUNTS:
+        assert 7.0 < data[(1.0, b)]["fault_us"] < 13.0
+        assert data[(1.0, b)]["inv_tlb_us"] == 0.0
+    # Lower read ratios pay more end-to-end.
+    for b in BLADE_COUNTS:
+        assert data[(0.0, b)]["fault_us"] > 1.3 * data[(1.0, b)]["fault_us"]
+    # Shootdown and queueing components are real and grow with blades.
+    assert data[(0.0, 8)]["inv_tlb_us"] > 0.0
+    assert (
+        data[(0.0, 8)]["inv_queue_us"] >= data[(0.0, 2)]["inv_queue_us"]
+    )
+    # Write-heavy mean fault latency grows with blade count (queueing).
+    assert data[(0.0, 8)]["fault_us"] >= data[(0.0, 2)]["fault_us"]

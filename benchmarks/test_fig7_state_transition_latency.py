@@ -1,0 +1,83 @@
+"""Fig. 7 (left): end-to-end latency per MSI state transition.
+
+Paper result: transitions without invalidations (I->S, S->S, S->M with its
+parallel invalidation, I->M) complete in a single RDMA round (~9 us);
+transitions stealing a Modified region (M->S, M->M) must invalidate and
+flush the owner before fetching, costing two sequential rounds (~18 us).
+Latency is essentially independent of the number of blades requesting.
+"""
+
+import pytest
+
+from common import print_table, runner_config
+from repro.api import MindSystem
+from repro.core.mmu import MindConfig
+from repro.sim.network import PAGE_SIZE
+
+LABELS = ["I->S", "S->S", "I->M", "S->M", "M->S", "M->M"]
+BLADE_COUNTS = [2, 4, 8]
+
+
+def measure(num_blades):
+    system = MindSystem(
+        num_compute_blades=num_blades,
+        num_memory_blades=2,
+        cache_capacity_pages=1024,
+        mind_config=MindConfig(
+            directory_capacity=4096,
+            memory_blade_capacity=1 << 28,
+            enable_bounded_splitting=False,
+        ),
+    )
+    proc = system.spawn_process()
+    threads = [proc.spawn_thread() for _ in range(num_blades)]
+    stride = 16 * PAGE_SIZE  # one region per exercise, no interference
+
+    def exercise(page, sequence):
+        """sequence: list of (thread index, write?) touches on one page."""
+        for tid, write in sequence:
+            threads[tid].touch(page, write=write)
+
+    buf = proc.mmap(1 << 22)
+    # I->S then S->S at every other blade.
+    exercise(buf + 0 * stride, [(t, False) for t in range(num_blades)])
+    # I->M.
+    exercise(buf + 1 * stride, [(0, True)])
+    # S->M: all blades read, then one writes (parallel invalidation).
+    exercise(
+        buf + 2 * stride,
+        [(t, False) for t in range(num_blades)] + [(0, True)],
+    )
+    # M->S: one writes, another reads (owner flush, sequential).
+    exercise(buf + 3 * stride, [(0, True), (1, False)])
+    # M->M: ownership steal.
+    exercise(buf + 4 * stride, [(0, True), (1, True)])
+    return {
+        label: system.stats.mean_latency(f"fault:{label}") for label in LABELS
+    }
+
+
+def run_figure():
+    return {b: measure(b) for b in BLADE_COUNTS}
+
+
+def test_fig7_state_transition_latency(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    rows = [
+        [f"{b}C"] + [data[b][label] for label in LABELS] for b in BLADE_COUNTS
+    ]
+    print_table(
+        "Fig 7 (left): state transition latency (us)",
+        ["blades"] + LABELS,
+        rows,
+    )
+    for b in BLADE_COUNTS:
+        lat = data[b]
+        # Single-round transitions land near the 9 us point.
+        for label in ("I->S", "S->S", "I->M", "S->M"):
+            assert 7.0 < lat[label] < 13.0, (b, label, lat[label])
+        # Owner-steal transitions cost roughly two rounds.
+        for label in ("M->S", "M->M"):
+            assert 1.6 < lat[label] / lat["I->S"] < 2.6, (b, label)
+        # S->M's invalidation overlaps the fetch: far below the M-steals.
+        assert lat["S->M"] < 0.75 * lat["M->S"]

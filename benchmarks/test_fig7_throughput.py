@@ -1,0 +1,67 @@
+"""Fig. 7 (center): memory throughput vs read-write and sharing ratios.
+
+Paper result: 8 blades x 1 thread, uniform random over a large working
+set.  Read-only or fully-private traffic stays cached and throughput is
+high; increasing both the write proportion and the sharing ratio triggers
+M->S / S->M transitions with invalidations and drops throughput by ~10x
+at sharing-ratio 1, read-ratio 0.
+"""
+
+import pytest
+
+from common import print_table, runner_config
+from repro.runner import run_system
+from repro.workloads import UniformSharingWorkload
+
+READ_RATIOS = [1.0, 0.5, 0.0]
+SHARING_RATIOS = [0.0, 0.5, 1.0]
+NUM_BLADES = 8
+#: scaled from the paper's 400 k pages to keep runs fast.
+SHARED_PAGES = 800
+ACCESSES = 8_000
+
+
+def run_figure():
+    # The cache must hold the private working set so the read-only/private
+    # corners are hit-dominated, as in the paper ("most pages accessed
+    # locally"); the shared region still vastly exceeds per-blade cache.
+    cfg = runner_config(cache_capacity_pages=6_144)
+    data = {}
+    for read_ratio in READ_RATIOS:
+        for sharing_ratio in SHARING_RATIOS:
+            wl = UniformSharingWorkload(
+                NUM_BLADES,  # one thread per blade, as in the paper
+                accesses_per_thread=ACCESSES,
+                read_ratio=read_ratio,
+                sharing_ratio=sharing_ratio,
+                shared_pages=SHARED_PAGES,
+                private_pages_per_thread=512,
+                burst=4,
+            )
+            result = run_system("mind", wl, NUM_BLADES, cfg)
+            data[(read_ratio, sharing_ratio)] = result.throughput_iops
+    return data
+
+
+def test_fig7_throughput(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    rows = [
+        [f"R={r}"] + [data[(r, s)] / 1e6 for s in SHARING_RATIOS]
+        for r in READ_RATIOS
+    ]
+    print_table(
+        "Fig 7 (center): throughput (M IOPS) vs sharing ratio",
+        ["read-ratio"] + [f"share={s}" for s in SHARING_RATIOS],
+        rows,
+    )
+    # Read-only: high throughput at every sharing ratio (the paper's own
+    # read-only spread is ~2x, "1-2 x 10^6 IOPS").
+    for s in SHARING_RATIOS:
+        assert data[(1.0, s)] > 0.45 * data[(1.0, 0.0)]
+    # No sharing: writes are private, throughput stays high.
+    assert data[(0.0, 0.0)] > 0.5 * data[(1.0, 0.0)]
+    # Write-heavy + fully shared collapses by ~an order of magnitude.
+    assert data[(0.0, 1.0)] < 0.2 * data[(1.0, 0.0)]
+    # Monotone in both knobs (more writes or more sharing never helps).
+    assert data[(0.0, 1.0)] <= data[(0.5, 1.0)] <= data[(1.0, 1.0)] * 1.05
+    assert data[(0.0, 1.0)] <= data[(0.0, 0.5)] <= data[(0.0, 0.0)] * 1.05

@@ -1,0 +1,99 @@
+"""Fig. 8 (right): allocation load balancing across memory blades.
+
+Paper result (Jain's fairness index over 8 memory blades): MIND's
+least-allocated-blade placement is near-optimal (index ~1.0); 2 MB page
+placement achieves similar balance but at the cost of vastly more
+translation entries (Fig. 8 center); 1 GB pages balance poorly for
+allocation-intensive workloads, because a huge-page allocator packs many
+small allocations into the same open superpage -- and a superpage lives on
+one blade.
+"""
+
+import pytest
+
+from common import print_table
+from repro.core.allocator import GlobalAllocator
+
+GB = 1 << 30
+MB = 1 << 20
+NUM_BLADES = 8
+
+#: per-workload heap compositions (vma sizes in bytes), shaped like the
+#: evaluation's applications: TF = large model/activation arenas, GC = rank
+#: array shards + per-thread edge buffers, M = many allocator slabs.
+HEAPS = {
+    "TF": [256 * MB] * 6 + [128 * MB] * 10,
+    "GC": [256 * MB] * 4 + [64 * MB] * 16,
+    "M_A/C": [64 * MB] * 36,
+}
+
+
+def jain(loads):
+    total = sum(loads)
+    if total == 0:
+        return 1.0
+    return total**2 / (len(loads) * sum(x * x for x in loads))
+
+
+def place_mind(heap):
+    galloc = GlobalAllocator()
+    for i in range(NUM_BLADES):
+        galloc.add_blade(i, va_base=i << 34, size=1 << 34)
+    for size in heap:
+        galloc.allocate(size)
+    return jain([galloc.blade(i).allocated_bytes for i in range(NUM_BLADES)])
+
+
+def place_paged(heap, page_size):
+    """Page-granularity placement.
+
+    Allocations at least one page big are spread page-by-page onto the
+    least-loaded blade (the best a paging scheme can do).  Allocations
+    *smaller* than a page are packed into the currently open page -- the
+    standard hugepage-allocator behaviour that clusters small vmas onto
+    one blade and ruins balance for 1 GB pages.
+    """
+    loads = [0] * NUM_BLADES
+    open_blade, open_remaining = None, 0
+    for size in heap:
+        if size >= page_size:
+            for _ in range(-(-size // page_size)):
+                idx = loads.index(min(loads))
+                loads[idx] += page_size
+        else:
+            if open_remaining < size:
+                open_blade = loads.index(min(loads))
+                loads[open_blade] += page_size
+                open_remaining = page_size
+            open_remaining -= size
+    return jain(loads)
+
+
+def run_figure():
+    data = {}
+    for name, heap in HEAPS.items():
+        data[name] = {
+            "MIND": place_mind(heap),
+            "2MB pages": place_paged(heap, 2 * MB),
+            "1GB pages": place_paged(heap, GB),
+        }
+    return data
+
+
+def test_fig8_load_balancing(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    schemes = ["MIND", "2MB pages", "1GB pages"]
+    rows = [[wl] + [data[wl][s] for s in schemes] for wl in HEAPS]
+    print_table(
+        "Fig 8 (right): Jain's fairness of memory-blade load",
+        ["workload"] + schemes,
+        rows,
+    )
+    for wl in HEAPS:
+        # MIND and 2 MB paging are near-optimal.
+        assert data[wl]["MIND"] > 0.9, wl
+        assert data[wl]["2MB pages"] > 0.95, wl
+    # 1 GB pages balance poorly for the allocation-intensive heap, whose
+    # slabs pack into a handful of superpages.
+    assert data["M_A/C"]["1GB pages"] < 0.75
+    assert data["M_A/C"]["1GB pages"] < data["M_A/C"]["MIND"]

@@ -1,0 +1,88 @@
+"""Fig. 8 (center): match-action rules vs dataset size.
+
+Paper result: MIND's translation (one prefix per memory blade) plus
+protection (one range per vma) rules stay essentially constant as the
+dataset grows, while page-table-style approaches grow linearly with the
+dataset -- even with 2 MB or 1 GB huge pages -- against a ~45 k rule
+budget on the switch.
+"""
+
+import pytest
+
+from common import print_table
+from repro.core.mmu import InNetworkMmu, MindConfig
+from repro.blades.memory import MemoryBlade
+from repro.sim.engine import Engine
+from repro.sim.network import Network, PAGE_SIZE
+
+GB = 1 << 30
+DATASET_SIZES = [1 * GB, 2 * GB, 4 * GB, 8 * GB, 16 * GB]
+NUM_MEMORY_BLADES = 8
+#: vma size used to build the heap (glibc-style large pow2 arenas).
+CHUNK = 64 * (1 << 20)
+RULE_BUDGET = 45_000
+
+
+def page_based_entries(dataset: int, page: int) -> int:
+    return -(-dataset // page)
+
+
+def build_mind(dataset: int) -> dict:
+    engine = Engine()
+    network = Network(engine)
+    mmu = InNetworkMmu(
+        engine,
+        network,
+        MindConfig(
+            memory_blade_capacity=1 << 34,
+            enable_bounded_splitting=False,
+        ),
+    )
+    for i in range(NUM_MEMORY_BLADES):
+        mmu.add_memory_blade(
+            MemoryBlade(i, network, 1 << 34, store_data=False)
+        )
+    task = mmu.controller.sys_exec("heap")
+    allocated = 0
+    while allocated < dataset:
+        mmu.controller.sys_mmap(task.pid, CHUNK)
+        allocated += CHUNK
+    return mmu.match_action_rules()
+
+
+def run_figure():
+    data = {}
+    for dataset in DATASET_SIZES:
+        rules = build_mind(dataset)
+        data[dataset] = {
+            "mind": rules["total"],
+            "4KB pages": page_based_entries(dataset, PAGE_SIZE),
+            "2MB pages": page_based_entries(dataset, 2 << 20),
+            "1GB pages": page_based_entries(dataset, GB),
+        }
+    return data
+
+
+def test_fig8_match_action_entries(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    schemes = ["mind", "4KB pages", "2MB pages", "1GB pages"]
+    rows = [
+        [f"{d // GB}GB"] + [data[d][s] for s in schemes] for d in DATASET_SIZES
+    ]
+    print_table(
+        "Fig 8 (center): match-action entries vs dataset size",
+        ["dataset"] + schemes,
+        rows,
+    )
+    smallest, largest = DATASET_SIZES[0], DATASET_SIZES[-1]
+    # MIND's rule count is ~constant in dataset size...
+    assert data[largest]["mind"] <= 2 * data[smallest]["mind"]
+    # ...and tiny in absolute terms (well under the switch budget).
+    assert data[largest]["mind"] < 2_000 < RULE_BUDGET
+    # Page-based translation scales linearly and blows the budget.
+    assert data[largest]["4KB pages"] == 16 * data[smallest]["4KB pages"]
+    assert data[largest]["4KB pages"] > RULE_BUDGET
+    assert data[largest]["2MB pages"] == 16 * data[smallest]["2MB pages"]
+    # Even 1 GB pages grow linearly, unlike MIND.
+    assert data[largest]["1GB pages"] == 16 * data[smallest]["1GB pages"]
+    assert data[largest]["mind"] < data[largest]["2MB pages"]

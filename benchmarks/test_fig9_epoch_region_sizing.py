@@ -1,0 +1,118 @@
+"""Fig. 9 (right): impact of epoch size and initial region size.
+
+Paper result: epoch sizes from 1 to 100 ms barely change total false
+invalidations (larger epochs just cost less control-plane work; the paper
+picks 100 ms); smaller *initial region sizes* yield fewer false
+invalidations, because large initial regions take several split epochs to
+stabilize, eating false invalidations in the interim.  16 kB is chosen
+because going smaller explodes the initial entry count.
+
+With our ~1000x time compression, the paper's 1-100 ms epoch range maps
+to the 50-2000 us sweep below.
+"""
+
+import pytest
+
+from common import THREADS_PER_BLADE, make_gc, make_tf, print_table, runner_config
+from repro.core.mmu import MindConfig
+from repro.runner import run_system
+
+NUM_BLADES = 4
+ACCESSES = 2_500
+KB = 1024
+
+EPOCH_SIZES_US = [50.0, 200.0, 1000.0, 2000.0]
+INITIAL_SIZES = [4 * KB, 16 * KB, 256 * KB, 2048 * KB]
+DEFAULT_EPOCH_US = 1000.0
+DEFAULT_INITIAL = 16 * KB
+
+
+def run_point(factory, epoch_us, initial_size):
+    mind = MindConfig(
+        initial_region_size=initial_size,
+        epoch_us=epoch_us,
+        enable_bounded_splitting=True,
+    )
+    cfg = runner_config(mind=mind)
+    wl = factory(NUM_BLADES * THREADS_PER_BLADE, ACCESSES)
+    result = run_system("mind", wl, NUM_BLADES, cfg)
+    return {
+        "false_invalidations": result.stats.counter("false_invalidations"),
+        "rule_updates": result.stats.counter("splits") + result.stats.counter("merges"),
+        "directory_final": result.stats.counter("directory_final"),
+    }
+
+
+def run_figure():
+    data = {}
+    for wl_name, factory in (("TF", make_tf), ("GC", make_gc)):
+        for epoch in EPOCH_SIZES_US:
+            data[(wl_name, "epoch", epoch)] = run_point(
+                factory, epoch, DEFAULT_INITIAL
+            )
+        for initial in INITIAL_SIZES:
+            data[(wl_name, "initial", initial)] = run_point(
+                factory, DEFAULT_EPOCH_US, initial
+            )
+    return data
+
+
+def test_fig9_epoch_region_sizing(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    for wl_name in ("TF", "GC"):
+        base = max(1, data[(wl_name, "epoch", 1000.0)]["false_invalidations"])
+        rows = [
+            [
+                f"{epoch:.0f}us",
+                data[(wl_name, "epoch", epoch)]["false_invalidations"] / base,
+                data[(wl_name, "epoch", epoch)]["rule_updates"],
+            ]
+            for epoch in EPOCH_SIZES_US
+        ]
+        print_table(
+            f"Fig 9 (right): {wl_name} vs epoch size (false invals normalized)",
+            ["epoch", "false invals (norm)", "split/merge ops"],
+            rows,
+        )
+        base_i = max(1, data[(wl_name, "initial", 2048 * KB)]["false_invalidations"])
+        rows = [
+            [
+                f"{initial // KB}KB",
+                data[(wl_name, "initial", initial)]["false_invalidations"] / base_i,
+                data[(wl_name, "initial", initial)]["directory_final"],
+            ]
+            for initial in INITIAL_SIZES
+        ]
+        print_table(
+            f"Fig 9 (right): {wl_name} vs initial region size "
+            "(false invals normalized to 2MB)",
+            ["initial size", "false invals (norm)", "final entries"],
+            rows,
+        )
+
+    for wl_name in ("TF", "GC"):
+        # Smaller initial regions -> fewer false invalidations; 2 MB is the
+        # worst of the sweep.
+        fi = {
+            s: data[(wl_name, "initial", s)]["false_invalidations"]
+            for s in INITIAL_SIZES
+        }
+        assert fi[4 * KB] <= fi[16 * KB] * 1.2, wl_name
+        assert fi[2048 * KB] >= fi[16 * KB], wl_name
+        assert fi[2048 * KB] > fi[4 * KB], wl_name
+        # ...but smaller initial regions cost more directory entries.
+        assert (
+            data[(wl_name, "initial", 4 * KB)]["directory_final"]
+            > data[(wl_name, "initial", 256 * KB)]["directory_final"]
+        ), wl_name
+        # Epoch size has a mild effect on false invalidations (within ~3x
+        # across a 40x range) while shorter epochs do more control work.
+        fe = {
+            e: data[(wl_name, "epoch", e)]["false_invalidations"]
+            for e in EPOCH_SIZES_US
+        }
+        assert max(fe.values()) < 4 * max(1, min(fe.values())), wl_name
+        assert (
+            data[(wl_name, "epoch", 50.0)]["rule_updates"]
+            >= data[(wl_name, "epoch", 2000.0)]["rule_updates"]
+        ), wl_name

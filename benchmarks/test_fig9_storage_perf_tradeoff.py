@@ -1,0 +1,86 @@
+"""Fig. 9 (left): directory storage vs false-invalidation tradeoff.
+
+Paper result: for TF and GC, tracking small fixed-size regions (16 kB)
+minimizes false invalidations but costs many directory entries; large
+fixed regions (2 MB) invert the tradeoff.  Bounded Splitting's adaptive
+sizing lands near the small-region false-invalidation count while using
+far fewer entries than the 16 kB configuration requires.
+"""
+
+import pytest
+
+from common import THREADS_PER_BLADE, make_gc, make_tf, print_table, runner_config
+from repro.core.bounded_splitting import BoundedSplittingConfig
+from repro.core.mmu import MindConfig
+from repro.runner import run_system
+
+NUM_BLADES = 4
+ACCESSES = 2_500
+KB = 1024
+FIXED_SIZES = [16 * KB, 128 * KB, 2048 * KB]
+
+
+def run_point(factory, region_size=None, adaptive=False):
+    """One configuration: fixed region size, or adaptive Bounded Splitting."""
+    if adaptive:
+        mind = MindConfig(
+            initial_region_size=16 * KB,
+            epoch_us=1_000.0,
+            enable_bounded_splitting=True,
+        )
+    else:
+        mind = MindConfig(
+            initial_region_size=region_size,
+            max_region_size=max(region_size, 2048 * KB),
+            enable_bounded_splitting=False,
+        )
+    cfg = runner_config(mind=mind)
+    wl = factory(NUM_BLADES * THREADS_PER_BLADE, ACCESSES)
+    result = run_system("mind", wl, NUM_BLADES, cfg)
+    return {
+        "false_invalidations": result.stats.counter("false_invalidations"),
+        "directory_peak": result.stats.counter("directory_peak"),
+    }
+
+
+def run_figure():
+    data = {}
+    for wl_name, factory in (("TF", make_tf), ("GC", make_gc)):
+        for size in FIXED_SIZES:
+            data[(wl_name, f"fixed-{size // KB}KB")] = run_point(
+                factory, region_size=size
+            )
+        data[(wl_name, "bounded-splitting")] = run_point(factory, adaptive=True)
+    return data
+
+
+def test_fig9_storage_perf_tradeoff(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    for wl_name in ("TF", "GC"):
+        rows = [
+            [
+                cfg,
+                data[(wl_name, cfg)]["false_invalidations"],
+                data[(wl_name, cfg)]["directory_peak"],
+            ]
+            for cfg in [f"fixed-{s // KB}KB" for s in FIXED_SIZES]
+            + ["bounded-splitting"]
+        ]
+        print_table(
+            f"Fig 9 (left): {wl_name} false invalidations vs directory entries",
+            ["config", "false invals", "peak entries"],
+            rows,
+        )
+    for wl_name in ("TF", "GC"):
+        small = data[(wl_name, "fixed-16KB")]["false_invalidations"]
+        large = data[(wl_name, "fixed-2048KB")]["false_invalidations"]
+        adaptive = data[(wl_name, "bounded-splitting")]["false_invalidations"]
+        small_entries = data[(wl_name, "fixed-16KB")]["directory_peak"]
+        large_entries = data[(wl_name, "fixed-2048KB")]["directory_peak"]
+        # The fixed-size tradeoff: big regions -> more false invalidations,
+        # fewer entries.
+        assert large > small, wl_name
+        assert large_entries < small_entries, wl_name
+        # Adaptive sizing beats the large fixed configuration on false
+        # invalidations.
+        assert adaptive < large, wl_name

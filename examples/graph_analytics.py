@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Parallel PageRank over disaggregated shared memory.
+
+A small but real graph-analytics job -- the paper's GC workload class --
+executed natively on MIND: the rank vector lives in the global address
+space, worker threads on different compute blades each own a vertex
+partition, and every iteration reads neighbours' ranks written by other
+blades.  No message passing, no explicit synchronization of data: the
+in-network MSI protocol is the only coherence mechanism.
+
+The example verifies the distributed result against a single-threaded
+reference computation and reports the coherence traffic the switch served.
+
+Run:  python examples/graph_analytics.py
+"""
+
+import struct
+
+import numpy as np
+
+from repro.api import MindSystem
+
+NUM_VERTICES = 64
+NUM_BLADES = 4
+ITERATIONS = 5
+DAMPING = 0.85
+RANK = struct.Struct("<d")
+
+
+def build_graph(seed=7):
+    """A random directed graph with a few hub vertices."""
+    rng = np.random.default_rng(seed)
+    edges = []
+    for v in range(NUM_VERTICES):
+        out_degree = 2 + int(rng.integers(0, 4))
+        # Preferential attachment: low vertex ids are hubs.
+        targets = set()
+        while len(targets) < out_degree:
+            t = int(rng.zipf(1.5)) % NUM_VERTICES
+            if t != v:
+                targets.add(t)
+        edges.extend((v, t) for t in targets)
+    return edges
+
+
+def reference_pagerank(edges):
+    ranks = np.full(NUM_VERTICES, 1.0 / NUM_VERTICES)
+    out_deg = np.zeros(NUM_VERTICES)
+    for s, _t in edges:
+        out_deg[s] += 1
+    for _ in range(ITERATIONS):
+        contrib = np.zeros(NUM_VERTICES)
+        for s, t in edges:
+            contrib[t] += ranks[s] / out_deg[s]
+        ranks = (1 - DAMPING) / NUM_VERTICES + DAMPING * contrib
+    return ranks
+
+
+def main() -> None:
+    edges = build_graph()
+    in_edges = {v: [] for v in range(NUM_VERTICES)}
+    out_deg = [0] * NUM_VERTICES
+    for s, t in edges:
+        in_edges[t].append(s)
+        out_deg[s] += 1
+
+    system = MindSystem(
+        num_compute_blades=NUM_BLADES,
+        num_memory_blades=2,
+        cache_capacity_pages=64,
+    )
+    proc = system.spawn_process("pagerank")
+    # Two rank arrays (current / next) in disaggregated shared memory.
+    cur = proc.mmap(NUM_VERTICES * RANK.size)
+    nxt = proc.mmap(NUM_VERTICES * RANK.size)
+    threads = [proc.spawn_thread() for _ in range(NUM_BLADES)]
+
+    # Initialize ranks from one blade; all blades will read them.
+    for v in range(NUM_VERTICES):
+        threads[0].write(cur + v * RANK.size, RANK.pack(1.0 / NUM_VERTICES))
+
+    partitions = np.array_split(np.arange(NUM_VERTICES), NUM_BLADES)
+    print(f"{NUM_VERTICES} vertices, {len(edges)} edges, "
+          f"{NUM_BLADES} blades x {ITERATIONS} iterations")
+
+    for it in range(ITERATIONS):
+        # Each blade computes new ranks for its partition, reading
+        # neighbour ranks that other blades wrote last iteration.
+        def worker(thread, vertices):
+            def gen():
+                for v in vertices:
+                    contrib = 0.0
+                    for s in in_edges[v]:
+                        raw = yield from thread.blade.load_bytes(
+                            proc.pid, cur + s * RANK.size, RANK.size
+                        )
+                        contrib += RANK.unpack(raw)[0] / out_deg[s]
+                    rank = (1 - DAMPING) / NUM_VERTICES + DAMPING * contrib
+                    yield from thread.blade.store_bytes(
+                        proc.pid, nxt + v * RANK.size, RANK.pack(rank)
+                    )
+            return gen()
+
+        system.run_concurrently(
+            [worker(t, part) for t, part in zip(threads, partitions)]
+        )
+        cur, nxt = nxt, cur
+        top = RANK.unpack(threads[0].read(cur, RANK.size))[0]
+        print(f"  iteration {it + 1}: rank[0] = {top:.6f}")
+
+    # Verify against the single-threaded reference.
+    got = np.array([
+        RANK.unpack(threads[0].read(cur + v * RANK.size, RANK.size))[0]
+        for v in range(NUM_VERTICES)
+    ])
+    want = reference_pagerank(edges)
+    err = np.abs(got - want).max()
+    assert err < 1e-12, f"distributed result diverged: max err {err}"
+    print(f"\nresult matches the single-threaded reference (max err {err:.2e})")
+
+    stats = system.stats
+    print(f"coherence traffic: {stats.counter('invalidations_sent')} "
+          f"invalidations, {stats.counter('flushed_pages')} pages flushed, "
+          f"{stats.counter('remote_accesses')} remote accesses")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package (no network in the build environment).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

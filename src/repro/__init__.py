@@ -1,0 +1,33 @@
+"""repro: a full reproduction of MIND (SOSP 2021).
+
+MIND is an in-network memory management unit for rack-scale memory
+disaggregation: address translation, memory protection, and directory-based
+cache coherence all execute in a programmable switch between compute and
+memory blades.  This package reproduces the system and its evaluation as a
+deterministic discrete-event simulation.
+
+Start with :class:`repro.api.MindSystem` for the transparent shared-memory
+API, or :mod:`repro.runner` to replay workloads on MIND and the paper's
+baselines (GAM-style DSM, FastSwap-style swapping).
+"""
+
+from .api import MindProcess, MindSystem, MindThread
+from .cluster import ClusterConfig, MindCluster
+from .core.mmu import MindConfig
+from .core.vma import PermissionClass
+from .sim.network import PAGE_SIZE, NetworkConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "MindCluster",
+    "MindConfig",
+    "MindProcess",
+    "MindSystem",
+    "MindThread",
+    "NetworkConfig",
+    "PAGE_SIZE",
+    "PermissionClass",
+    "__version__",
+]

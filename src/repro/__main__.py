@@ -1,0 +1,45 @@
+"""``python -m repro``: a one-minute tour of the reproduction.
+
+Builds a small rack, demonstrates cross-blade coherent shared memory, and
+prints the MSI transition latencies the paper reports in Fig. 7 (left).
+For the full evaluation, run ``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .api import MindSystem
+
+
+def main() -> int:
+    print(__doc__)
+    system = MindSystem(num_compute_blades=3, num_memory_blades=2)
+    proc = system.spawn_process("tour")
+    buf = proc.mmap(1 << 20)
+    t0, t1, t2 = (proc.spawn_thread() for _ in range(3))
+
+    t0.touch(buf)                 # I->S
+    t1.touch(buf)                 # S->S
+    t2.touch(buf, write=True)     # S->M (parallel invalidation)
+    t0.touch(buf, write=True)     # M->M (ownership steal)
+    t1.touch(buf)                 # M->S (owner downgrade)
+    t0.write(buf, b"in-network coherent")
+    assert t2.read(buf, 19) == b"in-network coherent"
+
+    print("three compute blades share one coherent address space;")
+    print("measured MSI transition latencies (paper: ~9 us / ~18 us):\n")
+    for label in ("I->S", "S->S", "S->M", "M->M", "M->S"):
+        summary = system.stats.latency_summary(f"fault:{label}")
+        if summary.count:
+            print(f"  {label:5s} {summary.mean:6.2f} us")
+    print(
+        f"\nswitch served {system.stats.counter('remote_accesses')} remote "
+        f"accesses, {system.stats.counter('invalidations_sent')} "
+        "invalidations -- all in the network fabric."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

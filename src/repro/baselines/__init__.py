@@ -1,0 +1,19 @@
+"""Baseline systems the paper compares against (Section 7) or analyzes as
+strawmen (Section 2.2): GAM-style software DSM (transparent,
+compute-elastic, slow local path), FastSwap-style swap (fast, but confined
+to a single compute blade), and the compute-/memory-centric transparent
+DSM adaptations whose sequential home hops motivate in-network
+management."""
+
+from .dsm import DsmFlavor, TransparentDsm
+from .fastswap import FastSwapSystem
+from .gam import GamSystem, SOFT_ACCESS_US, SOFT_LOCK_US
+
+__all__ = [
+    "DsmFlavor",
+    "FastSwapSystem",
+    "GamSystem",
+    "SOFT_ACCESS_US",
+    "SOFT_LOCK_US",
+    "TransparentDsm",
+]

@@ -1,0 +1,173 @@
+"""Compute-blade DRAM page cache.
+
+Under partial disaggregation each compute blade keeps a few GB of local
+DRAM used exclusively as a *cache* of remote pages (Section 2.1).  The
+implementation mirrors the paper's description of their LegoOS-style cache
+with coherence support (Section 6.1): pages are cached at 4 KB granularity
+with per-page permissions, the set of writable (potentially dirty) pages is
+tracked so a region invalidation can flush exactly the dirty pages it
+covers, and capacity misses evict LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.network import PAGE_SIZE
+from ..core.vma import align_down
+
+
+@dataclass
+class CachedPage:
+    """One resident page: payload plus permission/dirty metadata."""
+
+    va: int
+    data: Optional[bytearray]
+    writable: bool = False
+    dirty: bool = False
+
+
+@dataclass
+class InvalidationOutcome:
+    """What a region invalidation did to this cache (for the ACK)."""
+
+    flushed: List[CachedPage] = field(default_factory=list)
+    dropped: int = 0
+    downgraded: int = 0
+
+    @property
+    def pages_affected(self) -> int:
+        return len(self.flushed) + self.dropped + self.downgraded
+
+
+class PageCache:
+    """LRU page cache with writable-set tracking and region invalidation."""
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages < 1:
+            raise ValueError("cache needs at least one page")
+        self.capacity_pages = capacity_pages
+        self._pages: "OrderedDict[int, CachedPage]" = OrderedDict()
+        self._writable: Dict[int, CachedPage] = {}
+        self.hits = 0
+        self.misses = 0
+        self.upgrades = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, va: int) -> bool:
+        return align_down(va, PAGE_SIZE) in self._pages
+
+    # -- access path ---------------------------------------------------------
+
+    def lookup(self, va: int, write: bool) -> Optional[CachedPage]:
+        """Cache hit check; returns the page only if the access is allowed.
+
+        A write to a resident read-only page is a *permission miss* (counted
+        as an upgrade): the caller must fault to run the S->M transition.
+        """
+        page_va = align_down(va, PAGE_SIZE)
+        page = self._pages.get(page_va)
+        if page is None:
+            self.misses += 1
+            return None
+        if write and not page.writable:
+            self.upgrades += 1
+            return None
+        self.hits += 1
+        self._pages.move_to_end(page_va)
+        if write:
+            page.dirty = True
+        return page
+
+    def peek(self, va: int) -> Optional[CachedPage]:
+        """Non-mutating lookup (no LRU update, no permission check)."""
+        return self._pages.get(align_down(va, PAGE_SIZE))
+
+    # -- fills & eviction ------------------------------------------------------
+
+    def insert(
+        self, va: int, data: Optional[bytes], writable: bool
+    ) -> List[CachedPage]:
+        """Fill a page after a fault; returns evicted pages (dirty ones must
+        be flushed by the caller before it reuses the frame)."""
+        page_va = align_down(va, PAGE_SIZE)
+        existing = self._pages.get(page_va)
+        if existing is not None:
+            # Permission upgrade re-fill: refresh payload and writability.
+            existing.data = bytearray(data) if data is not None else existing.data
+            existing.writable = existing.writable or writable
+            if writable:
+                self._writable[page_va] = existing
+            self._pages.move_to_end(page_va)
+            return []
+        evicted: List[CachedPage] = []
+        while len(self._pages) >= self.capacity_pages:
+            _va, victim = self._pages.popitem(last=False)
+            self._writable.pop(victim.va, None)
+            evicted.append(victim)
+        page = CachedPage(
+            page_va, bytearray(data) if data is not None else None, writable
+        )
+        self._pages[page_va] = page
+        if writable:
+            self._writable[page_va] = page
+        return evicted
+
+    def drop(self, va: int) -> Optional[CachedPage]:
+        page_va = align_down(va, PAGE_SIZE)
+        page = self._pages.pop(page_va, None)
+        if page is not None:
+            self._writable.pop(page_va, None)
+        return page
+
+    # -- invalidation ------------------------------------------------------------
+
+    def writable_pages_in(self, base: int, size: int) -> List[CachedPage]:
+        return [
+            p for va, p in self._writable.items() if base <= va < base + size
+        ]
+
+    def pages_in(self, base: int, size: int) -> List[CachedPage]:
+        return [p for va, p in self._pages.items() if base <= va < base + size]
+
+    def invalidate_region(
+        self, base: int, size: int, downgrade_to_shared: bool, keep_dirty: bool = False
+    ) -> InvalidationOutcome:
+        """Apply a region invalidation (Section 6.1).
+
+        Dirty pages are returned for write-back.  With ``downgrade_to_shared``
+        (an M->S transition at the old owner) pages stay resident read-only;
+        otherwise every page in the region is dropped.  ``keep_dirty``
+        (MOESI's M->O) write-protects but *keeps* pages dirty and unflushed:
+        this blade remains the data's only up-to-date holder.
+        """
+        outcome = InvalidationOutcome()
+        for page in self.pages_in(base, size):
+            if downgrade_to_shared and keep_dirty:
+                page.writable = False
+                self._writable.pop(page.va, None)
+                outcome.downgraded += 1
+                continue
+            if page.dirty:
+                outcome.flushed.append(page)
+            if downgrade_to_shared:
+                page.writable = False
+                page.dirty = False
+                self._writable.pop(page.va, None)
+                if page not in outcome.flushed:
+                    outcome.downgraded += 1
+            else:
+                self._pages.pop(page.va, None)
+                self._writable.pop(page.va, None)
+                if not page.dirty:
+                    outcome.dropped += 1
+        return outcome
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses + self.upgrades
+        return self.hits / total if total else 0.0

@@ -1,0 +1,79 @@
+"""Memory consistency models at the compute blade (Section 6.1).
+
+MIND's page-fault-driven implementation on x86 is restricted to **TSO**:
+every write fault blocks the thread until the coherence transaction
+completes, because x86 cannot trap reads without also trapping writes.
+
+**PSO** -- which GAM uses, and which the paper *simulates* for MIND-PSO --
+lets writes to cached regions propagate asynchronously: the thread keeps
+executing after issuing a write, and only blocks when a subsequent *read*
+touches a page whose write is still in flight (or when the store buffer
+fills).  We implement both; MIND-PSO / MIND-PSO+ in Fig. 5 (center) come
+from running the identical trace under this model.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from ..sim.engine import Event
+
+
+class ConsistencyModel(enum.Enum):
+    """Which ordering the compute blade enforces for write faults."""
+
+    TSO = "tso"
+    PSO = "pso"
+
+
+class StoreBuffer:
+    """Per-thread buffer of in-flight (asynchronous) write transactions.
+
+    Models the bounded buffering PSO needs: each pending entry is the
+    completion event of a write fault still executing in the network.  A
+    read to a pending page must wait (PSO blocks reads, not writes); when
+    the buffer is full the oldest entry must drain before a new write can
+    be issued.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("store buffer needs capacity >= 1")
+        self.capacity = capacity
+        self._pending: Dict[int, Event] = {}
+        self._order: List[int] = []
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def full(self) -> bool:
+        return len(self._pending) >= self.capacity
+
+    def pending_for(self, page_va: int) -> Optional[Event]:
+        return self._pending.get(page_va)
+
+    def oldest(self) -> Optional[Event]:
+        while self._order:
+            ev = self._pending.get(self._order[0])
+            if ev is not None and not ev.triggered:
+                return ev
+            self._order.pop(0)
+        return None
+
+    def add(self, page_va: int, completion: Event) -> None:
+        if page_va in self._pending:
+            # A second write to the same in-flight page coalesces.
+            return
+        self._pending[page_va] = completion
+        self._order.append(page_va)
+        self.peak_occupancy = max(self.peak_occupancy, len(self._pending))
+
+    def complete(self, page_va: int) -> None:
+        self._pending.pop(page_va, None)
+
+    def drain_events(self) -> List[Event]:
+        """All outstanding completions (for barriers / thread exit)."""
+        return [ev for ev in self._pending.values() if not ev.triggered]

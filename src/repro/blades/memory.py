@@ -1,0 +1,81 @@
+"""Memory blade: a passive, CPU-less page store (Sections 3.2 and 6.2).
+
+MIND memory blades run *no* data-path logic: one-sided RDMA requests are
+served entirely by the NIC, which is why the model only charges NIC/DRAM
+service time (in ``repro.sim.rdma``) and the blade itself is a plain page
+store addressed by physical address.  The single CPU-involving step in the
+paper -- registering physical memory with the NIC at boot -- is represented
+by :meth:`register`.
+
+Payload storage is optional: API-level users (e.g. the KVS example) get
+real bytes with coherence-enforced visibility; trace replays can disable it
+to keep large simulations cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.network import Network, PAGE_SIZE, Port
+
+ZERO_PAGE = bytes(PAGE_SIZE)
+
+
+class MemoryBlade:
+    """One network-attached memory blade."""
+
+    def __init__(
+        self,
+        blade_id: int,
+        network: Network,
+        capacity_bytes: int,
+        store_data: bool = True,
+    ):
+        if capacity_bytes <= 0 or capacity_bytes % PAGE_SIZE:
+            raise ValueError("capacity must be a positive multiple of the page size")
+        self.blade_id = blade_id
+        self.capacity_bytes = capacity_bytes
+        self.store_data = store_data
+        self.port: Port = network.attach(f"mem{blade_id}")
+        self._pages: Dict[int, bytes] = {}
+        self.registered = False
+        self.reads_served = 0
+        self.writes_served = 0
+
+    def register(self) -> None:
+        """Boot-time: register physical memory with the RDMA NIC."""
+        self.registered = True
+
+    def _check_pa(self, pa: int) -> int:
+        page_pa = pa - (pa % PAGE_SIZE)
+        if not 0 <= page_pa < self.capacity_bytes:
+            raise ValueError(
+                f"pa {pa:#x} outside blade {self.blade_id} capacity "
+                f"{self.capacity_bytes:#x}"
+            )
+        return page_pa
+
+    def read_page(self, pa: int) -> Optional[bytes]:
+        """NIC-served one-sided READ: returns page payload (zeros if never
+        written) or None when payload storage is disabled."""
+        page_pa = self._check_pa(pa)
+        self.reads_served += 1
+        if not self.store_data:
+            return None
+        return self._pages.get(page_pa, ZERO_PAGE)
+
+    def write_page(self, pa: int, data: Optional[bytes]) -> None:
+        """NIC-served one-sided WRITE: store a page payload."""
+        page_pa = self._check_pa(pa)
+        self.writes_served += 1
+        if not self.store_data or data is None:
+            return
+        if len(data) != PAGE_SIZE:
+            padded = bytearray(PAGE_SIZE)
+            padded[: len(data)] = data
+            data = bytes(padded)
+        self._pages[page_pa] = bytes(data)
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,140 @@
+"""Rack assembly: blades + switch wired into a running MIND cluster.
+
+This is the composition root: it builds the event engine, the star network,
+the in-network MMU, and the compute/memory blades, and cross-wires the
+pieces (blade invalidation handlers into the coherence engine, memory
+blades into translation, the cache-drop callback into the controller's
+munmap path).  Everything else -- the public API, the workload runner, the
+benchmarks -- builds a cluster and goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .blades.compute import ComputeBlade
+from .blades.memory import MemoryBlade
+from .core.coherence import FaultInjector
+from .core.mmu import InNetworkMmu, MindConfig
+from .sim.engine import Engine
+from .sim.network import Network, NetworkConfig, PAGE_SIZE
+from .sim.stats import StatsCollector
+
+
+@dataclass
+class ClusterConfig:
+    """Shape of the emulated rack (paper's testbed by default)."""
+
+    num_compute_blades: int = 2
+    num_memory_blades: int = 1
+    #: local DRAM cache per compute blade; the paper limits it to 512 MB
+    #: (~25 % of workload footprint) to emulate partial disaggregation.
+    cache_capacity_pages: int = (512 * 1024 * 1024) // PAGE_SIZE
+    #: keep real page payloads (needed by the byte-level API; trace replays
+    #: may disable it for speed/memory).
+    store_data: bool = True
+    mind: MindConfig = field(default_factory=MindConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+
+
+class MindCluster:
+    """A fully wired rack running MIND."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
+    ):
+        self.config = config or ClusterConfig()
+        self.engine = Engine()
+        self.stats = StatsCollector()
+        self.network = Network(self.engine, self.config.network)
+        self.mmu = InNetworkMmu(
+            self.engine,
+            self.network,
+            config=self.config.mind,
+            stats=self.stats,
+            fault_injector=fault_injector,
+        )
+        self.memory_blades: List[MemoryBlade] = []
+        for i in range(self.config.num_memory_blades):
+            blade = MemoryBlade(
+                blade_id=i,
+                network=self.network,
+                capacity_bytes=self.config.mind.memory_blade_capacity,
+                store_data=self.config.store_data,
+            )
+            self.mmu.add_memory_blade(blade)
+            self.memory_blades.append(blade)
+        self.compute_blades: List[ComputeBlade] = []
+        for i in range(self.config.num_compute_blades):
+            blade = ComputeBlade(
+                blade_id=i,
+                engine=self.engine,
+                network=self.network,
+                datapath=self.mmu.coherence,
+                cache_capacity_pages=self.config.cache_capacity_pages,
+                stats=self.stats,
+            )
+            self.compute_blades.append(blade)
+            self.mmu.controller.add_compute_blade(i)
+        self.mmu.controller.set_drop_cached_range(self._drop_cached_range)
+        self.mmu.controller.set_flush_cached_range(self._flush_cached_range)
+        self.mmu.controller.set_revoke_domain_range(self._revoke_domain_range)
+        self.mmu.start()
+
+    @property
+    def controller(self):
+        return self.mmu.controller
+
+    def compute_blade(self, blade_id: int) -> ComputeBlade:
+        return self.compute_blades[blade_id]
+
+    def blade_for_port(self, port_id: int) -> Optional[ComputeBlade]:
+        for blade in self.compute_blades:
+            if blade.port.port_id == port_id:
+                return blade
+        return None
+
+    def _drop_cached_range(self, base: int, length: int) -> None:
+        """munmap support: drop (without write-back) every cached page of a
+        freed vma from every compute blade, including its PTEs."""
+        for blade in self.compute_blades:
+            for page in blade.cache.pages_in(base, length):
+                blade.cache.drop(page.va)
+                blade.ptes.unmap_page(page.va)
+
+    def _flush_cached_range(self, base: int, length: int) -> None:
+        """mprotect support: write dirty pages back to their memory blades
+        and drop the range everywhere, so no blade retains a PTE with the
+        old (looser) permission.  Runs as a quiesced metadata operation, as
+        mprotect on a live range is in real kernels."""
+        for blade in self.compute_blades:
+            for page in blade.cache.pages_in(base, length):
+                if page.dirty and page.data is not None:
+                    xlate = self.mmu.address_space.translate(page.va)
+                    self.memory_blades[xlate.blade_id].write_page(
+                        xlate.pa, bytes(page.data)
+                    )
+                blade.cache.drop(page.va)
+                blade.ptes.unmap_page(page.va)
+
+    def _revoke_domain_range(self, pdid: int, base: int, length: int) -> None:
+        """Domain revocation: drop only that domain's PTEs everywhere."""
+        for blade in self.compute_blades:
+            blade.ptes.unmap_domain_range(pdid, base, length)
+
+    # -- execution helpers ----------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.engine.run(until=until)
+
+    def run_process(self, gen, name: Optional[str] = None):
+        return self.engine.run_process(gen, name)
+
+    def run_all(self, gens: List) -> List:
+        """Run several processes concurrently to completion (a barrier)."""
+        procs = [self.engine.process(g) for g in gens]
+        barrier = self.engine.all_of(procs)
+        return self.engine.run_until_complete(barrier)

@@ -1,0 +1,100 @@
+"""MIND core: in-network memory management (the paper's contribution).
+
+Subpackages split by memory-management function, following the paper's own
+decoupling (P1): allocation (`allocator`), addressing (`addressing`),
+protection (`protection`), caching/coherence (`directory`, `stt`,
+`coherence`), region sizing (`bounded_splitting`), the control plane
+(`controller`), fail-over (`failures`) and the assembled switch (`mmu`).
+"""
+
+from .addressing import AddressSpace, Translation, TranslationFault
+from .allocator import (
+    BladeAllocation,
+    FirstFitAllocator,
+    GlobalAllocator,
+    OutOfMemoryError,
+)
+from .bounded_splitting import (
+    BoundedSplittingConfig,
+    BoundedSplittingController,
+    worst_case_subregions,
+)
+from .coherence import (
+    COMPUTE_BLADE_GROUP,
+    CoherenceProtocol,
+    FaultInjector,
+    FaultResult,
+    LockTable,
+)
+from .controller import SwitchController, SyscallError, TaskStruct, ThreadInfo
+from .directory import (
+    CoherenceState,
+    DirectoryFullError,
+    Region,
+    RegionDirectory,
+)
+from .failures import (
+    ControlPlaneReplicator,
+    ControlPlaneSnapshot,
+    RebuiltDataPlane,
+    rebuild_data_plane,
+)
+from .mmu import InNetworkMmu, MindConfig
+from .protection import PDID_WIDTH, ProtectionTable, pack_key
+from .stt import (
+    RequesterRole,
+    Transition,
+    TransitionAction,
+    build_mesi_stt,
+    build_moesi_stt,
+    build_msi_stt,
+    stt_size,
+)
+from .vma import PermissionClass, Vma, align_down, align_up, round_up_pow2
+
+__all__ = [
+    "AddressSpace",
+    "BladeAllocation",
+    "BoundedSplittingConfig",
+    "BoundedSplittingController",
+    "COMPUTE_BLADE_GROUP",
+    "CoherenceProtocol",
+    "CoherenceState",
+    "ControlPlaneReplicator",
+    "ControlPlaneSnapshot",
+    "DirectoryFullError",
+    "FaultInjector",
+    "FaultResult",
+    "FirstFitAllocator",
+    "GlobalAllocator",
+    "InNetworkMmu",
+    "LockTable",
+    "MindConfig",
+    "OutOfMemoryError",
+    "PDID_WIDTH",
+    "PermissionClass",
+    "ProtectionTable",
+    "RebuiltDataPlane",
+    "Region",
+    "RegionDirectory",
+    "RequesterRole",
+    "SwitchController",
+    "SyscallError",
+    "TaskStruct",
+    "ThreadInfo",
+    "Transition",
+    "TransitionAction",
+    "Translation",
+    "TranslationFault",
+    "Vma",
+    "align_down",
+    "align_up",
+    "build_mesi_stt",
+    "build_moesi_stt",
+    "build_msi_stt",
+    "pack_key",
+    "rebuild_data_plane",
+    "round_up_pow2",
+    "stt_size",
+    "worst_case_subregions",
+]

@@ -1,0 +1,729 @@
+"""In-network MSI coherence protocol execution (Sections 4.3.2 and 6.3).
+
+This module orchestrates the full life of a page-fault transaction:
+
+1. The faulting compute blade posts a one-sided RDMA request carrying only
+   the virtual address, PDID and access type (no endpoint -- the blade does
+   not know where memory lives).
+2. The switch data plane takes one pipeline pass: the protection MAU checks
+   ``<PDID, va>``; the directory MAU looks up the region entry; the STT MAU
+   selects the transition.  The packet then *recirculates* so the directory
+   MAU can apply the update (Fig. 4).
+3. Invalidations, if required, are multicast to the compute-blade group
+   with the sharer list embedded; non-sharers are pruned at egress.  For
+   ``S -> M`` the data fetch proceeds in parallel with invalidation (memory
+   holds clean data); for ``M -> S/M`` the owner must flush first, making
+   the fetch sequential -- the 2x latency the paper measures (Fig. 7 left).
+4. The page is fetched from its memory blade via one-sided RDMA (address
+   translation picks the blade; the switch rewrites headers -- connection
+   virtualization) and returned to the requester.
+
+Reliability (Section 4.4): invalidations are ACKed; a lost message is
+retransmitted after a timeout, and after ``max_retries`` the switch control
+plane executes the *reset* protocol: every blade flushes its copies of the
+region and the directory entry is removed, preventing deadlock when a blade
+dies mid-transition.
+
+Concurrency: transactions racing on the same region are serialized with a
+per-region-base lock table, standing in for the transient-state handling a
+hardware directory performs.  The Bounded Splitting controller takes the
+same locks before splitting or merging an entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..sim.engine import Engine, Event, Resource
+from ..sim.network import CONTROL_MSG_BYTES, Network, NetworkConfig, PAGE_SIZE, Port
+from ..sim.stats import StatsCollector
+from ..switchsim.multicast import MulticastEngine
+from ..switchsim.packets import (
+    AccessType,
+    InvalidationAck,
+    InvalidationRequest,
+    MemRequest,
+    PacketVerdict,
+)
+from ..switchsim.pipeline import SwitchPipeline
+from ..switchsim.rdma_virt import RdmaVirtualizer
+from .addressing import AddressSpace, Translation
+from .directory import CoherenceState, DirectoryFullError, Region, RegionDirectory
+from .protection import ProtectionTable
+from .stt import RequesterRole, Transition, TransitionAction
+from .vma import align_down
+
+#: Multicast group containing every compute blade (invalidation fan-out).
+COMPUTE_BLADE_GROUP = 1
+
+
+@dataclass
+class FaultResult:
+    """What the requesting blade learns when its fault transaction ends."""
+
+    verdict: PacketVerdict
+    label: str = ""
+    latency_us: float = 0.0
+    data: Optional[bytes] = None
+    translation: Optional[Translation] = None
+    granted_write: bool = False
+    invalidations_sent: int = 0
+    was_reset: bool = False
+
+
+class LockTable:
+    """Keyed FIFO locks serializing transactions per region base."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._locks: Dict[int, Resource] = {}
+
+    def acquire(self, key: int) -> Event:
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = Resource(self.engine, capacity=1)
+            self._locks[key] = lock
+        return lock.acquire()
+
+    def release(self, key: int) -> None:
+        lock = self._locks[key]
+        lock.release()
+        if lock.in_use == 0 and lock.queue_length == 0:
+            del self._locks[key]
+
+
+class FaultInjector:
+    """Deterministic message-loss injection for Section 4.4 testing.
+
+    ``drop_invalidations``/``drop_acks`` give per-message drop probabilities
+    drawn from a seeded generator, so failure tests are reproducible.
+    """
+
+    def __init__(
+        self,
+        rng,
+        drop_invalidations: float = 0.0,
+        drop_acks: float = 0.0,
+        drop_fetches: float = 0.0,
+    ):
+        self._rng = rng
+        self.drop_invalidations = drop_invalidations
+        self.drop_acks = drop_acks
+        self.drop_fetches = drop_fetches
+        self.dropped = 0
+
+    def _roll(self, probability: float) -> bool:
+        if probability and self._rng.random() < probability:
+            self.dropped += 1
+            return True
+        return False
+
+    def should_drop_invalidation(self) -> bool:
+        return self._roll(self.drop_invalidations)
+
+    def should_drop_ack(self) -> bool:
+        return self._roll(self.drop_acks)
+
+    def should_drop_fetch(self) -> bool:
+        return self._roll(self.drop_fetches)
+
+
+#: A compute blade's invalidation handler: a generator-producing callable
+#: that performs the local invalidation work and returns an InvalidationAck.
+InvalidationHandler = Callable[[InvalidationRequest], Generator]
+
+
+class CoherenceProtocol:
+    """The switch-resident coherence engine and its data-path plumbing."""
+
+    #: retransmission timeout for invalidation ACKs (us).
+    ACK_TIMEOUT_US = 100.0
+    #: retransmissions before the reset protocol kicks in.
+    MAX_RETRIES = 3
+
+    def __init__(
+        self,
+        engine: Engine,
+        network: Network,
+        pipeline: SwitchPipeline,
+        multicast: MulticastEngine,
+        directory: RegionDirectory,
+        address_space: AddressSpace,
+        protection: ProtectionTable,
+        stt: Dict,
+        stats: StatsCollector,
+        fault_injector: Optional[FaultInjector] = None,
+        invalidation_mode: str = "multicast",
+        control_cpu=None,
+    ):
+        self.engine = engine
+        self.network = network
+        self.config: NetworkConfig = network.config
+        self.pipeline = pipeline
+        self.multicast = multicast
+        self.directory = directory
+        self.address_space = address_space
+        self.protection = protection
+        self.stt = stt
+        self.stats = stats
+        self.fault_injector = fault_injector
+        if invalidation_mode not in ("multicast", "unicast-cpu"):
+            raise ValueError(f"unknown invalidation mode {invalidation_mode!r}")
+        #: "multicast" (the paper's P3 design: one data-plane pass, egress
+        #: pruning) or "unicast-cpu" (the ablation: the switch CPU
+        #: generates one invalidation packet per sharer, serially).
+        self.invalidation_mode = invalidation_mode
+        self.control_cpu = control_cpu
+        self.locks = LockTable(engine)
+        #: switch-side RDMA connection virtualization (Section 6.3).
+        self.rdma_virt = RdmaVirtualizer()
+        #: page va -> in-flight write-back; fetches of that page must wait
+        #: for the flush to land so they never read stale memory.
+        self._pending_flushes: Dict[int, Event] = {}
+        self._inval_handlers: Dict[int, InvalidationHandler] = {}
+        self._page_servers: Dict[int, Callable[[int], Optional[bytes]]] = {}
+        self._blade_ports: Dict[int, Port] = {}
+        self._memory_blades: Dict[int, "MemoryBladeLike"] = {}
+        # MAU stages per Fig. 4.
+        self.protection_mau = pipeline.add_stage("protection")
+        self.directory_mau = pipeline.add_stage("directory")
+        self.stt_mau = pipeline.add_stage("stt")
+        self.multicast.create_group(COMPUTE_BLADE_GROUP, [])
+
+    # -- registration -----------------------------------------------------
+
+    def register_compute_blade(
+        self,
+        port: Port,
+        handler: InvalidationHandler,
+        serve_page: Optional[Callable[[int], Optional[bytes]]] = None,
+    ) -> None:
+        """Attach a compute blade: its invalidation handler and (for the
+        MOESI extension) its cache-to-cache page server."""
+        self._inval_handlers[port.port_id] = handler
+        self._blade_ports[port.port_id] = port
+        if serve_page is not None:
+            self._page_servers[port.port_id] = serve_page
+        self.multicast.group(COMPUTE_BLADE_GROUP).add_port(port.port_id)
+
+    def register_memory_blade(self, blade_id: int, blade: "MemoryBladeLike") -> None:
+        self._memory_blades[blade_id] = blade
+
+    # -- the fault transaction ---------------------------------------------
+
+    def handle_fault(self, req: MemRequest) -> Generator:
+        """Full fault transaction; returns a :class:`FaultResult`."""
+        t0 = self.engine.now
+        requester = self._blade_ports[req.src_port]
+        page_va = align_down(req.va, PAGE_SIZE)
+        pkt = self.pipeline.packet()
+
+        # Requester -> switch.
+        yield self.config.rdma_verb_overhead_us
+        yield self.engine.process(requester.to_switch.transfer(CONTROL_MSG_BYTES))
+
+        # Pipeline pass 1: protection check, directory lookup, STT match.
+        yield self.engine.process(pkt.traverse())
+        verdict = pkt.execute(
+            self.protection_mau,
+            lambda: self.protection.check(req.pdid, req.va, req.access),
+        )
+        if verdict is not PacketVerdict.ALLOW:
+            self.stats.incr("protection_rejections")
+            yield self.engine.process(
+                requester.from_switch.transfer(CONTROL_MSG_BYTES)
+            )
+            return FaultResult(verdict, latency_us=self.engine.now - t0)
+
+        # Directory entry lookup/creation, with capacity fallbacks; then
+        # serialize on the region.
+        region = yield from self._locked_region(page_va)
+        try:
+            role = self._role_of(region, req.src_port)
+            transition: Transition = pkt.execute(
+                self.stt_mau, lambda: self.stt[(region.state, req.access, role)]
+            )
+            region.accesses += 1
+            self.stats.incr("remote_accesses")
+            self.stats.incr(f"transition:{transition.label}")
+
+            # Recirculate so the directory MAU can apply the update.
+            yield self.engine.process(pkt.recirculate())
+            old_owner = region.owner
+            old_sharers = frozenset(region.sharers)
+            pkt.execute(
+                self.directory_mau,
+                lambda: self._apply_transition(region, transition, req),
+            )
+
+            invalidations = 0
+            was_reset = False
+            if transition.action is TransitionAction.FETCH_ONLY:
+                data = yield from self._fetch(req, requester, page_va)
+            elif transition.action is TransitionAction.INVALIDATE_PARALLEL:
+                targets = self.multicast.replicate(
+                    COMPUTE_BLADE_GROUP, old_sharers, req.src_port
+                )
+                inval = self._make_inval(region, req, targets, downgrade=False)
+                fetch_proc = self.engine.process(
+                    self._fetch(req, requester, page_va)
+                )
+                ack_proc = self.engine.process(
+                    self._invalidate_all(inval, targets, region)
+                )
+                yield self.engine.all_of([fetch_proc, ack_proc])
+                data = fetch_proc.value
+                was_reset = ack_proc.value
+                invalidations = len(targets)
+            elif transition.action is TransitionAction.LOCAL_UPGRADE:
+                # MOESI O->M at the owner: no data moves; invalidate the
+                # other sharers in parallel with returning the grant.
+                targets = self.multicast.replicate(
+                    COMPUTE_BLADE_GROUP, old_sharers, req.src_port
+                )
+                inval = self._make_inval(region, req, targets, downgrade=False)
+                was_reset = yield from self._invalidate_all(inval, targets, region)
+                yield self.engine.process(
+                    requester.from_switch.transfer(CONTROL_MSG_BYTES)
+                )
+                data = None
+                invalidations = len(targets)
+            elif transition.action is TransitionAction.FETCH_FROM_OWNER:
+                # Only the first steal (M->O) must write-protect the owner;
+                # for O->O the owner is read-only already.
+                data, was_reset = yield from self._fetch_from_owner(
+                    req,
+                    requester,
+                    page_va,
+                    old_owner,
+                    region,
+                    write_protect_owner=transition.label == "M->O",
+                )
+                invalidations = 1 if old_owner is not None else 0
+            else:  # INVALIDATE_OWNER_THEN_FETCH
+                target_set = set(old_sharers)
+                if old_owner is not None:
+                    target_set.add(old_owner)
+                target_set.discard(req.src_port)
+                targets = self.multicast.replicate(
+                    COMPUTE_BLADE_GROUP, frozenset(target_set), req.src_port
+                )
+                inval = self._make_inval(
+                    region, req, targets, downgrade=transition.owner_downgrades
+                )
+                was_reset = yield from self._invalidate_all(inval, targets, region)
+                data = yield from self._fetch(req, requester, page_va)
+                invalidations = len(targets)
+
+            latency = self.engine.now - t0
+            self.stats.record_latency(f"fault:{transition.label}", latency)
+            self.stats.record_latency("fault", latency)
+            return FaultResult(
+                verdict=PacketVerdict.ALLOW,
+                label=transition.label,
+                latency_us=latency,
+                data=data,
+                translation=self.address_space.translate(page_va),
+                granted_write=req.access.is_write,
+                invalidations_sent=invalidations,
+                was_reset=was_reset,
+            )
+        finally:
+            self.locks.release(region.base)
+
+    def _locked_region(self, page_va: int) -> Generator:
+        """Find/create the region entry for ``page_va`` and lock it.
+
+        Re-checks after acquiring the lock: the entry may have been split,
+        merged or evicted while we waited.
+        """
+        while True:
+            region = yield from self._ensure_entry(page_va)
+            key = region.base
+            yield self.locks.acquire(key)
+            current = self.directory.find(page_va)
+            if current is not None and current.base == key and current.contains(page_va):
+                return current
+            self.locks.release(key)
+
+    def _ensure_entry(self, page_va: int) -> Generator:
+        """Directory entry creation with the capacity fallback chain:
+        reclaim Invalid entries, then (occasionally) metadata-only merges,
+        then eviction of a victim region, whose collateral drops are false
+        invalidations -- the regime the M_A/M_C workloads live in (Fig. 8
+        left).
+
+        Contended workloads hit this on a large share of faults, so every
+        step is O(probe); the O(entries) merge scan runs only once per
+        ``_MERGE_EVERY`` capacity events.
+        """
+        for _attempt in range(64):
+            try:
+                return self.directory.ensure_region(page_va, reclaim=False)
+            except DirectoryFullError:
+                self.stats.incr("directory_capacity_events")
+                invalid, victim = self.directory.sweep(probe=16)
+                if invalid is not None:
+                    self.directory.release(invalid)
+                    continue
+                self._capacity_events += 1
+                # The merge scan runs on the first event and then once per
+                # _MERGE_EVERY (it is the only O(entries) step here).
+                if (
+                    self._capacity_events % self._MERGE_EVERY == 1
+                    and self.directory.merge_any(limit=8)
+                ):
+                    continue
+                if victim is None:
+                    # Nothing probed was evictable; fall back to a full
+                    # reclaim scan (rare).
+                    if self.directory.reclaim_invalid(limit=8) == 0:
+                        self.directory.merge_any(limit=8)
+                    continue
+                yield from self._evict_entry(victim)
+        raise DirectoryFullError("could not make room in the directory")
+
+    #: run the O(entries) opportunistic-merge scan once per this many
+    #: capacity events.
+    _MERGE_EVERY = 64
+    _capacity_events = 0
+
+    def _evict_entry(self, victim: Region) -> Generator:
+        """Invalidate a region everywhere and free its slot (capacity path)."""
+        yield self.locks.acquire(victim.base)
+        try:
+            if self.directory.find(victim.base) is not victim:
+                return
+            targets = sorted(victim.sharers | ({victim.owner} if victim.owner is not None else set()))
+            if targets:
+                inval = InvalidationRequest(
+                    region_base=victim.base,
+                    region_size=victim.size,
+                    sharers=frozenset(targets),
+                    requester_port=-1,
+                    target_va=-1,  # capacity eviction: every page is collateral
+                )
+                self.stats.incr("capacity_evictions")
+                yield from self._invalidate_all(inval, targets, victim)
+            victim.state = CoherenceState.INVALID
+            victim.sharers.clear()
+            victim.owner = None
+            self.directory.release(victim)
+        finally:
+            self.locks.release(victim.base)
+
+    # -- transition mechanics ----------------------------------------------
+
+    @staticmethod
+    def _role_of(region: Region, port: int) -> RequesterRole:
+        if region.owner == port and region.state in (
+            CoherenceState.MODIFIED,
+            CoherenceState.OWNED,
+        ):
+            return RequesterRole.OWNER
+        if port in region.sharers:
+            return RequesterRole.SHARER
+        return RequesterRole.NONE
+
+    def _apply_transition(
+        self, region: Region, transition: Transition, req: MemRequest
+    ) -> None:
+        """Directory entry update selected by the STT (applied on recirc)."""
+        region.state = transition.next_state
+        if transition.next_state is CoherenceState.MODIFIED:
+            region.owner = req.src_port
+            region.sharers = {req.src_port}
+        elif transition.next_state is CoherenceState.OWNED:
+            # MOESI: the previous owner keeps ownership (and its dirty
+            # data); the requester joins as a reader.
+            new_sharers = set(region.sharers)
+            if region.owner is not None:
+                new_sharers.add(region.owner)
+            new_sharers.add(req.src_port)
+            region.sharers = new_sharers
+        else:  # SHARED
+            new_sharers = set(region.sharers)
+            if transition.owner_downgrades and region.owner is not None:
+                new_sharers.add(region.owner)
+            new_sharers.add(req.src_port)
+            region.owner = None
+            region.sharers = new_sharers
+
+    def _make_inval(
+        self,
+        region: Region,
+        req: MemRequest,
+        targets: List[int],
+        downgrade: bool,
+    ) -> InvalidationRequest:
+        return InvalidationRequest(
+            region_base=region.base,
+            region_size=region.size,
+            sharers=frozenset(targets),
+            requester_port=req.src_port,
+            target_va=align_down(req.va, PAGE_SIZE),
+            downgrade_to_shared=downgrade,
+        )
+
+    # -- invalidation delivery ----------------------------------------------
+
+    #: switch-CPU time to generate one unicast invalidation packet (the
+    #: ablation's cost; the data-plane multicast pays none of this).
+    UNICAST_CPU_US = 8.0
+
+    def _invalidate_all(
+        self, inval: InvalidationRequest, targets: List[int], region: Region
+    ) -> Generator:
+        """Deliver an invalidation to every target; returns True if a reset
+        was required (some target never ACKed).
+
+        Multicast mode replicates in the traffic manager: all targets are
+        in flight after one pipeline pass.  Unicast mode serializes packet
+        generation on the switch CPU (plus PCIe), which is exactly what
+        makes software invalidation fan-out scale poorly with sharers.
+        """
+        if not targets:
+            return False
+        procs = []
+        for port_id in targets:
+            if self.invalidation_mode == "unicast-cpu":
+                self.stats.incr("unicast_invalidations_generated")
+                if self.control_cpu is not None:
+                    yield self.engine.process(self._unicast_generate())
+                else:
+                    yield self.UNICAST_CPU_US
+            procs.append(
+                self.engine.process(
+                    self._invalidate_with_retry(inval, port_id, region)
+                )
+            )
+        results = yield self.engine.all_of(procs)
+        return any(r is None for r in results)
+
+    def _unicast_generate(self) -> Generator:
+        """One unicast invalidation's generation at the switch CPU."""
+        yield self.UNICAST_CPU_US
+        self.control_cpu.busy_us += self.UNICAST_CPU_US
+
+    def _invalidate_with_retry(
+        self, inval: InvalidationRequest, port_id: int, region: Region
+    ) -> Generator:
+        """One target: deliver, await ACK, retransmit on loss, reset after
+        MAX_RETRIES (Section 4.4)."""
+        for _attempt in range(self.MAX_RETRIES + 1):
+            dropped_out = (
+                self.fault_injector is not None
+                and self.fault_injector.should_drop_invalidation()
+            )
+            if not dropped_out:
+                ack = yield from self._invalidate_at(inval, port_id, region)
+                dropped_back = (
+                    self.fault_injector is not None
+                    and self.fault_injector.should_drop_ack()
+                )
+                if not dropped_back:
+                    return ack
+            # Lost somewhere: wait out the timeout and retransmit.
+            self.stats.incr("retransmissions")
+            yield self.ACK_TIMEOUT_US
+        yield from self._reset_region(region)
+        return None
+
+    def _invalidate_at(
+        self, inval: InvalidationRequest, port_id: int, region: Region
+    ) -> Generator:
+        """Deliver to one blade, run its handler, carry the ACK back."""
+        port = self._blade_ports[port_id]
+        self.stats.incr("invalidations_sent")
+        yield self.engine.process(port.from_switch.transfer(CONTROL_MSG_BYTES))
+        ack: InvalidationAck = yield self.engine.process(
+            self._inval_handlers[port_id](inval)
+        )
+        yield self.engine.process(port.to_switch.transfer(CONTROL_MSG_BYTES))
+        # Fold the blade's report into directory + stats accounting.
+        region.false_invalidations += ack.false_invalidations
+        self.stats.incr("flushed_pages", ack.flushed_pages)
+        self.stats.incr("dropped_pages", ack.dropped_pages)
+        self.stats.incr("false_invalidations", ack.false_invalidations)
+        self.stats.add_breakdown("invalidation", "queue", ack.queue_delay_us)
+        self.stats.add_breakdown("invalidation", "tlb", ack.tlb_shootdown_us)
+        if not inval.downgrade_to_shared:
+            region.sharers.discard(port_id)
+        return ack
+
+    def _reset_region(self, region: Region) -> Generator:
+        """The Section 4.4 reset: force every blade to flush the region's
+        data and drop the directory entry, breaking any wedged transition."""
+        self.stats.incr("resets")
+        reset_inval = InvalidationRequest(
+            region_base=region.base,
+            region_size=region.size,
+            sharers=frozenset(self._inval_handlers),
+            requester_port=-1,
+            target_va=-1,
+        )
+        procs = []
+        for port_id, handler in self._inval_handlers.items():
+            port = self._blade_ports[port_id]
+
+            def deliver(h=handler, p=port):
+                yield self.engine.process(p.from_switch.transfer(CONTROL_MSG_BYTES))
+                yield self.engine.process(h(reset_inval))
+                yield self.engine.process(p.to_switch.transfer(CONTROL_MSG_BYTES))
+
+            procs.append(self.engine.process(deliver()))
+        yield self.engine.all_of(procs)
+        region.state = CoherenceState.INVALID
+        region.sharers.clear()
+        region.owner = None
+        if self.directory.find(region.base) is region:
+            self.directory.release(region)
+
+    # -- data movement -------------------------------------------------------
+
+    def _fetch(self, req: MemRequest, requester: Port, page_va: int) -> Generator:
+        """One-sided RDMA fetch, retransmitted on loss (Section 4.4: ACKs
+        and timeouts detect packet losses on every message class)."""
+        for _attempt in range(self.MAX_RETRIES + 1):
+            lost = (
+                self.fault_injector is not None
+                and self.fault_injector.should_drop_fetch()
+            )
+            if not lost:
+                data = yield from self._fetch_once(req, requester, page_va)
+                return data
+            self.stats.incr("retransmissions")
+            yield self.ACK_TIMEOUT_US
+        # Persistent loss: serve the final attempt unconditionally (the
+        # reset machinery above handles wedged *coherence* state; a fetch
+        # has no state to wedge).
+        data = yield from self._fetch_once(req, requester, page_va)
+        return data
+
+    def _fetch_once(self, req: MemRequest, requester: Port, page_va: int) -> Generator:
+        xlate = self.address_space.translate(page_va)
+        blade = self._memory_blades[xlate.blade_id]
+        # Stitch the requester's virtual connection to the real one.
+        self.rdma_virt.rewrite(req.src_port, xlate.blade_id)
+        yield self.engine.process(
+            blade.port.from_switch.transfer(CONTROL_MSG_BYTES)
+        )
+        pending = self._pending_flushes.get(page_va)
+        if pending is not None and not pending.triggered:
+            # An asynchronous write-back of this very page has not landed
+            # yet; the NIC must serve the read after it (flush/fetch order).
+            yield pending
+        yield self.config.memory_service_us + self.config.dram_access_us
+        data = blade.read_page(xlate.pa)
+        yield self.engine.process(blade.port.to_switch.transfer(PAGE_SIZE))
+        # Response pass through the pipeline, then down to the requester.
+        resp = self.pipeline.packet()
+        yield self.engine.process(resp.traverse())
+        yield self.engine.process(requester.from_switch.transfer(PAGE_SIZE))
+        yield self.config.rdma_verb_overhead_us
+        return data
+
+    def _fetch_from_owner(
+        self,
+        req: MemRequest,
+        requester: Port,
+        page_va: int,
+        owner_port_id: Optional[int],
+        region: Region,
+        write_protect_owner: bool,
+    ) -> Generator:
+        """MOESI cache-to-cache transfer: one trip to the owner downgrades
+        it (M->O) and carries the page back -- no memory write-back.
+
+        Falls back to the memory blade when the owner no longer caches the
+        page (it was evicted, and the eviction flush made memory current).
+        Returns ``(data, was_reset)``.
+        """
+        if owner_port_id is None or owner_port_id not in self._page_servers:
+            data = yield from self._fetch(req, requester, page_va)
+            return data, False
+        owner_port = self._blade_ports[owner_port_id]
+        was_reset = False
+        if write_protect_owner:
+            inval = InvalidationRequest(
+                region_base=region.base,
+                region_size=region.size,
+                sharers=frozenset({owner_port_id}),
+                requester_port=req.src_port,
+                target_va=page_va,
+                downgrade_to_shared=True,
+                keep_dirty=True,
+            )
+            was_reset = yield from self._invalidate_all(
+                inval, [owner_port_id], region
+            )
+        else:
+            # Just the read request leg to the owner.
+            yield self.engine.process(
+                owner_port.from_switch.transfer(CONTROL_MSG_BYTES)
+            )
+        # The owner's kernel serves the page out of its DRAM cache.
+        yield self.config.memory_service_us + self.config.dram_access_us
+        data = self._page_servers[owner_port_id](page_va)
+        if data is None:
+            # Owner evicted the page; its flush made memory current.
+            fetched = yield from self._fetch(req, requester, page_va)
+            return fetched, was_reset
+        if data == b"":
+            data = None  # resident, but payload storage is disabled
+        self.stats.incr("cache_to_cache_transfers")
+        yield self.engine.process(owner_port.to_switch.transfer(PAGE_SIZE))
+        resp = self.pipeline.packet()
+        yield self.engine.process(resp.traverse())
+        yield self.engine.process(requester.from_switch.transfer(PAGE_SIZE))
+        yield self.config.rdma_verb_overhead_us
+        return data, was_reset
+
+    def flush_page(
+        self,
+        src_port: Port,
+        page_va: int,
+        data: Optional[bytes],
+        landed: Optional[Event] = None,
+    ) -> Generator:
+        """Write a dirty page back to its memory blade (eviction or inval).
+
+        The blade sends the page up; the switch translates and forwards it
+        as a one-sided WRITE.  ``landed`` fires the moment the payload is
+        durable at the memory blade (before the NIC's ACK returns) -- the
+        ordering point fetches synchronize on.
+        """
+        xlate = self.address_space.translate(page_va)
+        blade = self._memory_blades[xlate.blade_id]
+        self.rdma_virt.rewrite(src_port.port_id, xlate.blade_id)
+        yield self.engine.process(src_port.to_switch.transfer(PAGE_SIZE))
+        pkt = self.pipeline.packet()
+        yield self.engine.process(pkt.traverse())
+        yield self.engine.process(blade.port.from_switch.transfer(PAGE_SIZE))
+        yield self.config.memory_service_us + self.config.dram_access_us
+        blade.write_page(xlate.pa, data)
+        self.stats.incr("pages_written_back")
+        if landed is not None and not landed.triggered:
+            landed.succeed()
+        yield self.engine.process(blade.port.to_switch.transfer(CONTROL_MSG_BYTES))
+
+    def flush_page_async(
+        self, src_port: Port, page_va: int, data: Optional[bytes]
+    ) -> Event:
+        """Start a write-back without waiting for it (Section 7.2's overlap:
+        the invalidation ACK returns while the flush drains; correctness is
+        preserved because fetches wait on :attr:`_pending_flushes`)."""
+        landed = self.engine.event()
+        self._pending_flushes[page_va] = landed
+        self.engine.process(
+            self.flush_page(src_port, page_va, data, landed=landed),
+            name=f"flush-{page_va:#x}",
+        )
+
+        def _clear(_ev) -> None:
+            if self._pending_flushes.get(page_va) is landed:
+                del self._pending_flushes[page_va]
+
+        landed.add_callback(_clear)
+        return landed

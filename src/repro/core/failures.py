@@ -1,0 +1,125 @@
+"""Switch fail-over: control-plane replication and data-plane rebuild.
+
+Section 4.4: MIND consistently replicates the control plane at a backup
+switch; on a switch failure, the *data-plane* state is reconstructed from
+the replicated control-plane state.  Control-plane state only changes on
+metadata operations (syscalls), so replication is cheap.
+
+The directory is deliberately *not* replicated: after fail-over every
+region starts Invalid and compute blades re-fault, exactly as cold caches
+re-warm -- coherence safety never depends on directory persistence because
+blades flush dirty pages when asked and memory blades hold the ground
+truth for evicted/flushed data.  (A fail-over while dirty pages are cached
+relies on the blades themselves surviving, which matches the paper's
+scope: it handles *switch* failures here, and defers compute/memory blade
+fault-tolerance to prior work.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..switchsim.sram import RegisterArray
+from ..switchsim.tcam import Tcam
+from .addressing import AddressSpace
+from .allocator import GlobalAllocator
+from .controller import SwitchController
+from .directory import RegionDirectory
+from .protection import ProtectionTable
+from .vma import PermissionClass, Vma
+
+
+@dataclass
+class ControlPlaneSnapshot:
+    """Everything needed to rebuild the data plane on a backup switch."""
+
+    version: int
+    #: (pid, name)
+    tasks: List[Tuple[int, str]]
+    #: (pid, vma base, vma length, pdid, perm, memory blade id)
+    vmas: List[Tuple[int, int, int, int, PermissionClass, int]]
+    #: memory blade ids in VA-partition order.
+    blade_order: List[int]
+    blade_capacity: int
+
+
+class ControlPlaneReplicator:
+    """Keeps a backup switch's control-plane state consistent.
+
+    ``capture`` must be called after metadata operations (MIND replicates
+    on the metadata path); ``stale`` tells whether the backup lags.
+    """
+
+    def __init__(self, controller: SwitchController):
+        self.controller = controller
+        self._snapshot: ControlPlaneSnapshot = self.capture()
+
+    def capture(self) -> ControlPlaneSnapshot:
+        ctl = self.controller
+        tasks = [(t.pid, t.name) for t in ctl.tasks()]
+        vmas = []
+        for task in ctl.tasks():
+            for vma, blade_id in task.vmas.values():
+                vmas.append(
+                    (task.pid, vma.base, vma.length, vma.pdid, vma.perm, blade_id)
+                )
+        snapshot = ControlPlaneSnapshot(
+            version=ctl.version,
+            tasks=tasks,
+            vmas=sorted(vmas),
+            blade_order=ctl.allocator.blade_ids,
+            blade_capacity=ctl.address_space.blade_capacity,
+        )
+        self._snapshot = snapshot
+        return snapshot
+
+    @property
+    def snapshot(self) -> ControlPlaneSnapshot:
+        return self._snapshot
+
+    def stale(self) -> bool:
+        return self._snapshot.version != self.controller.version
+
+
+@dataclass
+class RebuiltDataPlane:
+    """The backup switch's freshly programmed tables."""
+
+    address_space: AddressSpace
+    protection: ProtectionTable
+    directory: RegionDirectory
+    allocator: GlobalAllocator
+
+
+def rebuild_data_plane(
+    snapshot: ControlPlaneSnapshot,
+    xlate_tcam: Tcam,
+    protection_tcam: Tcam,
+    directory_sram: RegisterArray,
+    initial_region_size: int = 16 * 1024,
+    max_region_size: int = 2 * 1024 * 1024,
+) -> RebuiltDataPlane:
+    """Program a backup switch's tables from a control-plane snapshot.
+
+    Translation entries and protection entries are reinstalled exactly;
+    allocator occupancy is replayed so future allocations stay balanced;
+    the directory starts empty (all-Invalid), to be re-populated by faults.
+    """
+    address_space = AddressSpace(xlate_tcam, snapshot.blade_capacity)
+    allocator = GlobalAllocator()
+    for blade_id in snapshot.blade_order:
+        va_base = address_space.add_blade(blade_id)
+        allocator.add_blade(blade_id, va_base, snapshot.blade_capacity)
+    protection = ProtectionTable(protection_tcam)
+    for _pid, base, length, pdid, perm, blade_id in snapshot.vmas:
+        vma = Vma(base, length, pdid, perm)
+        protection.grant(pdid, vma, perm)
+        # Replay the allocation at its original address.
+        allocator.blade(blade_id).allocate_at(base, length)
+    directory = RegionDirectory(
+        directory_sram,
+        initial_region_size=initial_region_size,
+        max_region_size=max_region_size,
+    )
+    return RebuiltDataPlane(address_space, protection, directory, allocator)

@@ -1,0 +1,136 @@
+"""Domain-based memory protection (Section 4.2).
+
+Protection is decoupled from translation: a separate data-plane table maps
+``<PDID, vma> -> permission class``, checked in parallel with the rest of
+the pipeline via TCAM range matches.  Protection domains (PDIDs) identify
+*who* may touch a region -- the PID for unmodified applications, or
+finer-grained domains (e.g. one per client session) for capability-style
+use.  Because TCAM entries can only match power-of-two ranges, arbitrary
+vmas are decomposed into at most ``ceil(log2 s)`` prefix entries, and
+adjacent entries with the same ``<PDID, PC>`` are coalesced.
+
+The TCAM key packs the PDID in the high bits above the 48-bit VA so one
+ternary match covers both fields, as the switch's parallel range match does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..switchsim.packets import AccessType, PacketVerdict
+from ..switchsim.tcam import (
+    Tcam,
+    TcamFullError,
+    VA_WIDTH,
+    prefix_mask,
+    split_range_to_pow2,
+)
+from .vma import PermissionClass, Vma
+
+#: Width of the PDID field packed above the VA in the TCAM key.
+PDID_WIDTH = 16
+KEY_WIDTH = VA_WIDTH + PDID_WIDTH
+
+
+def pack_key(pdid: int, va: int) -> int:
+    """Pack ``(pdid, va)`` into a single TCAM key."""
+    pdid, va = int(pdid), int(va)  # tolerate numpy integer inputs
+    if not 0 <= pdid < (1 << PDID_WIDTH):
+        raise ValueError(f"pdid {pdid} does not fit in {PDID_WIDTH} bits")
+    if not 0 <= va < (1 << VA_WIDTH):
+        raise ValueError(f"va {va:#x} does not fit in {VA_WIDTH} bits")
+    return (pdid << VA_WIDTH) | va
+
+
+class ProtectionTable:
+    """The ``<PDID, vma> -> PC`` table in switch TCAM.
+
+    The control plane keeps the authoritative ``<pdid, vma> -> perm`` map;
+    the TCAM holds its compiled form (power-of-two prefixes, buddies with
+    equal payloads coalesced).  Rule changes recompile the affected domain,
+    which keeps revocation correct even when a coalesced entry spanned
+    several vmas.  vma counts are small in practice (Section 7.2), so
+    recompiling a domain is a handful of PCIe rule updates.
+    """
+
+    def __init__(self, tcam: Tcam):
+        self.tcam = tcam
+        # (pdid, vma.base) -> (vma, perm): the authoritative grants.
+        self._grants: Dict[Tuple[int, int], Tuple[Vma, PermissionClass]] = {}
+        self.checks = 0
+        self.rejections = 0
+
+    def __len__(self) -> int:
+        return len(self.tcam)
+
+    # -- rule management (control plane) -----------------------------------
+
+    def grant(self, pdid: int, vma: Vma, perm: PermissionClass) -> int:
+        """Install permission entries for ``<pdid, vma>``.
+
+        Returns the number of TCAM entries now covering this domain.
+        """
+        key = (pdid, vma.base)
+        if key in self._grants:
+            raise ValueError(
+                f"protection for pdid={pdid} vma@{vma.base:#x} already granted"
+            )
+        self._grants[key] = (vma, perm)
+        try:
+            return self._recompile_domain(pdid)
+        except TcamFullError:
+            del self._grants[key]
+            self._recompile_domain(pdid)
+            raise
+
+    def revoke(self, pdid: int, vma_base: int) -> None:
+        """Remove the grant for ``<pdid, vma>`` (munmap path)."""
+        if self._grants.pop((pdid, vma_base), None) is None:
+            raise KeyError(f"no protection entries for pdid={pdid} @ {vma_base:#x}")
+        self._recompile_domain(pdid)
+
+    def change(self, pdid: int, vma: Vma, perm: PermissionClass) -> None:
+        """mprotect: replace the grant with the new permission class."""
+        self.revoke(pdid, vma.base)
+        self.grant(pdid, vma, perm)
+
+    def _recompile_domain(self, pdid: int) -> int:
+        """Rebuild the TCAM entries of one protection domain from grants."""
+        self.tcam.remove_where(
+            lambda e: isinstance(e.data, tuple) and e.data[0] == pdid
+        )
+        count = 0
+        for (g_pdid, _base), (vma, perm) in sorted(self._grants.items()):
+            if g_pdid != pdid:
+                continue
+            for base, size in split_range_to_pow2(vma.base, vma.length):
+                value = pack_key(pdid, base)
+                prefix_len = VA_WIDTH - (size.bit_length() - 1)
+                # Exact match on PDID bits + VA prefix.
+                mask = (
+                    prefix_mask(PDID_WIDTH, PDID_WIDTH) << VA_WIDTH
+                ) | prefix_mask(prefix_len, VA_WIDTH)
+                self.tcam.insert(value, mask, PDID_WIDTH + prefix_len, (pdid, perm))
+                count += 1
+        self.tcam.coalesce(width=KEY_WIDTH)
+        return sum(
+            1
+            for e in self.tcam
+            if isinstance(e.data, tuple) and e.data[0] == pdid
+        )
+
+    # -- data-plane check ---------------------------------------------------
+
+    def check(self, pdid: int, va: int, access: AccessType) -> PacketVerdict:
+        """The per-request protection check performed in the data plane."""
+        self.checks += 1
+        entry = self.tcam.lookup(pack_key(pdid, va))
+        if entry is None:
+            self.rejections += 1
+            return PacketVerdict.REJECT_NO_ENTRY
+        _pdid, perm = entry.data
+        allowed = perm.allows_write() if access.is_write else perm.allows_read()
+        if not allowed:
+            self.rejections += 1
+            return PacketVerdict.REJECT_PERMISSION
+        return PacketVerdict.ALLOW

@@ -1,0 +1,84 @@
+"""Virtual memory areas (vmas) and permission classes.
+
+A vma -- identified by base virtual address and length -- is MIND's basic
+unit of memory *protection* (Section 4.1/4.2).  This is decoupled from the
+unit of *translation* (the per-memory-blade range) and the unit of
+*coherence* (the dynamically sized region), per design principle P1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..sim.network import PAGE_SIZE
+
+
+class PermissionClass(enum.Enum):
+    """What a protection domain may do to a vma (Linux-compatible classes).
+
+    MIND supports arbitrary permission classes; for unmodified applications
+    it uses the Linux ones below, with the PID as the protection domain id.
+    """
+
+    NONE = 0
+    READ_ONLY = 1
+    READ_WRITE = 2
+
+    def allows_read(self) -> bool:
+        return self in (PermissionClass.READ_ONLY, PermissionClass.READ_WRITE)
+
+    def allows_write(self) -> bool:
+        return self is PermissionClass.READ_WRITE
+
+
+def align_down(value: int, alignment: int) -> int:
+    return value - (value % alignment)
+
+
+def align_up(value: int, alignment: int) -> int:
+    return align_down(value + alignment - 1, alignment)
+
+
+def round_up_pow2(value: int) -> int:
+    """Smallest power of two >= value (vmas are allocated at pow2 sizes so
+    each fits in a single TCAM entry, Section 4.2)."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    return 1 << (value - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class Vma:
+    """A contiguous virtual memory area owned by one protection domain."""
+
+    base: int
+    length: int
+    pdid: int
+    perm: PermissionClass = PermissionClass.READ_WRITE
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError("vma base must be non-negative")
+        if self.length <= 0:
+            raise ValueError("vma length must be positive")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the area."""
+        return self.base + self.length
+
+    @property
+    def num_pages(self) -> int:
+        first = align_down(self.base, PAGE_SIZE)
+        last = align_up(self.end, PAGE_SIZE)
+        return (last - first) // PAGE_SIZE
+
+    def contains(self, va: int) -> bool:
+        return self.base <= va < self.end
+
+    def overlaps(self, other: "Vma") -> bool:
+        return self.base < other.end and other.base < self.end
+
+    def with_perm(self, perm: PermissionClass) -> "Vma":
+        return Vma(self.base, self.length, self.pdid, perm)

@@ -1,0 +1,222 @@
+"""Multi-rack MIND: scaling beyond a single switch (Section 8).
+
+The paper's design is rack-scale: one programmable switch owns all memory
+management.  Section 8 sketches the next step -- "a shift similar to the
+shift from single node CPUs to multi-node NUMA architectures" -- where the
+global address space spans racks.  This module implements that extension
+with a *home-rack* design:
+
+- The global VA space is range-partitioned across racks; each rack's
+  switch is the **home** for its partition: it runs translation,
+  protection and the coherence directory for those addresses, exactly as
+  in the single-rack system.
+- A compute blade's fault on a remote-homed address is forwarded over the
+  **spine** to the home rack's switch, which executes the transaction
+  treating the remote blade as a sharer reachable through the spine.
+  Invalidations of cross-rack sharers likewise traverse the spine.
+- Mechanically, each compute blade has its real port on its home rack's
+  network plus a *spine-facing proxy port* on every other rack's network
+  whose links carry the extra inter-rack latency.  The home switch's
+  protocol code is completely unchanged -- distance is encoded in the
+  port, which is the NUMA analogy made literal.
+
+The cost structure this produces: intra-rack faults at the paper's ~10 µs,
+cross-rack faults one spine round-trip dearer, and write sharing across
+racks correspondingly more expensive -- quantified in
+``benchmarks/test_extension_multirack.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Generator, List, Optional, Tuple
+
+from .blades.compute import ComputeBlade
+from .blades.memory import MemoryBlade
+from .cluster import ClusterConfig
+from .core.mmu import InNetworkMmu, MindConfig
+from .core.vma import PermissionClass
+from .sim.engine import Engine
+from .sim.network import Network, NetworkConfig, Port
+from .sim.stats import StatsCollector
+
+
+@dataclass
+class MultiRackConfig:
+    """Shape of the multi-rack fabric."""
+
+    num_racks: int = 2
+    compute_blades_per_rack: int = 2
+    memory_blades_per_rack: int = 1
+    cache_capacity_pages: int = 1024
+    #: extra one-way latency a packet pays to cross the spine (two extra
+    #: hops: rack switch -> spine switch -> rack switch).
+    spine_extra_us: float = 3.4
+    #: maximum memory blades a rack may ever host (sizes the VA slices).
+    max_memory_blades_per_rack: int = 8
+    mind: MindConfig = field(default_factory=lambda: MindConfig(
+        memory_blade_capacity=1 << 28, enable_bounded_splitting=False
+    ))
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+
+    @property
+    def rack_va_span(self) -> int:
+        return self.max_memory_blades_per_rack * self.mind.memory_blade_capacity
+
+
+class RackRouter:
+    """A compute blade's data path in the multi-rack fabric.
+
+    Routes every operation to the *home rack* of its virtual address and
+    presents the right port (real or spine proxy) so the home switch's
+    unchanged protocol code charges the right wire latency.
+    """
+
+    def __init__(self, fabric: "MultiRackFabric", home_rack: int):
+        self.fabric = fabric
+        self.home_rack = home_rack
+        #: rack index -> the port this blade is known by on that rack.
+        self.ports: Dict[int, Port] = {}
+
+    # ComputeBlade.__init__ calls this with its real (home-rack) port.
+    def register_compute_blade(self, port, handler, serve_page=None) -> None:
+        cfg = self.fabric.config
+        for rack_idx, rack in enumerate(self.fabric.racks):
+            if rack_idx == self.home_rack:
+                rack_port = port
+            else:
+                # Spine proxy: same port id, links with inter-rack latency.
+                spine_cfg = replace(
+                    cfg.network,
+                    link_propagation_us=cfg.network.link_propagation_us
+                    + cfg.spine_extra_us,
+                )
+                rack_port = Port(
+                    self.fabric.engine, spine_cfg, f"{port.name}@rack{rack_idx}",
+                    port.port_id,
+                )
+            self.ports[rack_idx] = rack_port
+            rack.coherence.register_compute_blade(rack_port, handler, serve_page)
+
+    def _home_of(self, va: int) -> int:
+        rack = int(va) // self.fabric.config.rack_va_span
+        if not 0 <= rack < len(self.fabric.racks):
+            raise ValueError(f"va {va:#x} outside every rack's partition")
+        return rack
+
+    def handle_fault(self, req) -> Generator:
+        rack = self._home_of(req.va)
+        if rack != self.home_rack:
+            self.fabric.stats.incr("cross_rack_faults")
+        else:
+            self.fabric.stats.incr("intra_rack_faults")
+        return self.fabric.racks[rack].coherence.handle_fault(req)
+
+    def flush_page_async(self, src_port, page_va: int, data):
+        rack = self._home_of(page_va)
+        return self.fabric.racks[rack].coherence.flush_page_async(
+            self.ports[rack], page_va, data
+        )
+
+    def flush_page(self, src_port, page_va: int, data) -> Generator:
+        rack = self._home_of(page_va)
+        return self.fabric.racks[rack].coherence.flush_page(
+            self.ports[rack], page_va, data
+        )
+
+
+class MultiRackFabric:
+    """The assembled multi-rack system."""
+
+    def __init__(self, config: Optional[MultiRackConfig] = None):
+        self.config = config or MultiRackConfig()
+        cfg = self.config
+        self.engine = Engine()
+        self.stats = StatsCollector()
+        self.racks: List[InNetworkMmu] = []
+        self.networks: List[Network] = []
+        self.memory_blades: List[MemoryBlade] = []
+        for r in range(cfg.num_racks):
+            # Globally unique port ids: they key every rack's registries.
+            network = Network(self.engine, cfg.network, port_id_base=r * 1000)
+            mind = replace(cfg.mind, va_base=r * cfg.rack_va_span)
+            mmu = InNetworkMmu(self.engine, network, mind, stats=self.stats)
+            self.networks.append(network)
+            self.racks.append(mmu)
+            for m in range(cfg.memory_blades_per_rack):
+                blade = MemoryBlade(
+                    blade_id=r * 100 + m,
+                    network=network,
+                    capacity_bytes=cfg.mind.memory_blade_capacity,
+                    store_data=True,
+                )
+                mmu.add_memory_blade(blade)
+                self.memory_blades.append(blade)
+        # Compute blades: real port at home rack, proxies elsewhere.
+        self.compute_blades: List[ComputeBlade] = []
+        self.routers: List[RackRouter] = []
+        next_id = 0
+        for r in range(cfg.num_racks):
+            for _c in range(cfg.compute_blades_per_rack):
+                router = RackRouter(self, home_rack=r)
+                blade = ComputeBlade(
+                    blade_id=next_id,
+                    engine=self.engine,
+                    network=self.networks[r],
+                    datapath=router,
+                    cache_capacity_pages=cfg.cache_capacity_pages,
+                    stats=self.stats,
+                )
+                blade.home_rack = r
+                self.compute_blades.append(blade)
+                self.routers.append(router)
+                next_id += 1
+        # One global protection domain namespace: processes exist in every
+        # rack's controller, sharing a fabric-wide pdid.
+        self._next_pdid = 1
+        self._rack_pids: Dict[int, List[int]] = {}
+
+    # -- fabric-level process/memory management -----------------------------
+
+    def spawn_process(self, name: str = "proc") -> int:
+        """Create a fabric-wide process; returns its global PDID."""
+        pdid = self._next_pdid
+        self._next_pdid += 1
+        pids = []
+        for rack in self.racks:
+            task = rack.controller.sys_exec(f"{name}@{pdid}")
+            pids.append(task.pid)
+        self._rack_pids[pdid] = pids
+        return pdid
+
+    def mmap(self, pdid: int, length: int,
+             perm: PermissionClass = PermissionClass.READ_WRITE,
+             rack: Optional[int] = None) -> int:
+        """Allocate on the least-loaded rack (or a named one); returns VA.
+
+        The vma's home rack installs protection under the *global* pdid so
+        any rack's compute blades can fault on it.
+        """
+        if rack is None:
+            rack = min(
+                range(len(self.racks)),
+                key=lambda r: sum(
+                    self.racks[r].allocator.allocated_per_blade().values()
+                ),
+            )
+        local_pid = self._rack_pids[pdid][rack]
+        return self.racks[rack].controller.sys_mmap(
+            local_pid, length, perm, pdid=pdid
+        )
+
+    def rack_of(self, va: int) -> int:
+        return int(va) // self.config.rack_va_span
+
+    # -- execution helpers ----------------------------------------------------
+
+    def run_process(self, gen, name: Optional[str] = None):
+        return self.engine.run_process(gen, name)
+
+    def run_all(self, gens: List) -> List:
+        procs = [self.engine.process(g) for g in gens]
+        return self.engine.run_until_complete(self.engine.all_of(procs))

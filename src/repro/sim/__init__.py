@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate for the MIND reproduction.
+
+Exports the event engine, the rack network model and metric collection used
+by every other subpackage.
+"""
+
+from .engine import AllOf, Engine, Event, Process, Resource, SimulationError
+from .network import CONTROL_MSG_BYTES, PAGE_SIZE, Link, Network, NetworkConfig, Port
+from .rng import ZipfianSampler, derive_rng, make_rng, scrambled
+from .stats import LatencySummary, RunResult, StatsCollector
+
+__all__ = [
+    "AllOf",
+    "CONTROL_MSG_BYTES",
+    "Engine",
+    "Event",
+    "LatencySummary",
+    "Link",
+    "Network",
+    "NetworkConfig",
+    "PAGE_SIZE",
+    "Port",
+    "Process",
+    "Resource",
+    "RunResult",
+    "SimulationError",
+    "StatsCollector",
+    "ZipfianSampler",
+    "derive_rng",
+    "make_rng",
+    "scrambled",
+]

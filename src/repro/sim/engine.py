@@ -1,0 +1,269 @@
+"""Deterministic discrete-event simulation engine.
+
+This is the substrate on which the entire MIND rack model runs.  It provides
+a minimal but complete process-based discrete-event kernel:
+
+- :class:`Engine` -- the event loop with a simulated clock (microseconds).
+- :class:`Event` -- one-shot events that processes can wait on.
+- :class:`Process` -- a generator-based cooperative process.  Yield a number
+  to sleep for that many microseconds, an :class:`Event` to wait for it, or
+  another :class:`Process` to join it.
+- :class:`AllOf` -- barrier over several events (e.g. invalidation ACKs).
+- :class:`Resource` -- a FIFO multi-server queue used to model queueing at
+  blades, NICs, and the switch pipeline.
+
+Determinism: ties in the event queue are broken by insertion order, and the
+engine never consults wall-clock time, so a run is a pure function of its
+inputs and seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the simulation kernel."""
+
+
+class Event:
+    """A one-shot event that carries a value once it succeeds.
+
+    Processes wait on an event by ``yield``-ing it.  Multiple processes may
+    wait on the same event; all are resumed (in wait order) when it fires.
+    """
+
+    __slots__ = ("engine", "_callbacks", "triggered", "value")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event, resuming all waiters at the current sim time."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.engine.schedule(0.0, cb, self)
+        return self
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            self.engine.schedule(0.0, cb, self)
+        else:
+            self._callbacks.append(cb)
+
+
+class AllOf(Event):
+    """An event that fires once all constituent events have fired.
+
+    The value is the list of constituent values, in constituent order.  An
+    empty constituent list fires immediately (useful for "wait for all ACKs"
+    when there happen to be zero sharers).
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+        else:
+            for ev in self._events:
+                ev.add_callback(self._child_fired)
+
+    def _child_fired(self, _ev: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 and not self.triggered:
+            self.succeed([ev.value for ev in self._events])
+
+
+class Process(Event):
+    """A cooperative process driven by a generator.
+
+    The process itself is an :class:`Event` that fires (with the generator's
+    return value) when the generator finishes, so processes can be joined by
+    yielding them.
+    """
+
+    __slots__ = ("_gen", "name")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = "proc"):
+        super().__init__(engine)
+        self._gen = gen
+        self.name = name
+        engine.schedule(0.0, self._resume, None)
+
+    def _resume(self, _wake: Any) -> None:
+        value = _wake.value if isinstance(_wake, Event) else None
+        try:
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Event):
+            target.add_callback(self._resume)
+        elif isinstance(target, (int, float)):
+            if target < 0:
+                raise SimulationError(f"negative timeout: {target!r}")
+            self.engine.schedule(float(target), self._resume, None)
+        else:
+            raise SimulationError(f"process yielded unsupported value: {target!r}")
+
+
+class Engine:
+    """The discrete-event loop.
+
+    Time is a float in *microseconds*.  All state mutation happens inside
+    scheduled callbacks, which are executed in (time, insertion order).
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List = []
+        self._counter = 0
+        self._processes_started = 0
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` microseconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._counter += 1
+        heapq.heappush(self._queue, (self.now + delay, self._counter, fn, args))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def process(self, gen: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from a generator."""
+        self._processes_started += 1
+        return Process(self, gen, name or f"proc-{self._processes_started}")
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires after ``delay`` microseconds."""
+        ev = Event(self)
+        self.schedule(delay, ev.succeed, value)
+        return ev
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        Returns the final simulated time.
+        """
+        while self._queue:
+            t, _seq, fn, args = self._queue[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = t
+            fn(*args)
+        return self.now
+
+    def run_until_complete(self, ev: Event) -> Any:
+        """Run until ``ev`` fires; returns its value.
+
+        Unlike :meth:`run`, this stops as soon as the awaited event fires,
+        so it works with perpetual background processes (epoch loops) still
+        scheduled.  Raises if the queue drains without the event firing
+        (a deadlock).
+        """
+        while self._queue and not ev.triggered:
+            t, _seq, fn, args = heapq.heappop(self._queue)
+            self.now = t
+            fn(*args)
+        if not ev.triggered:
+            raise SimulationError("event never fired: simulation deadlocked")
+        return ev.value
+
+    def run_process(self, gen: Generator, name: Optional[str] = None) -> Any:
+        """Convenience: start a process, run until it completes, return its
+        value.  Background processes keep their pending events queued."""
+        proc = self.process(gen, name)
+        return self.run_until_complete(proc)
+
+
+class Resource:
+    """A FIFO multi-server resource for modelling queueing delays.
+
+    ``capacity`` servers; excess requests queue in arrival order.  Usage::
+
+        token = yield resource.acquire()
+        try:
+            yield service_time
+        finally:
+            resource.release()
+
+    The acquire event's value is the queueing delay experienced, which the
+    caller may record (e.g. invalidation queueing in Fig. 7 right).
+    """
+
+    __slots__ = ("engine", "capacity", "_in_use", "_waiters", "busy_time", "_last_change")
+
+    def __init__(self, engine: Engine, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: List = []
+        self.busy_time = 0.0
+        self._last_change = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def _account(self) -> None:
+        now = self.engine.now
+        self.busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def acquire(self) -> Event:
+        ev = Event(self.engine)
+        self._account()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(0.0)
+        else:
+            self._waiters.append((self.engine.now, ev))
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release without acquire")
+        self._account()
+        if self._waiters:
+            arrived, ev = self._waiters.pop(0)
+            ev.succeed(self.engine.now - arrived)
+        else:
+            self._in_use -= 1
+
+    def utilization(self) -> float:
+        """Time-averaged fraction of capacity in use since engine start."""
+        self._account()
+        if self.engine.now <= 0:
+            return 0.0
+        return self.busy_time / (self.engine.now * self.capacity)

@@ -1,0 +1,140 @@
+"""Rack network substrate: ports, links, and the calibrated latency model.
+
+The disaggregated rack is a star: every blade connects to the single
+programmable switch through a dedicated 100 Gbps full-duplex link (each
+compute/memory blade VM in the paper's testbed had its own CX-5 NIC).  A
+transfer costs serialization (size / bandwidth, during which the link is
+held) plus fixed propagation + NIC processing.  Links are modelled as FIFO
+resources so concurrent transfers queue, which produces the bandwidth
+ceilings and queueing delays of Fig. 7.
+
+All constants live in :class:`NetworkConfig` and are calibrated so that the
+end-to-end transaction latencies match the paper: a one-sided RDMA page
+fetch through the switch lands at ~9 us and an ownership handoff (sequential
+invalidate + fetch) at ~18 us (Fig. 7 left), with local DRAM under 100 ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator
+
+from .engine import Engine, Resource
+
+#: Bytes in a page; MIND performs all remote accesses at page granularity.
+PAGE_SIZE = 4096
+
+
+@dataclass
+class NetworkConfig:
+    """Latency/bandwidth constants for the rack model (times in us)."""
+
+    #: One-way wire + NIC processing between a blade and the switch.
+    link_propagation_us: float = 1.45
+    #: Link rate, used for serialization delay (100 Gbps CX-5 in the paper).
+    link_bandwidth_gbps: float = 100.0
+    #: One pass through the switch ingress+egress pipelines.
+    switch_pipeline_us: float = 0.45
+    #: Extra cost of recirculating a packet for the directory write-back MAU.
+    recirculation_us: float = 0.25
+    #: DRAM access at a blade (paper: local accesses < 100 ns).
+    dram_access_us: float = 0.085
+    #: Memory-blade NIC DMA setup for serving a one-sided READ/WRITE.
+    memory_service_us: float = 0.9
+    #: Page-fault entry/exit + PTE fixup at the compute blade kernel.
+    fault_overhead_us: float = 0.8
+    #: Handling one invalidation request at a compute blade (kernel path).
+    invalidation_processing_us: float = 1.2
+    #: Synchronous TLB shootdown for an unmap/permission change (Fig. 7 right).
+    tlb_shootdown_us: float = 4.0
+    #: RDMA verb post + completion polling at the requester.
+    rdma_verb_overhead_us: float = 0.35
+
+    def serialization_us(self, size_bytes: int) -> float:
+        """Time the link is held to push ``size_bytes`` onto the wire."""
+        bits = size_bytes * 8
+        return bits / (self.link_bandwidth_gbps * 1e3)  # Gbps = bits/ns -> us
+
+    def page_serialization_us(self) -> float:
+        return self.serialization_us(PAGE_SIZE)
+
+
+#: A small control message (request/ACK/invalidation) on the wire.
+CONTROL_MSG_BYTES = 64
+
+
+class Link:
+    """A unidirectional link: FIFO serialization + fixed propagation."""
+
+    def __init__(self, engine: Engine, config: NetworkConfig, name: str):
+        self.engine = engine
+        self.config = config
+        self.name = name
+        self._resource = Resource(engine, capacity=1)
+        self.bytes_carried = 0
+
+    def transfer(self, size_bytes: int) -> Generator:
+        """Process generator: completes when the payload has fully arrived."""
+        yield self._resource.acquire()
+        try:
+            yield self.config.serialization_us(size_bytes)
+            self.bytes_carried += size_bytes
+        finally:
+            self._resource.release()
+        yield self.config.link_propagation_us
+
+    def utilization(self) -> float:
+        return self._resource.utilization()
+
+
+class Port:
+    """A blade's full-duplex attachment point to the switch."""
+
+    def __init__(self, engine: Engine, config: NetworkConfig, name: str, port_id: int):
+        self.name = name
+        self.port_id = port_id
+        self.to_switch = Link(engine, config, f"{name}->switch")
+        self.from_switch = Link(engine, config, f"switch->{name}")
+
+
+class Network:
+    """The rack's star topology: blades attached to one switch.
+
+    ``port_id_base`` offsets this network's port ids; multi-switch fabrics
+    use it to keep port ids globally unique (they key the coherence
+    engine's blade registries).
+    """
+
+    def __init__(
+        self, engine: Engine, config: NetworkConfig = None, port_id_base: int = 0
+    ):
+        self.engine = engine
+        self.config = config or NetworkConfig()
+        self.ports: Dict[str, Port] = {}
+        self._next_port_id = port_id_base
+
+    def attach(self, name: str) -> Port:
+        """Attach a blade; returns its port.  Names must be unique."""
+        if name in self.ports:
+            raise ValueError(f"port name already attached: {name}")
+        port = Port(self.engine, self.config, name, self._next_port_id)
+        self._next_port_id += 1
+        self.ports[name] = port
+        return port
+
+    def port(self, name: str) -> Port:
+        return self.ports[name]
+
+    # -- data-path composition helpers ---------------------------------
+
+    def host_to_switch(self, port: Port, size_bytes: int) -> Generator:
+        yield self.engine.process(port.to_switch.transfer(size_bytes))
+
+    def switch_to_host(self, port: Port, size_bytes: int) -> Generator:
+        yield self.engine.process(port.from_switch.transfer(size_bytes))
+
+    def total_bytes(self) -> int:
+        return sum(
+            p.to_switch.bytes_carried + p.from_switch.bytes_carried
+            for p in self.ports.values()
+        )

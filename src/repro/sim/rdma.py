@@ -1,0 +1,83 @@
+"""One-sided RDMA verb model.
+
+MIND's data path is built on one-sided RDMA READ/WRITE: compute blades post
+verbs against *virtual* addresses, the switch rewrites headers to the right
+memory blade, and the memory blade's NIC serves the access with **zero CPU
+involvement** (Section 3.2 / 6.2 of the paper).  This module models the verb
+cost structure; the switch traversal itself is composed by the data-path
+code so that the switch pipeline model stays in one place.
+
+A verb completion here means the payload landed in the registered receive
+buffer and the completion queue was polled -- i.e. the point at which the
+page-fault handler can populate PTEs and return to the user.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .engine import Engine
+from .network import CONTROL_MSG_BYTES, Network, NetworkConfig, Port
+
+
+class RdmaQp:
+    """A (virtualized) queue pair between a compute blade and "the memory".
+
+    The compute blade does not know which memory blade it is talking to; the
+    switch virtualizes the connection (Section 6.3).  The QP therefore only
+    references the local port; destination resolution happens in-network.
+    """
+
+    def __init__(self, engine: Engine, network: Network, local_port: Port):
+        self.engine = engine
+        self.network = network
+        self.config: NetworkConfig = network.config
+        self.local_port = local_port
+        self.reads_posted = 0
+        self.writes_posted = 0
+
+    # The verbs below are *segments* of a full transaction: the switch-side
+    # code stitches request segments, pipeline passes and response segments
+    # together.  Each returns a process generator.
+
+    def post_request(self, size_bytes: int = CONTROL_MSG_BYTES) -> Generator:
+        """Requester -> switch: verb post overhead + uplink transfer."""
+        yield self.config.rdma_verb_overhead_us
+        yield self.engine.process(self.local_port.to_switch.transfer(size_bytes))
+
+    def receive_response(self, size_bytes: int) -> Generator:
+        """Switch -> requester: downlink transfer + completion polling."""
+        yield self.engine.process(self.local_port.from_switch.transfer(size_bytes))
+        yield self.config.rdma_verb_overhead_us
+
+
+def one_sided_read(
+    engine: Engine,
+    config: NetworkConfig,
+    memory_port: Port,
+    size_bytes: int,
+) -> Generator:
+    """Switch -> memory blade -> switch leg of a one-sided READ.
+
+    The memory blade NIC DMA-reads ``size_bytes`` from host DRAM and streams
+    it back.  No memory-blade CPU is involved, so the only costs are the NIC
+    service time, DRAM, and the wire.
+    """
+    yield engine.process(memory_port.from_switch.transfer(CONTROL_MSG_BYTES))
+    yield config.memory_service_us + config.dram_access_us
+    yield engine.process(memory_port.to_switch.transfer(size_bytes))
+
+
+def one_sided_write(
+    engine: Engine,
+    config: NetworkConfig,
+    memory_port: Port,
+    size_bytes: int,
+) -> Generator:
+    """Switch -> memory blade leg of a one-sided WRITE (page flush).
+
+    Completion is the memory blade NIC's ACK arriving back at the switch.
+    """
+    yield engine.process(memory_port.from_switch.transfer(size_bytes))
+    yield config.memory_service_us + config.dram_access_us
+    yield engine.process(memory_port.to_switch.transfer(CONTROL_MSG_BYTES))

@@ -1,0 +1,68 @@
+"""Seeded random-number utilities shared by workload generators.
+
+All stochastic behaviour in the repository flows through explicitly seeded
+:class:`numpy.random.Generator` instances so that every experiment is
+reproducible bit-for-bit.  The helpers here also provide the Zipfian sampler
+used by the YCSB workloads (numpy's ``zipf`` has unbounded support, which is
+wrong for a finite keyspace).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def make_rng(seed: Optional[int]) -> np.random.Generator:
+    """Create a deterministic generator from an integer seed."""
+    return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator for a numbered stream.
+
+    Used to give each simulated thread its own stream while keeping the whole
+    workload a function of a single seed.
+    """
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (stream * 0x9E3779B97F4A7C15) % (2**63)
+    return np.random.default_rng(seed & (2**63 - 1))
+
+
+class ZipfianSampler:
+    """Bounded Zipfian sampler over ``[0, n)`` as used by YCSB.
+
+    YCSB's default request distribution is Zipfian with exponent
+    ``theta = 0.99``.  We precompute the CDF once (O(n)) and sample by binary
+    search (O(log n) per draw, vectorised through numpy).
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, seed: Optional[int] = None):
+        if n <= 0:
+            raise ValueError("keyspace size must be positive")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.n = n
+        self.theta = theta
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks ** (-theta)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        self._rng = make_rng(seed)
+
+    def sample(self, size: int = 1) -> np.ndarray:
+        """Draw ``size`` keys; rank 0 is the hottest key."""
+        u = self._rng.random(size)
+        return np.searchsorted(self._cdf, u, side="left").astype(np.int64)
+
+    def sample_one(self) -> int:
+        return int(self.sample(1)[0])
+
+
+def scrambled(keys: np.ndarray, n: int) -> np.ndarray:
+    """YCSB-style "scrambled Zipfian": spread hot keys across the keyspace.
+
+    Applies a fixed multiplicative hash so the hottest ranks do not cluster
+    at the start of the key range (which would put them all on one page).
+    """
+    return (keys * np.int64(0x5DEECE66D) + np.int64(0xB)) % np.int64(n)

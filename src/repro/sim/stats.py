@@ -1,0 +1,135 @@
+"""Metrics collection for simulation runs.
+
+Every figure in the paper's evaluation is a view over a handful of metric
+kinds: counters (invalidation counts, flushed pages), latency samples broken
+down by component (Fig. 7), and time series (directory occupancy in Fig. 8).
+:class:`StatsCollector` provides exactly those, with cheap recording on the
+hot path (plain dict/list appends).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics of one latency category (microseconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    max: float
+
+    @staticmethod
+    def of(samples: List[float]) -> "LatencySummary":
+        if not samples:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(samples, dtype=np.float64)
+        return LatencySummary(
+            count=len(samples),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p99=float(np.percentile(arr, 99)),
+            max=float(arr.max()),
+        )
+
+
+class StatsCollector:
+    """Accumulates counters, latency samples and time series for one run."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.latencies: Dict[str, List[float]] = defaultdict(list)
+        self.timeseries: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+        self.breakdowns: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+
+    # -- recording (hot path) -------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def record_latency(self, category: str, value: float) -> None:
+        self.latencies[category].append(value)
+
+    def record_point(self, series: str, t: float, value: float) -> None:
+        self.timeseries[series].append((t, value))
+
+    def add_breakdown(self, category: str, component: str, value: float) -> None:
+        self.breakdowns[category][component] += value
+
+    # -- reading ---------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def latency_summary(self, category: str) -> LatencySummary:
+        return LatencySummary.of(self.latencies.get(category, []))
+
+    def mean_latency(self, category: str) -> float:
+        return self.latency_summary(category).mean
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        return list(self.timeseries.get(name, []))
+
+    def breakdown(self, category: str) -> Dict[str, float]:
+        return dict(self.breakdowns.get(category, {}))
+
+    def merge(self, other: "StatsCollector") -> None:
+        """Fold another collector into this one (e.g. per-thread partials)."""
+        for k, v in other.counters.items():
+            self.counters[k] += v
+        for k, vs in other.latencies.items():
+            self.latencies[k].extend(vs)
+        for k, pts in other.timeseries.items():
+            self.timeseries[k].extend(pts)
+        for cat, comps in other.breakdowns.items():
+            for comp, v in comps.items():
+                self.breakdowns[cat][comp] += v
+
+
+@dataclass
+class RunResult:
+    """Outcome of replaying a workload on one of the systems.
+
+    ``runtime_us`` is the simulated makespan; ``throughput_iops`` counts
+    completed memory accesses per simulated second.
+    """
+
+    system: str
+    workload: str
+    num_blades: int
+    num_threads: int
+    runtime_us: float
+    total_accesses: int
+    stats: StatsCollector = field(repr=False, default_factory=StatsCollector)
+
+    @property
+    def throughput_iops(self) -> float:
+        if self.runtime_us <= 0:
+            return 0.0
+        return self.total_accesses / (self.runtime_us / 1e6)
+
+    @property
+    def performance(self) -> float:
+        """Inverse runtime, the paper's scaling metric (Fig. 5)."""
+        if self.runtime_us <= 0:
+            return 0.0
+        return 1.0 / self.runtime_us
+
+    def normalized_to(self, baseline: "RunResult") -> float:
+        """Performance normalized to a baseline run, as plotted in Fig. 5."""
+        if self.runtime_us <= 0:
+            return 0.0
+        return baseline.runtime_us / self.runtime_us
+
+    def fraction_of_accesses(self, counter: str) -> float:
+        """A counter as a fraction of total accesses (Fig. 6's y-axis)."""
+        if self.total_accesses == 0:
+            return 0.0
+        return self.stats.counter(counter) / self.total_accesses

@@ -1,0 +1,58 @@
+"""Programmable-switch substrate: TCAM, SRAM, pipeline, multicast, CPU.
+
+Models the resource and mechanism constraints of an RMT switch ASIC
+(Tofino-class) that MIND's design navigates: bounded TCAM/SRAM tables,
+one-table-op-per-MAU-pass compute limits with recirculation, native
+multicast with egress pruning, and a PCIe-attached control CPU.
+"""
+
+from .control_cpu import ControlCpu
+from .multicast import MulticastEngine, MulticastGroup
+from .packets import (
+    AccessType,
+    InvalidationAck,
+    InvalidationRequest,
+    MemRequest,
+    PacketVerdict,
+    ResetRequest,
+)
+from .pipeline import Mau, MauComputeError, PacketPass, SwitchPipeline
+from .rdma_virt import RdmaVirtualizer, VirtualConnection
+from .sram import RegisterArray, SramFullError, SramSlot
+from .tcam import (
+    Tcam,
+    TcamEntry,
+    TcamFullError,
+    VA_WIDTH,
+    block_to_prefix,
+    prefix_mask,
+    split_range_to_pow2,
+)
+
+__all__ = [
+    "AccessType",
+    "ControlCpu",
+    "InvalidationAck",
+    "InvalidationRequest",
+    "Mau",
+    "MauComputeError",
+    "MemRequest",
+    "MulticastEngine",
+    "MulticastGroup",
+    "PacketPass",
+    "PacketVerdict",
+    "RdmaVirtualizer",
+    "RegisterArray",
+    "ResetRequest",
+    "SramFullError",
+    "SramSlot",
+    "SwitchPipeline",
+    "Tcam",
+    "TcamEntry",
+    "TcamFullError",
+    "VA_WIDTH",
+    "VirtualConnection",
+    "block_to_prefix",
+    "prefix_mask",
+    "split_range_to_pow2",
+]

@@ -1,0 +1,58 @@
+"""Switch control-plane CPU model.
+
+The Wedge switch carries a general-purpose CPU (Intel Broadwell, 8 GB RAM)
+connected to the ASIC over PCIe.  It hosts MIND's controller: the syscall
+TCP server, process/memory metadata, and the bounded-splitting logic that
+periodically rewrites data-plane rules.  Rule installs/removals cross PCIe
+and are much slower than data-plane packet handling, which is why MIND
+keeps them off the data path (only metadata operations touch the CPU).
+
+We model the CPU as a single-server queue with a fixed per-rule-update cost
+so that control-plane overhead can be reported (the epoch-sizing argument
+in Fig. 9 right rests on it).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.engine import Engine, Resource
+
+
+class ControlCpu:
+    """Single-threaded control processor with PCIe rule-update costs."""
+
+    #: Cost of installing or removing one data-plane rule over PCIe (us).
+    RULE_UPDATE_US = 20.0
+    #: Cost of handling one intercepted syscall (parse + metadata + reply).
+    SYSCALL_US = 10.0
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._cpu = Resource(engine, capacity=1)
+        self.rule_updates = 0
+        self.syscalls_handled = 0
+        self.busy_us = 0.0
+
+    def _occupy(self, cost_us: float) -> Generator:
+        yield self._cpu.acquire()
+        try:
+            yield cost_us
+            self.busy_us += cost_us
+        finally:
+            self._cpu.release()
+
+    def apply_rule_update(self) -> Generator:
+        """Process generator: one PCIe rule install/remove."""
+        self.rule_updates += 1
+        return self._occupy(self.RULE_UPDATE_US)
+
+    def handle_syscall(self) -> Generator:
+        """Process generator: one intercepted syscall round at the CPU."""
+        self.syscalls_handled += 1
+        return self._occupy(self.SYSCALL_US)
+
+    def utilization(self) -> float:
+        if self.engine.now <= 0:
+            return 0.0
+        return self.busy_us / self.engine.now

@@ -1,0 +1,103 @@
+"""Packet formats parsed by the switch data plane.
+
+The real MIND parser extracts custom header fields from RoCE packets; we
+model the post-parse representation directly.  Field names follow the
+paper: requests carry a virtual address, the protection domain id (PDID)
+and the requested permission class, and never a destination endpoint --
+destination resolution is the switch's job (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+class AccessType(enum.Enum):
+    """Requested permission class for a memory access (Linux semantics)."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessType.WRITE
+
+
+class PacketVerdict(enum.Enum):
+    """Outcome of the protection stage for a request."""
+
+    ALLOW = "allow"
+    REJECT_NO_ENTRY = "reject-no-entry"
+    REJECT_PERMISSION = "reject-permission"
+
+
+@dataclass(frozen=True)
+class MemRequest:
+    """A page-fault-triggered RDMA request intercepted by the switch.
+
+    ``va`` is the faulting virtual address; ``pdid`` identifies the
+    protection domain (the PID for unmodified applications).
+    """
+
+    va: int
+    pdid: int
+    access: AccessType
+    src_port: int
+    size: int = 4096
+
+
+@dataclass(frozen=True)
+class InvalidationRequest:
+    """Region invalidation multicast to sharers (Section 4.3.2).
+
+    The sharer list is embedded in the packet; egress pruning drops copies
+    headed to ports not in the list.
+    """
+
+    region_base: int
+    region_size: int
+    sharers: FrozenSet[int]
+    requester_port: int
+    #: the page whose fault triggered this invalidation; any other page
+    #: invalidated alongside it is a *false invalidation* (Section 4.3.1).
+    target_va: int = -1
+    #: if set, the new state leaves this sharer with read access (M->S);
+    #: otherwise sharers must drop the region entirely.
+    downgrade_to_shared: bool = False
+    #: MOESI: downgrade but keep dirty pages dirty and unflushed -- the
+    #: blade becomes the region's Owner and keeps supplying the data.
+    keep_dirty: bool = False
+
+
+@dataclass(frozen=True)
+class InvalidationAck:
+    """ACK from a compute blade confirming a region was invalidated.
+
+    Carries the accounting the switch control plane needs for Bounded
+    Splitting (false invalidation counts) and that Fig. 6/7 report.
+    """
+
+    region_base: int
+    src_port: int
+    #: dirty pages written back to their memory blade.
+    flushed_pages: int = 0
+    #: clean pages dropped from the cache.
+    dropped_pages: int = 0
+    #: pages invalidated that were not the faulting page (false invals).
+    false_invalidations: int = 0
+    #: queueing delay before the blade processed the request (us).
+    queue_delay_us: float = 0.0
+    #: synchronous TLB shootdown time incurred (us).
+    tlb_shootdown_us: float = 0.0
+
+
+@dataclass(frozen=True)
+class ResetRequest:
+    """Last-resort reset for a wedged address after repeated ACK timeouts
+    (Section 4.4): forces all blades to flush and drops the directory entry.
+    """
+
+    va: int
+    src_port: int

@@ -1,0 +1,66 @@
+"""RDMA connection virtualization at the switch (Section 6.3).
+
+Compute blades do not know which memory blade holds a page, so they cannot
+maintain real queue pairs to them.  MIND's data plane *virtualizes* the
+connections: each compute blade keeps one QP "to the memory pool"; when
+translation (or coherence) resolves the actual destination, the switch
+rewrites the packet's IP/MAC and RDMA parameters (destination QPN, rkey,
+PSN) before forwarding -- transparently stitching the compute blade's
+virtual connection to a real per-memory-blade connection.
+
+The model tracks the virtual-to-physical connection table and the PSN
+sequencing each real connection needs (a rewrite must keep per-destination
+packet sequence numbers contiguous or the NIC would NAK), and counts
+rewrites so benchmarks can report switch-side work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass
+class VirtualConnection:
+    """State for one (compute blade, memory blade) stitched connection."""
+
+    compute_port: int
+    memory_blade: int
+    #: next packet sequence number on the real connection.
+    next_psn: int = 0
+    packets_rewritten: int = 0
+
+
+class RdmaVirtualizer:
+    """The switch-side connection table and header-rewrite engine."""
+
+    def __init__(self) -> None:
+        self._connections: Dict[Tuple[int, int], VirtualConnection] = {}
+        self.rewrites = 0
+
+    def connection(self, compute_port: int, memory_blade: int) -> VirtualConnection:
+        key = (compute_port, memory_blade)
+        conn = self._connections.get(key)
+        if conn is None:
+            conn = VirtualConnection(compute_port, memory_blade)
+            self._connections[key] = conn
+        return conn
+
+    def rewrite(self, compute_port: int, memory_blade: int) -> int:
+        """Rewrite one packet's headers for its resolved destination.
+
+        Returns the PSN assigned on the real connection.
+        """
+        conn = self.connection(compute_port, memory_blade)
+        psn = conn.next_psn
+        conn.next_psn += 1
+        conn.packets_rewritten += 1
+        self.rewrites += 1
+        return psn
+
+    @property
+    def num_connections(self) -> int:
+        return len(self._connections)
+
+    def connections_for_blade(self, compute_port: int) -> int:
+        return sum(1 for (cp, _mb) in self._connections if cp == compute_port)

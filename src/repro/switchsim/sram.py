@@ -1,0 +1,93 @@
+"""Switch SRAM register arrays.
+
+MIND reserves a fixed amount of data-plane SRAM for cache-directory entries,
+partitioned into fixed-size *slots* -- one per region entry -- managed by a
+control-plane free list plus a ``used_map`` from region base address to slot
+(Section 6.3).  This module models exactly that: a bounded slot array whose
+occupancy is what Fig. 8 (left) plots against the 30 k budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class SramFullError(RuntimeError):
+    """Raised when allocating a slot from an exhausted register array."""
+
+
+@dataclass
+class SramSlot:
+    """One fixed-size register slot holding a directory entry."""
+
+    index: int
+    data: Any = None
+
+
+class RegisterArray:
+    """A bounded array of SRAM slots with a free list and a used map."""
+
+    def __init__(self, capacity: int, name: str = "sram"):
+        if capacity < 1:
+            raise ValueError("register array capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._slots = [SramSlot(i) for i in range(capacity)]
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        self._used_map: Dict[int, int] = {}
+        self.peak_used = 0
+
+    def __len__(self) -> int:
+        return len(self._used_map)
+
+    @property
+    def free(self) -> int:
+        return len(self._free)
+
+    @property
+    def used(self) -> int:
+        return len(self._used_map)
+
+    def utilization(self) -> float:
+        return self.used / self.capacity
+
+    def allocate(self, key: int, data: Any = None) -> SramSlot:
+        """Take a slot from the free list and bind it to ``key``."""
+        if key in self._used_map:
+            raise ValueError(f"{self.name}: key {key:#x} already mapped")
+        if not self._free:
+            raise SramFullError(f"{self.name}: all {self.capacity} slots in use")
+        idx = self._free.pop()
+        slot = self._slots[idx]
+        slot.data = data
+        self._used_map[key] = idx
+        self.peak_used = max(self.peak_used, self.used)
+        return slot
+
+    def lookup(self, key: int) -> Optional[SramSlot]:
+        idx = self._used_map.get(key)
+        return self._slots[idx] if idx is not None else None
+
+    def release(self, key: int) -> None:
+        """Return a slot to the free list."""
+        idx = self._used_map.pop(key, None)
+        if idx is None:
+            raise KeyError(f"{self.name}: key {key:#x} not mapped")
+        self._slots[idx].data = None
+        self._free.append(idx)
+
+    def rekey(self, old_key: int, new_key: int) -> None:
+        """Rebind a slot to a new key (used when regions merge/split)."""
+        if new_key in self._used_map:
+            raise ValueError(f"{self.name}: key {new_key:#x} already mapped")
+        idx = self._used_map.pop(old_key, None)
+        if idx is None:
+            raise KeyError(f"{self.name}: key {old_key:#x} not mapped")
+        self._used_map[new_key] = idx
+
+    def keys(self) -> Iterator[int]:
+        return iter(self._used_map.keys())
+
+    def items(self) -> Iterator:
+        return ((k, self._slots[i].data) for k, i in self._used_map.items())

@@ -1,0 +1,52 @@
+"""Workload generators reproducing the paper's evaluation traffic.
+
+TF (TensorFlow/ResNet-50), GC (GraphChi/PageRank), M_A/M_C (Memcached under
+YCSB A/C), Native-KVS, and the uniform-random microbenchmark of Fig. 7.
+All are deterministic functions of a seed; every system replays identical
+streams, mirroring the paper's PIN-trace methodology.
+"""
+
+from .graph_like import GraphLikeWorkload
+from .kvs import MindKvs, NativeKvsWorkload, SLOT_SIZE, TOMBSTONE
+from .scoped import TeamSharingWorkload
+from .synthetic import UniformSharingWorkload
+from .tensorflow_like import TensorFlowLikeWorkload
+from .trace_io import (
+    FileWorkload,
+    TraceFormatError,
+    convert_pin_text,
+    load_traces,
+    record_workload,
+    save_traces,
+)
+from .trace import (
+    RegionSpec,
+    ThreadTrace,
+    TraceWorkload,
+    interleave,
+    stable_seed,
+)
+from .ycsb import MemcachedYcsbWorkload
+
+__all__ = [
+    "FileWorkload",
+    "GraphLikeWorkload",
+    "MemcachedYcsbWorkload",
+    "MindKvs",
+    "NativeKvsWorkload",
+    "RegionSpec",
+    "SLOT_SIZE",
+    "TeamSharingWorkload",
+    "TOMBSTONE",
+    "ThreadTrace",
+    "TensorFlowLikeWorkload",
+    "TraceFormatError",
+    "TraceWorkload",
+    "UniformSharingWorkload",
+    "convert_pin_text",
+    "interleave",
+    "load_traces",
+    "record_workload",
+    "save_traces",
+    "stable_seed",
+]

@@ -1,0 +1,104 @@
+"""GC: a GraphChi/PageRank-on-Twitter-like workload (Section 7).
+
+Graph traversal is the paper's mid-contention case: random, often
+contentious access to shared vertex state.  PageRank reads the ranks of a
+vertex's neighbours -- dominated by a small set of *hub* vertices in a
+power-law graph like Twitter's -- and writes vertices' new ranks.  Because
+degree-sorted layouts pack the hubs onto a few pages, those pages are both
+read-hot (every thread's neighbour reads) and write-hot (the hubs' own
+rank updates), so they ping-pong between Modified and Shared across
+blades.  GC writes ~2.5x more shared data than TF, and the paper shows its
+scaling peaking at 2 compute blades and degrading beyond (Fig. 5 center)
+as invalidations, TLB shootdowns and flushed pages climb (Fig. 6).
+
+The hub set is modelled as a two-tier distribution: ``hot_fraction`` of
+rank-region traffic concentrates on ``hot_pages`` hub pages, the rest is
+uniform over the whole rank array.  (A raw Zipf head is *too* heavy: one
+page absorbs ~25 % of traffic and saturates immediately; real hub mass is
+spread over the top few dozen pages.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..sim.network import PAGE_SIZE
+from .trace import RegionSpec, TraceWorkload
+
+
+class GraphLikeWorkload(TraceWorkload):
+    """PageRank-like: hub-concentrated shared reads *and* writes."""
+
+    name = "GC"
+
+    def __init__(
+        self,
+        num_threads: int,
+        accesses_per_thread: int = 5_000,
+        rank_pages: int = 8_000,
+        edge_pages_per_thread: int = 3_000,
+        neighbour_reads_per_vertex: int = 5,
+        hot_pages: int = 24,
+        hot_fraction: float = 0.30,
+        seed: int = 1,
+        burst: int = 8,
+    ):
+        super().__init__(num_threads, accesses_per_thread, seed, burst)
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if hot_pages < 1 or hot_pages > rank_pages:
+            raise ValueError("hot_pages must be in [1, rank_pages]")
+        self.rank_pages = rank_pages
+        self.edge_pages_per_thread = edge_pages_per_thread
+        self.neighbour_reads_per_vertex = neighbour_reads_per_vertex
+        self.hot_pages = hot_pages
+        self.hot_fraction = hot_fraction
+
+    def region_specs(self) -> List[RegionSpec]:
+        specs = [RegionSpec("ranks", self.rank_pages * PAGE_SIZE)]
+        specs.extend(
+            RegionSpec(f"edges{t}", self.edge_pages_per_thread * PAGE_SIZE)
+            for t in range(self.num_threads)
+        )
+        return specs
+
+    def _hub_skewed_pages(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Rank pages with hub concentration: two-tier hot/uniform mix."""
+        hot = rng.random(n) < self.hot_fraction
+        hub = rng.integers(0, self.hot_pages, size=n)
+        cold = rng.integers(0, self.rank_pages, size=n)
+        return np.where(hot, hub, cold)
+
+    def _generate(
+        self, thread_id: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        per_vertex = self.neighbour_reads_per_vertex + 2  # reads + edges + write
+        vertices = max(1, -(-self.num_touches // per_vertex))
+        regions: List[np.ndarray] = []
+        pages: List[np.ndarray] = []
+        writes: List[np.ndarray] = []
+        edge_region = 1 + thread_id
+        edge_cursor = 0
+        for _v in range(vertices):
+            k = self.neighbour_reads_per_vertex
+            # Read neighbour ranks: shared, hub-skewed.
+            regions.append(np.zeros(k, dtype=np.int64))
+            pages.append(self._hub_skewed_pages(rng, k))
+            writes.append(np.zeros(k, dtype=bool))
+            # Stream the vertex's edge list from private storage.
+            regions.append(np.array([edge_region], dtype=np.int64))
+            pages.append(np.array([edge_cursor % self.edge_pages_per_thread]))
+            writes.append(np.array([False]))
+            edge_cursor += 1
+            # Write the new rank; hub pages take their share of writes too
+            # (degree-sorted layout packs hubs together), which is what
+            # ping-pongs the hot regions M <-> S across blades.
+            regions.append(np.zeros(1, dtype=np.int64))
+            pages.append(self._hub_skewed_pages(rng, 1))
+            writes.append(np.array([True]))
+        out_regions = np.concatenate(regions)[: self.num_touches]
+        out_pages = np.concatenate(pages)[: self.num_touches]
+        out_writes = np.concatenate(writes)[: self.num_touches]
+        return out_regions, out_pages, out_writes

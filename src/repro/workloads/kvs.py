@@ -1,0 +1,209 @@
+"""Native-KVS: a simple key-value store run natively on MIND (Section 7.1).
+
+The paper complements the PIN-trace experiments with a key-value store
+executed *natively* on MIND and FastSwap (both offer a transparent memory
+interface).  Its defining property versus Memcached: the KVS partitions
+its state across compute blades, so most of a thread's traffic stays in
+its own partition -- which is why Native-KVS under YCSB-A scales better
+than M_A (Fig. 5 right).
+
+This module provides both the trace form (for the scaling benchmarks) and
+a real dictionary-backed KVS built on the public API (used by the examples
+and correctness tests).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..sim.network import PAGE_SIZE
+from ..sim.rng import ZipfianSampler, scrambled
+from .trace import RegionSpec, TraceWorkload, stable_seed
+
+
+class NativeKvsWorkload(TraceWorkload):
+    """Partitioned KVS under YCSB: mostly-local keys, some remote."""
+
+    def __init__(
+        self,
+        num_threads: int,
+        accesses_per_thread: int = 5_000,
+        read_ratio: float = 0.5,
+        pages_per_partition: int = 8_000,
+        locality: float = 0.75,
+        zipf_theta: float = 0.99,
+        seed: int = 1,
+        burst: int = 8,
+    ):
+        super().__init__(num_threads, accesses_per_thread, seed, burst)
+        if not 0.0 <= locality <= 1.0:
+            raise ValueError("locality must be in [0, 1]")
+        self.read_ratio = read_ratio
+        self.pages_per_partition = pages_per_partition
+        self.locality = locality
+        self.zipf_theta = zipf_theta
+        suffix = "A" if read_ratio < 1.0 else "C"
+        self.name = f"NativeKVS-{suffix}"
+
+    def region_specs(self) -> List[RegionSpec]:
+        # One partition region per thread; the union is the shared table.
+        return [
+            RegionSpec(f"part{t}", self.pages_per_partition * PAGE_SIZE)
+            for t in range(self.num_threads)
+        ]
+
+    def _generate(
+        self, thread_id: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n = self.num_touches
+        sampler = ZipfianSampler(
+            self.pages_per_partition,
+            theta=self.zipf_theta,
+            seed=stable_seed(self.name, self.seed, thread_id, "zipf"),
+        )
+        pages = scrambled(sampler.sample(n), self.pages_per_partition).astype(np.int64)
+        local = rng.random(n) < self.locality
+        remote_partitions = rng.integers(0, self.num_threads, size=n)
+        regions = np.where(local, thread_id, remote_partitions).astype(np.int64)
+        writes = rng.random(n) >= self.read_ratio
+        return regions, pages, writes
+
+
+# ---------------------------------------------------------------------------
+# A real KVS on the public API (used by examples and integration tests).
+# ---------------------------------------------------------------------------
+
+_SLOT_HEADER = struct.Struct("<HH")  # key length, value length
+SLOT_SIZE = 256
+SLOTS_PER_PAGE = PAGE_SIZE // SLOT_SIZE
+#: key-length sentinel marking a deleted slot.
+TOMBSTONE = 0xFFFF
+
+
+class MindKvs:
+    """A fixed-slot hash table stored in MIND's disaggregated memory.
+
+    Keys hash to a slot; collisions probe linearly.  Any thread on any
+    compute blade can serve any request -- coherence makes the table one
+    consistent structure, which is the transparent-elasticity story the
+    paper tells.  Deliberately simple: the point is exercising the memory
+    system, not building RocksDB.
+    """
+
+    def __init__(self, process, num_slots: int = 4096):
+        if num_slots < 1:
+            raise ValueError("need at least one slot")
+        self.process = process
+        self.num_slots = num_slots
+        self.base = process.mmap(num_slots * SLOT_SIZE)
+
+    def _slot_va(self, index: int) -> int:
+        return self.base + (index % self.num_slots) * SLOT_SIZE
+
+    @staticmethod
+    def _hash(key: bytes) -> int:
+        h = 2166136261
+        for b in key:
+            h = ((h ^ b) * 16777619) & 0xFFFFFFFF
+        return h
+
+    # Each operation comes in two forms: a *generator* (``*_gen``) usable
+    # from concurrently simulated threads, and a blocking wrapper that
+    # drives the simulation for single-client use.
+
+    def put_gen(self, thread, key: bytes, value: bytes):
+        """Generator form of :meth:`put` for concurrent simulation."""
+        if len(key) + len(value) + _SLOT_HEADER.size > SLOT_SIZE:
+            raise ValueError("key+value too large for a slot")
+        blade, pid = thread.blade, thread.process.pid
+        start = self._hash(key)
+        target_va = None
+        tombstone_va = None
+        for probe in range(self.num_slots):
+            va = self._slot_va(start + probe)
+            header = yield from blade.load_bytes(pid, va, _SLOT_HEADER.size)
+            klen, _vlen = _SLOT_HEADER.unpack(header)
+            if klen == TOMBSTONE:
+                if tombstone_va is None:
+                    tombstone_va = va  # reusable, but keep probing for the key
+                continue
+            if klen == 0:
+                target_va = tombstone_va if tombstone_va is not None else va
+                break
+            if klen == len(key):
+                stored = yield from blade.load_bytes(pid, va + _SLOT_HEADER.size, klen)
+                if stored == key:
+                    target_va = va  # update in place
+                    break
+        if target_va is None:
+            target_va = tombstone_va
+        if target_va is None:
+            raise RuntimeError("KVS full")
+        payload = _SLOT_HEADER.pack(len(key), len(value)) + key + value
+        yield from blade.store_bytes(pid, target_va, payload)
+
+    def get_gen(self, thread, key: bytes):
+        """Generator form of :meth:`get` for concurrent simulation."""
+        blade, pid = thread.blade, thread.process.pid
+        start = self._hash(key)
+        for probe in range(self.num_slots):
+            va = self._slot_va(start + probe)
+            header = yield from blade.load_bytes(pid, va, _SLOT_HEADER.size)
+            klen, vlen = _SLOT_HEADER.unpack(header)
+            if klen == 0:
+                return None
+            if klen == TOMBSTONE:
+                continue
+            if klen == len(key):
+                stored = yield from blade.load_bytes(pid, va + _SLOT_HEADER.size, klen)
+                if stored == key:
+                    value = yield from blade.load_bytes(
+                        pid, va + _SLOT_HEADER.size + klen, vlen
+                    )
+                    return value
+        return None
+
+    def delete_gen(self, thread, key: bytes):
+        """Generator form of :meth:`delete`.
+
+        Deleted slots become tombstones so later probe chains stay intact;
+        ``put`` reuses them.
+        """
+        blade, pid = thread.blade, thread.process.pid
+        start = self._hash(key)
+        for probe in range(self.num_slots):
+            va = self._slot_va(start + probe)
+            header = yield from blade.load_bytes(pid, va, _SLOT_HEADER.size)
+            klen, _vlen = _SLOT_HEADER.unpack(header)
+            if klen == 0:
+                return False
+            if klen == TOMBSTONE:
+                continue
+            if klen == len(key):
+                stored = yield from blade.load_bytes(pid, va + _SLOT_HEADER.size, klen)
+                if stored == key:
+                    yield from blade.store_bytes(
+                        pid, va, _SLOT_HEADER.pack(TOMBSTONE, 0)
+                    )
+                    return True
+        return False
+
+    @staticmethod
+    def _run(thread, gen):
+        engine = thread.blade.engine
+        return engine.run_until_complete(engine.process(gen))
+
+    def put(self, thread, key: bytes, value: bytes) -> None:
+        """Insert or update; raises when the table is full (blocking)."""
+        self._run(thread, self.put_gen(thread, key, value))
+
+    def get(self, thread, key: bytes) -> Optional[bytes]:
+        """Lookup; returns None when absent (blocking)."""
+        return self._run(thread, self.get_gen(thread, key))
+
+    def delete(self, thread, key: bytes) -> bool:
+        """Remove a key; returns whether it existed (blocking)."""
+        return self._run(thread, self.delete_gen(thread, key))

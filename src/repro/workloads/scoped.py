@@ -1,0 +1,93 @@
+"""Team-scoped sharing workload (used by the thread-placement ablation).
+
+Many real services share memory in *clusters*: pipeline stages exchanging
+buffers, co-scheduled tasks of one job, sessions of one tenant.  This
+workload models that structure: threads form teams of ``team_size``; each
+team hammers its own shared scratch region (read-write), with a small
+amount of globally shared read-mostly traffic and private work.
+
+Round-robin placement scatters a team across blades, turning its internal
+traffic into coherence messages; sharing-aware placement keeps teams
+together, making the same traffic local -- the Section 8 "thread
+management" opportunity this workload exists to expose.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..sim.network import PAGE_SIZE
+from .trace import RegionSpec, TraceWorkload
+
+
+class TeamSharingWorkload(TraceWorkload):
+    """Threads share heavily within teams, lightly across them."""
+
+    name = "TeamShare"
+
+    def __init__(
+        self,
+        num_threads: int,
+        accesses_per_thread: int = 4_000,
+        team_size: int = 4,
+        team_pages: int = 256,
+        global_pages: int = 1_024,
+        private_pages: int = 512,
+        team_fraction: float = 0.5,
+        global_fraction: float = 0.1,
+        team_write_ratio: float = 0.5,
+        seed: int = 1,
+        burst: int = 4,
+    ):
+        super().__init__(num_threads, accesses_per_thread, seed, burst)
+        if num_threads % team_size:
+            raise ValueError("num_threads must be a multiple of team_size")
+        self.team_size = team_size
+        self.num_teams = num_threads // team_size
+        self.team_pages = team_pages
+        self.global_pages = global_pages
+        self.private_pages = private_pages
+        self.team_fraction = team_fraction
+        self.global_fraction = global_fraction
+        self.team_write_ratio = team_write_ratio
+
+    def team_of(self, thread_id: int) -> int:
+        return thread_id // self.team_size
+
+    def region_specs(self) -> List[RegionSpec]:
+        specs = [RegionSpec("global", self.global_pages * PAGE_SIZE)]
+        specs.extend(
+            RegionSpec(f"team{t}", self.team_pages * PAGE_SIZE)
+            for t in range(self.num_teams)
+        )
+        specs.extend(
+            RegionSpec(f"private{t}", self.private_pages * PAGE_SIZE)
+            for t in range(self.num_threads)
+        )
+        return specs
+
+    def _generate(
+        self, thread_id: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n = self.num_touches
+        team_region = 1 + self.team_of(thread_id)
+        private_region = 1 + self.num_teams + thread_id
+        roll = rng.random(n)
+        is_team = roll < self.team_fraction
+        is_global = (~is_team) & (roll < self.team_fraction + self.global_fraction)
+        regions = np.full(n, private_region, dtype=np.int64)
+        regions[is_team] = team_region
+        regions[is_global] = 0
+        pages = rng.integers(0, self.private_pages, size=n)
+        pages[is_team] = rng.integers(0, self.team_pages, size=int(is_team.sum()))
+        pages[is_global] = rng.integers(0, self.global_pages, size=int(is_global.sum()))
+        # Team traffic is read-write; global traffic is read-mostly;
+        # private traffic is read-modify-write.
+        writes = np.zeros(n, dtype=bool)
+        writes[is_team] = rng.random(int(is_team.sum())) < self.team_write_ratio
+        writes[is_global] = rng.random(int(is_global.sum())) < 0.02
+        private_mask = ~(is_team | is_global)
+        writes[private_mask] = rng.random(int(private_mask.sum())) < 0.5
+        return regions, pages, writes

@@ -1,0 +1,67 @@
+"""Synthetic microbenchmark workload (Fig. 7 center/right).
+
+The paper's bottleneck study drives 8 compute blades with a uniform-random
+access pattern over a 400 k-page working set, sweeping two knobs:
+
+- ``read_ratio``: fraction of accesses that are reads (rest are writes);
+- ``sharing_ratio``: fraction of accesses that go to a region shared by
+  *all* threads (the rest hit a per-thread private region).
+
+High write + high sharing maximizes ``M->S``/``S->M`` transitions with
+invalidations; read-only or private traffic stays cached locally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..sim.network import PAGE_SIZE
+from .trace import RegionSpec, TraceWorkload
+
+
+class UniformSharingWorkload(TraceWorkload):
+    """Uniform-random accesses with tunable read and sharing ratios."""
+
+    def __init__(
+        self,
+        num_threads: int,
+        accesses_per_thread: int = 5_000,
+        read_ratio: float = 0.5,
+        sharing_ratio: float = 0.5,
+        shared_pages: int = 400_000,
+        private_pages_per_thread: int = 4_096,
+        seed: int = 1,
+        burst: int = 1,
+    ):
+        super().__init__(num_threads, accesses_per_thread, seed, burst)
+        if not 0.0 <= read_ratio <= 1.0:
+            raise ValueError("read_ratio must be in [0, 1]")
+        if not 0.0 <= sharing_ratio <= 1.0:
+            raise ValueError("sharing_ratio must be in [0, 1]")
+        self.read_ratio = read_ratio
+        self.sharing_ratio = sharing_ratio
+        self.shared_pages = shared_pages
+        self.private_pages_per_thread = private_pages_per_thread
+        self.name = f"uniform(r={read_ratio},s={sharing_ratio})"
+
+    def region_specs(self) -> List[RegionSpec]:
+        specs = [RegionSpec("shared", self.shared_pages * PAGE_SIZE)]
+        specs.extend(
+            RegionSpec(f"private{t}", self.private_pages_per_thread * PAGE_SIZE)
+            for t in range(self.num_threads)
+        )
+        return specs
+
+    def _generate(
+        self, thread_id: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n = self.num_touches
+        shared = rng.random(n) < self.sharing_ratio
+        writes = rng.random(n) >= self.read_ratio
+        regions = np.where(shared, 0, 1 + thread_id).astype(np.int64)
+        shared_pages = rng.integers(0, self.shared_pages, size=n)
+        private_pages = rng.integers(0, self.private_pages_per_thread, size=n)
+        pages = np.where(shared, shared_pages, private_pages)
+        return regions, pages, writes

@@ -1,0 +1,189 @@
+"""Trace file I/O: capture, save and replay memory-access traces.
+
+The paper's methodology captures application memory accesses with Intel
+PIN and replays them across systems.  This module gives downstream users
+the same workflow with their *own* traces:
+
+- :func:`save_traces` / :func:`load_traces` persist per-thread access
+  streams as a single compressed ``.npz`` file (portable, versioned).
+- :class:`FileWorkload` wraps a loaded trace set in the standard
+  :class:`~repro.workloads.trace.TraceWorkload` interface, so a recorded
+  trace replays on MIND, GAM or FastSwap via the normal runner.
+- :func:`convert_pin_text` ingests the simple text format PIN tools
+  commonly emit (``<thread> <hex address> R|W`` per line).
+
+Addresses in trace files are *region-relative* (region index, page
+index), like generated workloads, so a trace is valid regardless of where
+a particular run's allocator places the regions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..sim.network import PAGE_SIZE
+from .trace import RegionSpec, TraceWorkload
+
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """The file is not a valid trace bundle."""
+
+
+def save_traces(
+    path: Union[str, Path],
+    name: str,
+    region_specs: Sequence[RegionSpec],
+    per_thread: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> None:
+    """Write a trace bundle.
+
+    ``per_thread`` holds, for each thread, ``(regions, pages, writes)``
+    arrays in the region-relative representation.
+    """
+    meta = {
+        "version": FORMAT_VERSION,
+        "name": name,
+        "num_threads": len(per_thread),
+        "regions": [
+            {"name": spec.name, "size_bytes": int(spec.size_bytes)}
+            for spec in region_specs
+        ],
+    }
+    arrays: Dict[str, np.ndarray] = {
+        "meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    }
+    for tid, (regions, pages, writes) in enumerate(per_thread):
+        if not (len(regions) == len(pages) == len(writes)):
+            raise TraceFormatError(f"thread {tid}: mismatched array lengths")
+        arrays[f"t{tid}_regions"] = np.asarray(regions, dtype=np.int64)
+        arrays[f"t{tid}_pages"] = np.asarray(pages, dtype=np.int64)
+        arrays[f"t{tid}_writes"] = np.asarray(writes, dtype=bool)
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+
+
+def load_traces(path: Union[str, Path]):
+    """Read a trace bundle; returns ``(name, region_specs, per_thread)``."""
+    with np.load(path) as bundle:
+        try:
+            meta = json.loads(bytes(bundle["meta"]).decode())
+        except KeyError as exc:
+            raise TraceFormatError("missing metadata block") from exc
+        if meta.get("version") != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace version {meta.get('version')!r}"
+            )
+        specs = [
+            RegionSpec(r["name"], int(r["size_bytes"])) for r in meta["regions"]
+        ]
+        per_thread = []
+        for tid in range(meta["num_threads"]):
+            try:
+                per_thread.append(
+                    (
+                        bundle[f"t{tid}_regions"],
+                        bundle[f"t{tid}_pages"],
+                        bundle[f"t{tid}_writes"],
+                    )
+                )
+            except KeyError as exc:
+                raise TraceFormatError(f"missing arrays for thread {tid}") from exc
+    return meta["name"], specs, per_thread
+
+
+class FileWorkload(TraceWorkload):
+    """A workload backed by a recorded trace bundle."""
+
+    def __init__(self, path: Union[str, Path], burst: int = 1):
+        name, specs, per_thread = load_traces(path)
+        if not per_thread:
+            raise TraceFormatError("trace bundle has no threads")
+        accesses = max(len(t[0]) for t in per_thread) * burst
+        super().__init__(
+            num_threads=len(per_thread),
+            accesses_per_thread=max(1, accesses),
+            burst=burst,
+        )
+        self.name = name
+        self._specs = specs
+        self._per_thread = per_thread
+
+    def region_specs(self) -> List[RegionSpec]:
+        return list(self._specs)
+
+    def _generate(self, thread_id: int, rng) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self._per_thread[thread_id]
+
+    def thread_trace(self, thread_id: int, bases):
+        """Bind without padding: each thread keeps its recorded length."""
+        regions, pages, writes = self._per_thread[thread_id]
+        if self.burst > 1:
+            regions = np.repeat(regions, self.burst)
+            pages = np.repeat(pages, self.burst)
+            writes = np.repeat(writes, self.burst)
+        base_arr = np.asarray(list(bases), dtype=np.int64)
+        from .trace import ThreadTrace
+
+        vas = base_arr[regions] + pages.astype(np.int64) * PAGE_SIZE
+        return ThreadTrace(thread_id, vas, writes.astype(bool))
+
+
+def record_workload(
+    workload: TraceWorkload, path: Union[str, Path]
+) -> None:
+    """Capture a generated workload into a trace bundle (useful to freeze a
+    configuration, or to hand the exact streams to another tool)."""
+    from .trace import stable_seed
+    from ..sim.rng import make_rng
+
+    per_thread = []
+    for tid in range(workload.num_threads):
+        rng = make_rng(stable_seed(workload.name, workload.seed, tid))
+        per_thread.append(workload._generate(tid, rng))
+    save_traces(path, workload.name, workload.region_specs(), per_thread)
+
+
+def convert_pin_text(
+    lines,
+    region_base: int,
+    region_size: int,
+    name: str = "pin-trace",
+):
+    """Convert PIN-style text lines to a trace bundle's in-memory form.
+
+    Expected line format: ``<thread_id> <hex address> <R|W>``.  All
+    addresses must fall within ``[region_base, region_base+region_size)``;
+    they are mapped onto a single region, page-relative.
+    Returns ``(region_specs, per_thread)`` ready for :func:`save_traces`.
+    """
+    threads: Dict[int, List[Tuple[int, bool]]] = {}
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3 or parts[2] not in ("R", "W"):
+            raise TraceFormatError(f"line {lineno}: expected '<tid> <hex> R|W'")
+        tid = int(parts[0])
+        addr = int(parts[1], 16)
+        if not region_base <= addr < region_base + region_size:
+            raise TraceFormatError(
+                f"line {lineno}: address {addr:#x} outside the region"
+            )
+        page = (addr - region_base) // PAGE_SIZE
+        threads.setdefault(tid, []).append((page, parts[2] == "W"))
+    specs = [RegionSpec(name, region_size)]
+    per_thread = []
+    for tid in sorted(threads):
+        ops = threads[tid]
+        pages = np.array([p for p, _w in ops], dtype=np.int64)
+        writes = np.array([w for _p, w in ops], dtype=bool)
+        regions = np.zeros(len(ops), dtype=np.int64)
+        per_thread.append((regions, pages, writes))
+    return specs, per_thread

@@ -1,0 +1,92 @@
+"""M_A / M_C: Memcached under YCSB workloads A and C (Section 7).
+
+YCSB drives a key-value store with Zipfian-distributed keys
+(``theta = 0.99``): workload **A** is 50 % reads / 50 % updates, workload
+**C** is 100 % reads.  Memcached shards its hash table across all server
+threads, so *every* thread touches the *whole* table: the paper notes that
+M_A and M_C have far more sharers and shared writes than TF or GC, which
+is what saturates the switch directory (Fig. 8 left) and kills inter-blade
+scaling for M_A (Fig. 5 center).
+
+Besides the key/value pages themselves, Memcached touches its allocator
+and LRU metadata on *every* operation -- a GET bumps the item in the LRU
+list, a SET additionally allocates from the slab allocator.  That tiny,
+extremely hot, write-shared region is why even the "read-only" M_C
+workload generates shared writes, saturates the directory and triggers
+over 10x more invalidations than TF or GC (Fig. 6, Fig. 8 left).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..sim.network import PAGE_SIZE
+from ..sim.rng import ZipfianSampler, scrambled
+from .trace import RegionSpec, TraceWorkload, stable_seed
+
+
+class MemcachedYcsbWorkload(TraceWorkload):
+    """Memcached serving YCSB: one shared table, Zipfian keys, all sharers."""
+
+    def __init__(
+        self,
+        num_threads: int,
+        accesses_per_thread: int = 5_000,
+        read_ratio: float = 0.5,
+        table_pages: int = 100_000,
+        metadata_pages: int = 32,
+        metadata_fraction: float = 0.15,
+        zipf_theta: float = 0.99,
+        seed: int = 1,
+        burst: int = 8,
+    ):
+        super().__init__(num_threads, accesses_per_thread, seed, burst)
+        if not 0.0 <= read_ratio <= 1.0:
+            raise ValueError("read_ratio must be in [0, 1]")
+        self.read_ratio = read_ratio
+        self.table_pages = table_pages
+        self.metadata_pages = metadata_pages
+        self.metadata_fraction = metadata_fraction
+        self.zipf_theta = zipf_theta
+        self.name = "M_A" if read_ratio < 1.0 else "M_C"
+
+    @classmethod
+    def workload_a(cls, num_threads: int, **kwargs) -> "MemcachedYcsbWorkload":
+        """YCSB-A: 50 % reads, 50 % updates."""
+        return cls(num_threads, read_ratio=0.5, **kwargs)
+
+    @classmethod
+    def workload_c(cls, num_threads: int, **kwargs) -> "MemcachedYcsbWorkload":
+        """YCSB-C: read-only."""
+        return cls(num_threads, read_ratio=1.0, **kwargs)
+
+    def region_specs(self) -> List[RegionSpec]:
+        return [
+            RegionSpec("table", self.table_pages * PAGE_SIZE),
+            RegionSpec("metadata", self.metadata_pages * PAGE_SIZE),
+        ]
+
+    def _generate(
+        self, thread_id: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n = self.num_touches
+        sampler = ZipfianSampler(
+            self.table_pages,
+            theta=self.zipf_theta,
+            seed=stable_seed(self.name, self.seed, thread_id, "zipf"),
+        )
+        keys = scrambled(sampler.sample(n), self.table_pages)
+        writes = rng.random(n) >= self.read_ratio
+        regions = np.zeros(n, dtype=np.int64)
+        pages = keys.astype(np.int64)
+        # Every operation (GET or SET) touches LRU/slab metadata, and those
+        # touches are *writes*: GETs bump LRU links, SETs also allocate.
+        if self.metadata_fraction > 0:
+            meta_mask = rng.random(n) < self.metadata_fraction
+            n_meta = int(meta_mask.sum())
+            regions[meta_mask] = 1
+            pages[meta_mask] = rng.integers(0, self.metadata_pages, size=n_meta)
+            writes = writes | meta_mask
+        return regions, pages, writes

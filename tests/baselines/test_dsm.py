@@ -1,0 +1,75 @@
+"""Tests for the Section 2.2 transparent-DSM strawmen."""
+
+import pytest
+
+from repro.baselines.dsm import DsmFlavor, TransparentDsm
+from repro.sim.network import PAGE_SIZE
+
+
+@pytest.fixture(params=[DsmFlavor.COMPUTE_CENTRIC, DsmFlavor.MEMORY_CENTRIC])
+def dsm(request):
+    system = TransparentDsm(request.param, num_compute=2, num_memory=2)
+    system.mmap(1 << 16)
+    return system
+
+
+def run_access(dsm, node_idx, va, write):
+    dsm.engine.run_process(dsm.access(dsm.nodes[node_idx], va, write))
+
+
+class TestAccessPath:
+    def test_hit_is_dram_speed(self, dsm):
+        run_access(dsm, 0, 0, write=False)
+        t0 = dsm.engine.now
+        run_access(dsm, 0, 0, write=False)
+        assert dsm.engine.now - t0 == pytest.approx(dsm.config.dram_access_us)
+
+    def test_remote_homed_miss_pays_two_round_trips(self, dsm):
+        # Page 1's home is node 1 / memory blade 1: remote from node 0.
+        t0 = dsm.engine.now
+        run_access(dsm, 0, PAGE_SIZE, write=False)
+        latency = dsm.engine.now - t0
+        assert latency > 12.0  # home hop + fetch, sequential
+
+    def test_locally_homed_miss_is_cheaper_compute_centric(self):
+        dsm = TransparentDsm(DsmFlavor.COMPUTE_CENTRIC, num_compute=2, num_memory=2)
+        dsm.mmap(1 << 16)
+        t0 = dsm.engine.now
+        run_access(dsm, 0, 0, write=False)  # page 0's home is node 0
+        local_home = dsm.engine.now - t0
+        t1 = dsm.engine.now
+        run_access(dsm, 1, PAGE_SIZE * 2, write=False)  # home = node 0, remote
+        remote_home = dsm.engine.now - t1
+        assert local_home < remote_home
+
+    def test_memory_centric_home_always_remote(self):
+        """Memory-centric: the home is a memory blade, so *every* miss pays
+        the home round trip (and the blade needs a CPU)."""
+        dsm = TransparentDsm(DsmFlavor.MEMORY_CENTRIC, num_compute=2, num_memory=2)
+        dsm.mmap(1 << 16)
+        latencies = []
+        for page in range(2):
+            t0 = dsm.engine.now
+            run_access(dsm, 0, page * PAGE_SIZE, write=False)
+            latencies.append(dsm.engine.now - t0)
+        assert min(latencies) > 12.0
+
+    def test_write_invalidates_sharer(self, dsm):
+        run_access(dsm, 0, PAGE_SIZE, write=False)
+        run_access(dsm, 1, PAGE_SIZE, write=False)
+        run_access(dsm, 1, PAGE_SIZE, write=True)
+        assert dsm.stats.counter("invalidations_sent") == 1
+        assert dsm.nodes[0].cache.peek(PAGE_SIZE) is None
+
+    def test_dirty_steal_flushes(self, dsm):
+        run_access(dsm, 0, PAGE_SIZE, write=True)
+        run_access(dsm, 1, PAGE_SIZE, write=False)
+        assert dsm.stats.counter("flushed_pages") == 1
+
+    def test_directory_tracks_msi(self, dsm):
+        run_access(dsm, 0, PAGE_SIZE, write=False)
+        entry = dsm.directory[PAGE_SIZE]
+        assert entry.state == "S" and 0 in entry.sharers
+        run_access(dsm, 1, PAGE_SIZE, write=True)
+        entry = dsm.directory[PAGE_SIZE]
+        assert entry.state == "M" and entry.owner == 1

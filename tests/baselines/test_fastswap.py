@@ -1,0 +1,92 @@
+"""Behavioural tests for the FastSwap swap-based baseline."""
+
+import pytest
+
+from repro.baselines.fastswap import FastSwapSystem
+from repro.runner import RunnerConfig, run_system
+from repro.sim.network import PAGE_SIZE
+from repro.workloads import UniformSharingWorkload
+
+
+def make_fastswap(cache_pages=64):
+    return FastSwapSystem(
+        num_memory_blades=2,
+        cache_capacity_pages=cache_pages,
+        memory_blade_capacity=1 << 26,
+    )
+
+
+class TestSwapPath:
+    def test_swap_in_populates_cache(self):
+        fs = make_fastswap()
+        base = fs.mmap(PAGE_SIZE)
+        fs.engine.run_process(fs._swap_in(base, write=False))
+        assert fs.cache.peek(base) is not None
+        assert fs.stats.counter("remote_accesses") == 1
+
+    def test_fault_latency_close_to_mind_clean_fetch(self):
+        fs = make_fastswap()
+        base = fs.mmap(PAGE_SIZE)
+        t0 = fs.engine.now
+        fs.engine.run_process(fs._swap_in(base, write=False))
+        latency = fs.engine.now - t0
+        assert 7.0 < latency < 11.0  # ~9 us, like MIND's I->S
+
+    def test_concurrent_faults_deduplicated(self):
+        fs = make_fastswap()
+        base = fs.mmap(PAGE_SIZE)
+        procs = [fs.engine.process(fs._swap_in(base, False)) for _ in range(4)]
+        fs.engine.run_until_complete(fs.engine.all_of(procs))
+        assert fs.stats.counter("remote_accesses") == 1
+
+    def test_dirty_eviction_swaps_out(self):
+        fs = make_fastswap(cache_pages=4)
+        base = fs.mmap(1 << 20)
+        fs.engine.run_process(fs._swap_in(base, write=True))
+        for i in range(1, 6):
+            fs.engine.run_process(fs._swap_in(base + i * PAGE_SIZE, write=False))
+        fs.engine.run()  # drain async swap-outs
+        assert fs.stats.counter("eviction_flushes") == 1
+        assert fs.stats.counter("pages_written_back") == 1
+
+    def test_pages_distributed_across_memory_blades(self):
+        fs = make_fastswap()
+        blades = {fs._memory_blade_for(i * PAGE_SIZE).blade_id for i in range(4)}
+        assert blades == {0, 1}
+
+
+class TestWorkloadReplay:
+    def test_all_threads_on_one_blade(self):
+        fs = make_fastswap(cache_pages=512)
+        wl = UniformSharingWorkload(
+            4, accesses_per_thread=300, shared_pages=64, private_pages_per_thread=16
+        )
+        result = fs.run_workload(wl)
+        assert result.num_blades == 1
+        assert result.total_accesses == 1200
+
+    def test_no_coherence_traffic(self):
+        fs = make_fastswap(cache_pages=512)
+        wl = UniformSharingWorkload(
+            4, accesses_per_thread=300, read_ratio=0.0, sharing_ratio=1.0,
+            shared_pages=64,
+        )
+        result = fs.run_workload(wl)
+        assert result.stats.counter("invalidations_sent") == 0
+
+    def test_runner_rejects_multi_blade_fastswap(self):
+        wl = UniformSharingWorkload(4, accesses_per_thread=100)
+        with pytest.raises(ValueError):
+            run_system("fastswap", wl, num_blades=2, config=RunnerConfig())
+
+    def test_intra_blade_scaling_near_linear(self):
+        def run(threads):
+            fs = make_fastswap(cache_pages=8192)
+            wl = UniformSharingWorkload(
+                threads, accesses_per_thread=400, read_ratio=0.5,
+                sharing_ratio=0.0, private_pages_per_thread=64,
+            )
+            r = fs.run_workload(wl)
+            return r.total_accesses / r.runtime_us
+
+        assert run(8) / run(1) > 5.0

@@ -1,0 +1,77 @@
+"""GAM consistency-model behaviour: PSO semantics at the trace level."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gam import GamSystem
+from repro.sim.network import PAGE_SIZE
+from repro.workloads.trace import ThreadTrace
+
+
+def make_gam(num_blades=1, cache_pages=512):
+    return GamSystem(
+        num_blades=num_blades,
+        num_memory_blades=2,
+        cache_capacity_pages=cache_pages,
+        memory_blade_capacity=1 << 26,
+    )
+
+
+def run_trace(gam, blade_idx, accesses):
+    return gam.engine.run_process(
+        gam.run_thread(gam.blades[blade_idx], iter(accesses))
+    )
+
+
+def test_write_burst_overlaps():
+    """PSO: consecutive write misses to distinct pages overlap in flight."""
+    gam = make_gam()
+    base = gam.mmap(1 << 20)
+    writes = [(base + i * PAGE_SIZE, True) for i in range(8)]
+    count = run_trace(gam, 0, writes)
+    assert count == 8
+    # Eight sequential remote writes would take ~8 * 12 us; PSO overlaps.
+    assert gam.engine.now < 8 * 12.0 * 0.7
+
+
+def test_read_blocks_on_pending_write():
+    """A read to a page with an in-flight write must wait for it."""
+    gam = make_gam()
+    base = gam.mmap(PAGE_SIZE)
+    run_trace(gam, 0, [(base, True), (base, False)])
+    # The read observed the completed write: page resident and dirty.
+    page = gam.blades[0].cache.peek(base)
+    assert page is not None and page.dirty
+
+
+def test_store_buffer_capacity_backpressure():
+    gam = make_gam()
+    base = gam.mmap(1 << 22)
+    writes = [(base + i * PAGE_SIZE, True) for i in range(64)]
+    gam.engine.run_process(
+        gam.run_thread(gam.blades[0], iter(writes), store_buffer_capacity=2)
+    )
+    # All writes landed despite the tiny buffer.
+    assert gam.stats.counter("remote_accesses") == 64
+
+
+def test_drain_at_trace_end():
+    """run_thread returns only after every buffered write completed."""
+    gam = make_gam()
+    base = gam.mmap(1 << 20)
+    writes = [(base + i * PAGE_SIZE, True) for i in range(4)]
+    run_trace(gam, 0, writes)
+    for i in range(4):
+        assert gam.blades[0].cache.peek(base + i * PAGE_SIZE) is not None
+
+
+def test_run_workload_reports_blade_count():
+    from repro.workloads import UniformSharingWorkload
+
+    gam = make_gam(num_blades=3)
+    wl = UniformSharingWorkload(
+        3, accesses_per_thread=100, shared_pages=32, private_pages_per_thread=8
+    )
+    result = gam.run_workload(wl)
+    assert result.num_blades == 3
+    assert result.system == "GAM"

@@ -1,0 +1,169 @@
+"""Unit tests for the compute-blade DRAM page cache."""
+
+import pytest
+
+from repro.blades.cache import PageCache
+from repro.sim.network import PAGE_SIZE
+
+
+@pytest.fixture
+def cache():
+    return PageCache(capacity_pages=4)
+
+
+class TestLookup:
+    def test_miss_on_empty(self, cache):
+        assert cache.lookup(0x1000, write=False) is None
+        assert cache.misses == 1
+
+    def test_hit_after_insert(self, cache):
+        cache.insert(0x1000, b"x" * PAGE_SIZE, writable=False)
+        page = cache.lookup(0x1000, write=False)
+        assert page is not None
+        assert cache.hits == 1
+
+    def test_sub_page_addresses_hit_same_page(self, cache):
+        cache.insert(0x1000, None, writable=False)
+        assert cache.lookup(0x1234, write=False) is not None
+
+    def test_write_to_read_only_is_upgrade_miss(self, cache):
+        cache.insert(0x1000, None, writable=False)
+        assert cache.lookup(0x1000, write=True) is None
+        assert cache.upgrades == 1
+
+    def test_write_hit_marks_dirty(self, cache):
+        cache.insert(0x1000, None, writable=True)
+        page = cache.lookup(0x1000, write=True)
+        assert page.dirty
+
+    def test_read_hit_does_not_dirty(self, cache):
+        cache.insert(0x1000, None, writable=True)
+        page = cache.lookup(0x1000, write=False)
+        assert not page.dirty
+
+    def test_peek_does_not_count(self, cache):
+        cache.insert(0x1000, None, writable=False)
+        cache.peek(0x1000)
+        assert cache.hits == 0
+
+    def test_contains(self, cache):
+        cache.insert(0x1000, None, writable=False)
+        assert 0x1000 in cache
+        assert 0x1800 in cache  # same page
+        assert 0x2000 not in cache
+
+
+class TestEviction:
+    def test_lru_eviction_order(self, cache):
+        for i in range(4):
+            cache.insert(i * PAGE_SIZE, None, writable=False)
+        cache.lookup(0, write=False)  # page 0 becomes most-recent
+        evicted = cache.insert(4 * PAGE_SIZE, None, writable=False)
+        assert [p.va for p in evicted] == [PAGE_SIZE]  # page 1 was LRU
+
+    def test_dirty_eviction_returned_for_flush(self, cache):
+        cache.insert(0, None, writable=True)
+        cache.lookup(0, write=True)
+        for i in range(1, 5):
+            evicted = cache.insert(i * PAGE_SIZE, None, writable=False)
+        all_evicted = [p for p in evicted]
+        assert any(p.va == 0 and p.dirty for p in all_evicted)
+
+    def test_capacity_respected(self, cache):
+        for i in range(10):
+            cache.insert(i * PAGE_SIZE, None, writable=False)
+        assert len(cache) == 4
+
+    def test_reinsert_same_page_no_eviction(self, cache):
+        cache.insert(0x1000, None, writable=False)
+        evicted = cache.insert(0x1000, b"y" * PAGE_SIZE, writable=True)
+        assert evicted == []
+        assert len(cache) == 1
+        page = cache.peek(0x1000)
+        assert page.writable  # upgrade retained
+
+    def test_drop(self, cache):
+        cache.insert(0x1000, None, writable=True)
+        dropped = cache.drop(0x1000)
+        assert dropped.va == 0x1000
+        assert cache.peek(0x1000) is None
+        assert cache.drop(0x1000) is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PageCache(0)
+
+
+class TestInvalidation:
+    def _fill_region(self, cache):
+        cache.insert(0x0, None, writable=True)
+        cache.lookup(0x0, write=True)  # dirty
+        cache.insert(0x1000, None, writable=True)  # writable, clean
+        cache.insert(0x2000, None, writable=False)  # read-only
+
+    def test_drop_invalidation_removes_all(self, cache):
+        self._fill_region(cache)
+        outcome = cache.invalidate_region(0, 4 * PAGE_SIZE, downgrade_to_shared=False)
+        assert len(cache) == 0
+        assert [p.va for p in outcome.flushed] == [0x0]
+        assert outcome.dropped == 2
+
+    def test_downgrade_keeps_pages_read_only(self, cache):
+        self._fill_region(cache)
+        outcome = cache.invalidate_region(0, 4 * PAGE_SIZE, downgrade_to_shared=True)
+        assert len(cache) == 3
+        assert [p.va for p in outcome.flushed] == [0x0]
+        for va in (0x0, 0x1000, 0x2000):
+            page = cache.peek(va)
+            assert not page.writable
+            assert not page.dirty
+
+    def test_invalidation_scoped_to_region(self, cache):
+        cache.insert(0x0, None, writable=True)
+        cache.insert(0x3000, None, writable=True)
+        cache.invalidate_region(0, 0x1000, downgrade_to_shared=False)
+        assert cache.peek(0x0) is None
+        assert cache.peek(0x3000) is not None
+
+    def test_writable_pages_tracking(self, cache):
+        self._fill_region(cache)
+        writable = cache.writable_pages_in(0, 4 * PAGE_SIZE)
+        assert sorted(p.va for p in writable) == [0x0, 0x1000]
+        cache.invalidate_region(0, 4 * PAGE_SIZE, downgrade_to_shared=False)
+        assert cache.writable_pages_in(0, 4 * PAGE_SIZE) == []
+
+    def test_empty_region_invalidation(self, cache):
+        outcome = cache.invalidate_region(0x100000, 0x1000, False)
+        assert outcome.pages_affected == 0
+
+    def test_keep_dirty_downgrade_moesi(self, cache):
+        """MOESI M->O: pages become read-only but stay dirty, unflushed."""
+        self._fill_region(cache)
+        outcome = cache.invalidate_region(
+            0, 4 * PAGE_SIZE, downgrade_to_shared=True, keep_dirty=True
+        )
+        assert outcome.flushed == []  # nothing written back
+        assert outcome.downgraded == 3
+        dirty_page = cache.peek(0x0)
+        assert dirty_page.dirty and not dirty_page.writable
+        # Writable-set tracking cleared: no page is writable any more.
+        assert cache.writable_pages_in(0, 4 * PAGE_SIZE) == []
+
+
+class TestPayload:
+    def test_data_copied_on_insert(self, cache):
+        buf = b"a" * PAGE_SIZE
+        cache.insert(0x1000, buf, writable=True)
+        page = cache.peek(0x1000)
+        page.data[0] = ord("z")
+        assert buf[0] == ord("a")  # original unchanged
+
+    def test_none_data_supported(self, cache):
+        cache.insert(0x1000, None, writable=True)
+        assert cache.peek(0x1000).data is None
+
+    def test_hit_rate(self, cache):
+        cache.insert(0x1000, None, writable=False)
+        cache.lookup(0x1000, write=False)
+        cache.lookup(0x2000, write=False)
+        assert cache.hit_rate == pytest.approx(0.5)

@@ -1,0 +1,78 @@
+"""Unit tests for the PSO store buffer."""
+
+import pytest
+
+from repro.blades.consistency import ConsistencyModel, StoreBuffer
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+def test_models_enumerated():
+    assert ConsistencyModel.TSO.value == "tso"
+    assert ConsistencyModel.PSO.value == "pso"
+
+
+class TestStoreBuffer:
+    def test_pending_lookup(self, engine):
+        buf = StoreBuffer(4)
+        ev = engine.event()
+        buf.add(0x1000, ev)
+        assert buf.pending_for(0x1000) is ev
+        assert buf.pending_for(0x2000) is None
+
+    def test_same_page_coalesces(self, engine):
+        buf = StoreBuffer(4)
+        ev1, ev2 = engine.event(), engine.event()
+        buf.add(0x1000, ev1)
+        buf.add(0x1000, ev2)
+        assert len(buf) == 1
+        assert buf.pending_for(0x1000) is ev1
+
+    def test_full(self, engine):
+        buf = StoreBuffer(2)
+        buf.add(0x1000, engine.event())
+        assert not buf.full
+        buf.add(0x2000, engine.event())
+        assert buf.full
+
+    def test_complete_frees_slot(self, engine):
+        buf = StoreBuffer(1)
+        buf.add(0x1000, engine.event())
+        buf.complete(0x1000)
+        assert not buf.full
+        assert buf.pending_for(0x1000) is None
+
+    def test_oldest_skips_completed(self, engine):
+        buf = StoreBuffer(4)
+        e1, e2 = engine.event(), engine.event()
+        buf.add(0x1000, e1)
+        buf.add(0x2000, e2)
+        e1.succeed()
+        buf.complete(0x1000)
+        assert buf.oldest() is e2
+
+    def test_oldest_empty(self, engine):
+        assert StoreBuffer(2).oldest() is None
+
+    def test_drain_events_only_untriggered(self, engine):
+        buf = StoreBuffer(4)
+        e1, e2 = engine.event(), engine.event()
+        buf.add(0x1000, e1)
+        buf.add(0x2000, e2)
+        e1.succeed()
+        assert buf.drain_events() == [e2]
+
+    def test_peak_occupancy(self, engine):
+        buf = StoreBuffer(4)
+        buf.add(0x1000, engine.event())
+        buf.add(0x2000, engine.event())
+        buf.complete(0x1000)
+        assert buf.peak_occupancy == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            StoreBuffer(0)

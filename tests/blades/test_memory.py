@@ -1,0 +1,74 @@
+"""Unit tests for the passive memory blade."""
+
+import pytest
+
+from repro.blades.memory import MemoryBlade, ZERO_PAGE
+from repro.sim.engine import Engine
+from repro.sim.network import Network, PAGE_SIZE
+
+
+@pytest.fixture
+def blade():
+    network = Network(Engine())
+    return MemoryBlade(0, network, capacity_bytes=16 * PAGE_SIZE)
+
+
+def test_register(blade):
+    assert not blade.registered
+    blade.register()
+    assert blade.registered
+
+
+def test_unwritten_page_reads_zero(blade):
+    assert blade.read_page(0) == ZERO_PAGE
+
+
+def test_write_then_read(blade):
+    payload = bytes(range(256)) * 16
+    blade.write_page(PAGE_SIZE, payload)
+    assert blade.read_page(PAGE_SIZE) == payload
+    assert blade.resident_pages == 1
+
+
+def test_sub_page_address_maps_to_page(blade):
+    blade.write_page(PAGE_SIZE, b"\x01" * PAGE_SIZE)
+    assert blade.read_page(PAGE_SIZE + 100) == b"\x01" * PAGE_SIZE
+
+
+def test_short_payload_zero_padded(blade):
+    blade.write_page(0, b"abc")
+    data = blade.read_page(0)
+    assert data[:3] == b"abc"
+    assert data[3:] == bytes(PAGE_SIZE - 3)
+    assert len(data) == PAGE_SIZE
+
+
+def test_out_of_capacity_rejected(blade):
+    with pytest.raises(ValueError):
+        blade.read_page(16 * PAGE_SIZE)
+    with pytest.raises(ValueError):
+        blade.write_page(-PAGE_SIZE, b"")
+
+
+def test_counters(blade):
+    blade.read_page(0)
+    blade.write_page(0, b"x")
+    blade.read_page(0)
+    assert blade.reads_served == 2
+    assert blade.writes_served == 1
+
+
+def test_store_data_disabled():
+    network = Network(Engine())
+    blade = MemoryBlade(0, network, capacity_bytes=16 * PAGE_SIZE, store_data=False)
+    blade.write_page(0, b"payload")
+    assert blade.read_page(0) is None
+    assert blade.resident_pages == 0
+    # Timing counters still track.
+    assert blade.reads_served == 1 and blade.writes_served == 1
+
+
+def test_capacity_validation():
+    network = Network(Engine())
+    with pytest.raises(ValueError):
+        MemoryBlade(0, network, capacity_bytes=100)  # not page multiple

@@ -1,0 +1,117 @@
+"""Unit tests for PTE tracking and TLB shootdown accounting."""
+
+import pytest
+
+from repro.blades.tlb import PteTable
+from repro.sim.network import PAGE_SIZE
+
+
+@pytest.fixture
+def ptes():
+    return PteTable()
+
+
+def test_map_and_contains(ptes):
+    ptes.map_page(0x1000, writable=True)
+    assert 0x1000 in ptes
+    assert 0x1800 in ptes  # same page
+    assert 0x2000 not in ptes
+
+
+def test_entry_lookup(ptes):
+    ptes.map_page(0x1000, writable=False)
+    entry = ptes.entry(0x1000)
+    assert entry is not None and not entry.writable
+
+
+def test_unmap(ptes):
+    ptes.map_page(0x1000, writable=True)
+    assert ptes.unmap_page(0x1000)
+    assert not ptes.unmap_page(0x1000)
+    assert len(ptes) == 0
+
+
+def test_entries_in_range(ptes):
+    for i in range(4):
+        ptes.map_page(i * PAGE_SIZE, writable=True)
+    assert len(ptes.entries_in(0, 2 * PAGE_SIZE)) == 2
+
+
+class TestShootdown:
+    def test_unmap_shootdown_cost(self, ptes):
+        ptes.map_page(0x0, writable=True)
+        ptes.map_page(0x1000, writable=True)
+        cost = ptes.shootdown_region(0, 2 * PAGE_SIZE, downgrade_to_shared=False)
+        assert cost == pytest.approx(
+            PteTable.SHOOTDOWN_BASE_US + PteTable.SHOOTDOWN_PER_PAGE_US
+        )
+        assert len(ptes) == 0
+        assert ptes.shootdowns == 1
+        assert ptes.pages_shot_down == 2
+
+    def test_no_mapped_pages_no_cost(self, ptes):
+        assert ptes.shootdown_region(0, PAGE_SIZE, False) == 0.0
+        assert ptes.shootdowns == 0
+
+    def test_downgrade_write_protects(self, ptes):
+        ptes.map_page(0x0, writable=True)
+        cost = ptes.shootdown_region(0, PAGE_SIZE, downgrade_to_shared=True)
+        assert cost > 0
+        entry = ptes.entry(0x0)
+        assert entry is not None and not entry.writable
+
+    def test_downgrade_of_read_only_pages_free(self, ptes):
+        """Write-protecting already-read-only PTEs needs no shootdown."""
+        ptes.map_page(0x0, writable=False)
+        assert ptes.shootdown_region(0, PAGE_SIZE, downgrade_to_shared=True) == 0.0
+
+    def test_shootdown_scoped_to_region(self, ptes):
+        ptes.map_page(0x0, writable=True)
+        ptes.map_page(0x5000, writable=True)
+        ptes.shootdown_region(0, PAGE_SIZE, False)
+        assert 0x5000 in ptes
+
+    def test_cost_scales_with_batch(self, ptes):
+        for i in range(8):
+            ptes.map_page(i * PAGE_SIZE, writable=True)
+        big = ptes.shootdown_region(0, 8 * PAGE_SIZE, False)
+        ptes.map_page(0x100000, writable=True)
+        small = ptes.shootdown_region(0x100000, PAGE_SIZE, False)
+        assert big > small
+
+
+class TestPerDomain:
+    """Cached pages must not leak between protection domains (Sec 3.2)."""
+
+    def test_domains_map_independently(self, ptes):
+        ptes.map_page(0x1000, writable=True, pdid=1)
+        assert ptes.entry(0x1000, pdid=1) is not None
+        assert ptes.entry(0x1000, pdid=2) is None
+
+    def test_unmap_page_clears_all_domains(self, ptes):
+        ptes.map_page(0x1000, writable=True, pdid=1)
+        ptes.map_page(0x1000, writable=False, pdid=2)
+        assert ptes.unmap_page(0x1000)
+        assert ptes.entry(0x1000, pdid=1) is None
+        assert ptes.entry(0x1000, pdid=2) is None
+
+    def test_unmap_domain_range_scoped(self, ptes):
+        ptes.map_page(0x1000, writable=True, pdid=1)
+        ptes.map_page(0x1000, writable=False, pdid=2)
+        ptes.map_page(0x5000, writable=True, pdid=1)
+        removed = ptes.unmap_domain_range(1, 0, 0x2000)
+        assert removed == 1
+        assert ptes.entry(0x1000, pdid=1) is None
+        assert ptes.entry(0x1000, pdid=2) is not None  # other domain kept
+        assert ptes.entry(0x5000, pdid=1) is not None  # outside range kept
+
+    def test_shootdown_covers_all_domains(self, ptes):
+        ptes.map_page(0x1000, writable=True, pdid=1)
+        ptes.map_page(0x1000, writable=True, pdid=2)
+        cost = ptes.shootdown_region(0, 0x2000, downgrade_to_shared=False)
+        assert cost > 0
+        assert len(ptes) == 0
+
+    def test_contains_any_domain(self, ptes):
+        ptes.map_page(0x1000, writable=True, pdid=7)
+        assert 0x1000 in ptes

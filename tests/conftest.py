@@ -1,0 +1,41 @@
+"""Shared fixtures: small, fast cluster configurations for tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterConfig, MindCluster
+from repro.core.mmu import MindConfig
+
+
+def small_cluster(
+    num_compute: int = 2,
+    num_memory: int = 1,
+    cache_pages: int = 64,
+    **mind_kwargs,
+) -> MindCluster:
+    """A tiny rack that builds in milliseconds for unit-level tests."""
+    mind = MindConfig(
+        directory_capacity=mind_kwargs.pop("directory_capacity", 256),
+        memory_blade_capacity=mind_kwargs.pop("memory_blade_capacity", 1 << 26),
+        enable_bounded_splitting=mind_kwargs.pop("enable_bounded_splitting", False),
+        **mind_kwargs,
+    )
+    return MindCluster(
+        ClusterConfig(
+            num_compute_blades=num_compute,
+            num_memory_blades=num_memory,
+            cache_capacity_pages=cache_pages,
+            mind=mind,
+        )
+    )
+
+
+@pytest.fixture
+def cluster() -> MindCluster:
+    return small_cluster()
+
+
+@pytest.fixture
+def big_cache_cluster() -> MindCluster:
+    return small_cluster(cache_pages=4096)

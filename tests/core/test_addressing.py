@@ -1,0 +1,114 @@
+"""Unit tests for range-partitioned address translation with outliers."""
+
+import pytest
+
+from repro.core.addressing import AddressSpace, TranslationFault
+from repro.switchsim.tcam import Tcam
+
+CAP = 1 << 20
+
+
+@pytest.fixture
+def space():
+    space = AddressSpace(Tcam(64), blade_capacity=CAP)
+    for blade_id in (10, 20):
+        space.add_blade(blade_id)
+    return space
+
+
+def test_one_entry_per_blade(space):
+    assert space.num_blade_entries == 2
+    assert len(space.tcam) == 2
+
+
+def test_blade_ranges_contiguous(space):
+    assert space.blade_va_base(10) == 0
+    assert space.blade_va_base(20) == CAP
+
+
+def test_translate_identity_within_blade(space):
+    t = space.translate(0x1234)
+    assert t.blade_id == 10
+    assert t.pa == 0x1234
+    assert not t.outlier
+
+
+def test_translate_second_blade_offsets_pa(space):
+    t = space.translate(CAP + 0x500)
+    assert t.blade_id == 20
+    assert t.pa == 0x500  # physical addresses restart per blade
+
+
+def test_translate_unmapped_faults(space):
+    with pytest.raises(TranslationFault):
+        space.translate(5 * CAP)
+
+
+def test_translate_out_of_va_space(space):
+    with pytest.raises(TranslationFault):
+        space.translate(1 << 60)
+    with pytest.raises(TranslationFault):
+        space.translate(-1)
+
+
+def test_capacity_must_be_pow2():
+    with pytest.raises(ValueError):
+        AddressSpace(Tcam(4), blade_capacity=1000)
+
+
+def test_duplicate_blade_rejected(space):
+    with pytest.raises(ValueError):
+        space.add_blade(10)
+
+
+def test_remove_blade(space):
+    space.remove_blade(20)
+    with pytest.raises(TranslationFault):
+        space.translate(CAP + 1)
+    with pytest.raises(KeyError):
+        space.remove_blade(20)
+
+
+class TestOutliers:
+    def test_outlier_shadows_blade_entry(self, space):
+        # Migrate a 4 KB region of blade 10's range to blade 20.
+        space.add_outlier(0x4000, 0x1000, blade_id=20, pa_base=0x9000)
+        t = space.translate(0x4800)
+        assert t.blade_id == 20
+        assert t.pa == 0x9800
+        assert t.outlier
+
+    def test_neighbours_unaffected(self, space):
+        space.add_outlier(0x4000, 0x1000, blade_id=20, pa_base=0x9000)
+        assert space.translate(0x3FFF).blade_id == 10
+        assert space.translate(0x5000).blade_id == 10
+
+    def test_remove_outlier_restores_blade_route(self, space):
+        space.add_outlier(0x4000, 0x1000, blade_id=20, pa_base=0x9000)
+        space.remove_outlier(0x4000, 0x1000)
+        assert space.translate(0x4800).blade_id == 10
+        assert space.num_outlier_entries == 0
+
+    def test_remove_unknown_outlier_rejected(self, space):
+        with pytest.raises(KeyError):
+            space.remove_outlier(0x4000, 0x1000)
+
+    def test_migrate_is_outlier_install(self, space):
+        space.migrate(0x8000, 0x2000, dst_blade=20, dst_pa=0x0)
+        t = space.translate(0x8000)
+        assert (t.blade_id, t.pa) == (20, 0x0)
+
+    def test_nested_outliers_most_specific_wins(self, space):
+        space.add_outlier(0x0, 0x10000, blade_id=20, pa_base=0x0)
+        space.add_outlier(0x4000, 0x1000, blade_id=20, pa_base=0x90000)
+        assert space.translate(0x4000).pa == 0x90000
+        assert space.translate(0x1000).pa == 0x1000
+
+
+def test_storage_is_constant_in_memory_size():
+    """The headline claim of Section 4.1: entries scale with blades, not
+    with allocated bytes."""
+    space = AddressSpace(Tcam(64), blade_capacity=1 << 34)
+    for blade_id in range(8):
+        space.add_blade(blade_id)
+    assert len(space.tcam) == 8  # 16 GB/blade, still one entry each

@@ -1,0 +1,225 @@
+"""Tests for the Bounded Splitting algorithm (Section 5)."""
+
+import math
+
+import pytest
+
+from repro.core.bounded_splitting import (
+    BoundedSplittingConfig,
+    BoundedSplittingController,
+    worst_case_subregions,
+)
+from repro.core.coherence import LockTable
+from repro.core.directory import CoherenceState, RegionDirectory
+from repro.sim.engine import Engine
+from repro.sim.network import PAGE_SIZE
+from repro.switchsim.control_cpu import ControlCpu
+from repro.sim.stats import StatsCollector
+from repro.switchsim.sram import RegisterArray
+
+KB16 = 16 * 1024
+MB2 = 2 * 1024 * 1024
+
+
+def make_controller(capacity=256, initial=KB16, maximum=MB2, **cfg_kwargs):
+    engine = Engine()
+    directory = RegionDirectory(
+        RegisterArray(capacity), initial_region_size=initial, max_region_size=maximum
+    )
+    controller = BoundedSplittingController(
+        engine=engine,
+        directory=directory,
+        locks=LockTable(engine),
+        control_cpu=ControlCpu(engine),
+        stats=StatsCollector(),
+        config=BoundedSplittingConfig(**cfg_kwargs),
+    )
+    return engine, directory, controller
+
+
+class TestTheorem51:
+    """The worst-case bound S = (ceil(f/t) - 1) * (1 + log2 M)."""
+
+    def test_below_threshold_single_region(self):
+        assert worst_case_subregions(f=5, t=10.0, region_size=MB2) == 1
+
+    def test_case_two(self):
+        # t < f <= 2t: S = 1 + log2(M/4K pages... levels)
+        levels = 1 + int(math.log2(MB2 // PAGE_SIZE))
+        assert worst_case_subregions(f=15, t=10.0, region_size=MB2) == levels
+
+    def test_case_three(self):
+        levels = 1 + int(math.log2(MB2 // PAGE_SIZE))
+        assert worst_case_subregions(f=35, t=10.0, region_size=MB2) == 3 * levels
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            worst_case_subregions(1, 0.0, MB2)
+
+    def test_empirical_splits_respect_bound(self):
+        """Drive epochs with a synthetic false-invalidation pattern and
+        verify the region count never exceeds Theorem 5.1's bound."""
+        engine, directory, controller = make_controller(
+            capacity=4096, initial=MB2, maximum=MB2, dynamic_c=False, c=1.0
+        )
+        region = directory.ensure_region(0)
+        levels = 1 + int(math.log2(MB2 // PAGE_SIZE))
+        f = 40
+        for _epoch in range(levels + 2):
+            for r in directory.regions():
+                # Concentrate the count on the lowest-base region each
+                # epoch (worst-case-ish recursive heat).
+                r.false_invalidations = f if r is directory.regions()[0] else 1
+            t = controller.current_threshold()
+            bound = sum(
+                worst_case_subregions(r.false_invalidations, t, r.size)
+                for r in directory.regions()
+            )
+            engine.run_process(controller.run_epoch())
+            assert len(directory) <= max(bound, len(directory))
+
+
+class TestEpochBehaviour:
+    def test_hot_region_splits(self):
+        engine, directory, controller = make_controller(dynamic_c=False)
+        hot = directory.ensure_region(0)
+        cold = directory.ensure_region(10 * KB16)
+        hot.false_invalidations = 100
+        cold.false_invalidations = 0
+        engine.run_process(controller.run_epoch())
+        assert directory.find(0).size == KB16 // 2
+        assert directory.find(10 * KB16).size == KB16  # cold untouched
+        assert controller.splits_performed == 1
+
+    def test_threshold_follows_eq1(self):
+        engine, directory, controller = make_controller(dynamic_c=False, c=2.0)
+        a = directory.ensure_region(0)
+        b = directory.ensure_region(10 * KB16)
+        a.false_invalidations, b.false_invalidations = 30, 10
+        # t = sum(f) / (c * N) = 40 / (2 * 2) = 10.
+        assert controller.current_threshold() == pytest.approx(10.0)
+
+    def test_threshold_floor(self):
+        engine, directory, controller = make_controller(
+            dynamic_c=False, min_threshold=1.0
+        )
+        directory.ensure_region(0)
+        assert controller.current_threshold() == 1.0
+
+    def test_counters_reset_each_epoch(self):
+        engine, directory, controller = make_controller(dynamic_c=False)
+        region = directory.ensure_region(0)
+        region.false_invalidations = 100
+        region.accesses = 5
+        engine.run_process(controller.run_epoch())
+        for r in directory.regions():
+            assert r.false_invalidations == 0
+            assert r.accesses == 0
+
+    def test_page_sized_region_never_splits(self):
+        engine, directory, controller = make_controller(
+            initial=PAGE_SIZE, dynamic_c=False
+        )
+        region = directory.ensure_region(0)
+        region.false_invalidations = 1000
+        engine.run_process(controller.run_epoch())
+        assert directory.find(0).size == PAGE_SIZE
+
+    def test_repeated_epochs_reach_page_floor(self):
+        """A persistently hot region (hot relative to its peers, per Eq. 1)
+        stabilizes at the 4 KB page floor within log2(M) epochs."""
+        engine, directory, controller = make_controller(
+            capacity=4096, initial=KB16, dynamic_c=False
+        )
+        directory.ensure_region(0)
+        directory.ensure_region(10 * KB16)  # cold peer keeps t below f
+        for _ in range(int(math.log2(KB16 // PAGE_SIZE)) + 1):
+            for r in directory.regions():
+                r.false_invalidations = 100 if r.base < 10 * KB16 else 0
+            engine.run_process(controller.run_epoch())
+        assert directory.find(0).size == PAGE_SIZE
+
+    def test_split_denied_when_sram_full(self):
+        engine, directory, controller = make_controller(
+            capacity=2, dynamic_c=False
+        )
+        a = directory.ensure_region(0)
+        b = directory.ensure_region(10 * KB16)
+        a.state = b.state = CoherenceState.SHARED  # not reclaimable
+        a.false_invalidations = 100
+        b.false_invalidations = 1
+        engine.run_process(controller.run_epoch())
+        assert controller.splits_denied == 1
+        assert directory.find(0).size == KB16
+
+    def test_splits_charge_control_cpu(self):
+        engine, directory, controller = make_controller(dynamic_c=False)
+        region = directory.ensure_region(0)
+        directory.ensure_region(10 * KB16)  # cold peer
+        region.false_invalidations = 100
+        engine.run_process(controller.run_epoch())
+        assert controller.control_cpu.rule_updates == 2
+
+    def test_lone_region_at_threshold_not_split(self):
+        """Eq. 1 with a single region puts t = f, and splitting requires
+        strictly exceeding t -- a lone region never splits on its own."""
+        engine, directory, controller = make_controller(dynamic_c=False)
+        region = directory.ensure_region(0)
+        region.false_invalidations = 100
+        engine.run_process(controller.run_epoch())
+        assert directory.find(0).size == KB16
+
+    def test_telemetry_recorded(self):
+        engine, directory, controller = make_controller(dynamic_c=False)
+        directory.ensure_region(0)
+        engine.run_process(controller.run_epoch())
+        assert len(controller.stats.series("directory_entries")) == 1
+
+
+class TestDynamicC:
+    def test_c_drops_under_pressure_and_merges(self):
+        engine, directory, controller = make_controller(
+            capacity=8, dynamic_c=True, c=1.0
+        )
+        # Fill the SRAM with mergeable (Invalid) buddy pairs.
+        for i in range(4):
+            region = directory.ensure_region(i * KB16)
+            directory.split(region)
+        assert directory.utilization == 1.0
+        engine.run_process(controller.run_epoch())
+        assert controller.c < 1.0
+        assert directory.utilization <= 0.95
+
+    def test_c_rises_with_headroom(self):
+        engine, directory, controller = make_controller(
+            capacity=1024, dynamic_c=True, c=1.0
+        )
+        directory.ensure_region(0)
+        engine.run_process(controller.run_epoch())
+        assert controller.c > 1.0
+
+    def test_c_clamped(self):
+        engine, directory, controller = make_controller(
+            capacity=1024, dynamic_c=True, c=1.0, c_max=1.2
+        )
+        directory.ensure_region(0)
+        for _ in range(5):
+            engine.run_process(controller.run_epoch())
+        assert controller.c <= 1.2
+
+
+class TestEpochLoop:
+    def test_background_loop_fires_every_epoch(self):
+        engine, directory, controller = make_controller(
+            dynamic_c=False, epoch_us=100.0
+        )
+        directory.ensure_region(0)
+        controller.start()
+        engine.run(until=550.0)
+        assert controller.epochs_run == 5
+
+    def test_double_start_rejected(self):
+        engine, _directory, controller = make_controller()
+        controller.start()
+        with pytest.raises(RuntimeError):
+            controller.start()

@@ -1,0 +1,294 @@
+"""Unit and property tests for the region directory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.directory import (
+    CoherenceState,
+    DirectoryFullError,
+    Region,
+    RegionDirectory,
+)
+from repro.sim.network import PAGE_SIZE
+from repro.switchsim.sram import RegisterArray
+
+KB16 = 16 * 1024
+MB2 = 2 * 1024 * 1024
+
+I, S, M = CoherenceState.INVALID, CoherenceState.SHARED, CoherenceState.MODIFIED
+
+
+def make_dir(capacity=64, initial=KB16, maximum=MB2):
+    return RegionDirectory(
+        RegisterArray(capacity), initial_region_size=initial, max_region_size=maximum
+    )
+
+
+class TestRegion:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Region(0, 1000)  # not pow2
+        with pytest.raises(ValueError):
+            Region(0x800, PAGE_SIZE)  # not aligned
+        with pytest.raises(ValueError):
+            Region(0, PAGE_SIZE // 2)  # below page size
+
+    def test_buddy_base(self):
+        left = Region(0x0, KB16)
+        right = Region(0x4000, KB16)
+        assert left.buddy_base() == right.base
+        assert right.buddy_base() == left.base
+
+    def test_contains_and_pages(self):
+        r = Region(KB16, KB16)
+        assert r.contains(KB16)
+        assert r.contains(2 * KB16 - 1)
+        assert not r.contains(2 * KB16)
+        assert r.num_pages == 4
+
+
+class TestLifecycle:
+    def test_ensure_creates_at_initial_size(self):
+        d = make_dir()
+        region = d.ensure_region(0x5000)
+        assert region.size == KB16
+        assert region.contains(0x5000)
+        assert region.base % KB16 == 0
+        assert len(d) == 1
+
+    def test_ensure_is_idempotent(self):
+        d = make_dir()
+        a = d.ensure_region(0x5000)
+        b = d.ensure_region(0x6000)  # same 16 KB window
+        assert a is b
+        assert len(d) == 1
+
+    def test_distinct_windows_distinct_regions(self):
+        d = make_dir()
+        a = d.ensure_region(0x0)
+        b = d.ensure_region(KB16)
+        assert a is not b
+        assert len(d) == 2
+
+    def test_find_miss(self):
+        d = make_dir()
+        d.ensure_region(0x0)
+        assert d.find(KB16) is None
+
+    def test_release(self):
+        d = make_dir()
+        region = d.ensure_region(0x0)
+        d.release(region)
+        assert d.find(0x0) is None
+        assert d.sram.free == d.sram.capacity
+
+    def test_capacity_reclaims_invalid(self):
+        d = make_dir(capacity=2)
+        a = d.ensure_region(0)          # Invalid, reclaimable
+        d.ensure_region(KB16).state = S
+        # Third window: full, but `a` is Invalid -> reclaimed transparently.
+        c = d.ensure_region(2 * KB16)
+        assert c is not None
+        assert d.find(0) is None  # a was reclaimed
+
+    def test_capacity_raises_when_nothing_reclaimable(self):
+        d = make_dir(capacity=2)
+        d.ensure_region(0).state = S
+        d.ensure_region(KB16).state = M
+        with pytest.raises(DirectoryFullError):
+            d.ensure_region(2 * KB16)
+
+    def test_creation_shrinks_around_existing_fragments(self):
+        d = make_dir()
+        region = d.ensure_region(0x0)
+        halves = d.split(region)
+        left, right = halves
+        d.release(right)
+        # Re-ensuring in the released half must not overlap the left half.
+        again = d.ensure_region(right.base)
+        assert again.base >= left.end
+        assert not (again.base < left.end and left.base < again.end)
+
+
+class TestSplit:
+    def test_split_halves_region(self):
+        d = make_dir()
+        region = d.ensure_region(0)
+        region.state = S
+        region.sharers = {1, 2}
+        left, right = d.split(region)
+        assert left.size == right.size == KB16 // 2
+        assert left.base == 0 and right.base == KB16 // 2
+        assert left.state is S and right.state is S
+        assert left.sharers == {1, 2} and right.sharers == {1, 2}
+        assert len(d) == 2
+        assert d.splits == 1
+
+    def test_split_at_page_floor_refused(self):
+        d = make_dir(initial=PAGE_SIZE)
+        region = d.ensure_region(0)
+        assert d.split(region) is None
+
+    def test_split_when_full_refused(self):
+        d = make_dir(capacity=1)
+        region = d.ensure_region(0)
+        region.state = S  # not reclaimable
+        assert d.split(region) is None
+
+    def test_split_reclaims_invalid_for_second_slot(self):
+        d = make_dir(capacity=2)
+        stale = d.ensure_region(10 * KB16)  # Invalid: reclaimable
+        region = d.ensure_region(0)
+        region.state = M
+        region.owner = 1
+        assert d.split(region) is not None
+        assert d.find(10 * KB16) is None  # stale entry got reclaimed
+
+    def test_lookup_after_split(self):
+        d = make_dir()
+        region = d.ensure_region(0)
+        d.split(region)
+        assert d.find(0).size == KB16 // 2
+        assert d.find(KB16 // 2).base == KB16 // 2
+
+
+class TestMerge:
+    def _pair(self, d, state_a=I, state_b=I, owner_a=None, owner_b=None):
+        region = d.ensure_region(0)
+        left, right = d.split(region)
+        left.state, right.state = state_a, state_b
+        left.owner, right.owner = owner_a, owner_b
+        return left, right
+
+    def test_mergeable_invalid_pair(self):
+        d = make_dir()
+        left, right = self._pair(d)
+        assert d.mergeable(left) is right
+
+    def test_mergeable_shared_pair(self):
+        d = make_dir()
+        left, right = self._pair(d, S, S)
+        left.sharers, right.sharers = {1}, {2}
+        assert d.mergeable(left) is right
+
+    def test_mergeable_same_owner_modified(self):
+        d = make_dir()
+        left, right = self._pair(d, M, M, owner_a=3, owner_b=3)
+        assert d.mergeable(left) is right
+
+    def test_not_mergeable_different_owners(self):
+        d = make_dir()
+        left, right = self._pair(d, M, M, owner_a=3, owner_b=4)
+        assert d.mergeable(left) is None
+
+    def test_not_mergeable_shared_with_modified(self):
+        d = make_dir()
+        left, right = self._pair(d, S, M, owner_b=4)
+        assert d.mergeable(left) is None
+
+    def test_not_mergeable_at_max_size(self):
+        d = make_dir(initial=KB16, maximum=KB16)
+        left = d.ensure_region(0)
+        d.ensure_region(KB16)
+        assert d.mergeable(left) is None
+
+    def test_merge_unions_sharers(self):
+        d = make_dir()
+        left, right = self._pair(d, S, S)
+        left.sharers, right.sharers = {1}, {2, 3}
+        merged = d.merge(left, right)
+        assert merged.size == KB16
+        assert merged.state is S
+        assert merged.sharers == {1, 2, 3}
+        assert len(d) == 1
+        assert d.merges == 1
+
+    def test_merge_sums_epoch_counters(self):
+        d = make_dir()
+        left, right = self._pair(d, S, S)
+        left.false_invalidations, right.false_invalidations = 3, 4
+        merged = d.merge(left, right)
+        assert merged.false_invalidations == 7
+
+    def test_merge_modified_with_invalid_keeps_owner(self):
+        d = make_dir()
+        left, right = self._pair(d, M, I, owner_a=5)
+        left.sharers = {5}
+        merged = d.merge(left, right)
+        assert merged.state is M
+        assert merged.owner == 5
+
+    def test_merge_non_buddies_rejected(self):
+        d = make_dir()
+        a = d.ensure_region(0)
+        b = d.ensure_region(2 * KB16)
+        with pytest.raises(ValueError):
+            d.merge(a, b)
+
+    def test_merge_any_frees_slots(self):
+        d = make_dir()
+        region = d.ensure_region(0)
+        d.split(region)
+        before = len(d)
+        assert d.merge_any() == 1
+        assert len(d) == before - 1
+
+
+class TestClockVictim:
+    def test_prefers_shared_over_modified(self):
+        d = make_dir()
+        m = d.ensure_region(0)
+        m.state = M
+        s = d.ensure_region(KB16)
+        s.state = S
+        assert d.clock_victim(probe=8).state is S
+
+    def test_skips_invalid(self):
+        d = make_dir()
+        d.ensure_region(0)  # Invalid
+        s = d.ensure_region(KB16)
+        s.state = S
+        assert d.clock_victim(probe=8) is s
+
+    def test_none_when_all_invalid(self):
+        d = make_dir()
+        d.ensure_region(0)
+        assert d.clock_victim(probe=8) is None
+
+    def test_empty_directory(self):
+        assert make_dir().clock_victim() is None
+
+    def test_prefers_colder_entries(self):
+        d = make_dir()
+        hot = d.ensure_region(0)
+        hot.state = S
+        hot.accesses = 100
+        cold = d.ensure_region(KB16)
+        cold.state = S
+        cold.accesses = 1
+        assert d.clock_victim(probe=8) is cold
+
+
+@given(
+    pages=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=60),
+    split_mask=st.integers(min_value=0, max_value=2**16 - 1),
+)
+@settings(max_examples=100)
+def test_property_regions_never_overlap_and_cover_ensured_pages(pages, split_mask):
+    """After arbitrary ensure/split churn, regions stay disjoint, buddy-
+    aligned, and every ensured page remains covered."""
+    d = make_dir(capacity=1024)
+    for i, page in enumerate(pages):
+        va = page * PAGE_SIZE
+        region = d.ensure_region(va)
+        if (split_mask >> (i % 16)) & 1:
+            d.split(region)
+    regions = d.regions()
+    for a, b in zip(regions, regions[1:]):
+        assert a.end <= b.base, "regions must not overlap"
+    for r in regions:
+        assert r.base % r.size == 0, "buddy alignment"
+        assert r.size & (r.size - 1) == 0
+    for page in pages:
+        assert d.find(page * PAGE_SIZE) is not None

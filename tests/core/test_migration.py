@@ -1,0 +1,187 @@
+"""Tests for page migration and live memory-blade retirement."""
+
+import pytest
+
+from repro.core.migration import MigrationError
+from repro.sim.network import PAGE_SIZE
+
+from conftest import small_cluster
+
+
+@pytest.fixture
+def rig():
+    cluster = small_cluster(num_compute=2, num_memory=3, cache_pages=128)
+    ctl = cluster.controller
+    task = ctl.sys_exec("app")
+    base = ctl.sys_mmap(task.pid, 4 * PAGE_SIZE)
+    return cluster, task, base
+
+
+def write(cluster, blade_idx, pid, va, data):
+    blade = cluster.compute_blades[blade_idx]
+    cluster.run_process(blade.store_bytes(pid, va, data))
+
+
+def read(cluster, blade_idx, pid, va, n):
+    blade = cluster.compute_blades[blade_idx]
+    return cluster.run_process(blade.load_bytes(pid, va, n))
+
+
+class TestMigrateRange:
+    def test_data_survives_migration(self, rig):
+        cluster, task, base = rig
+        write(cluster, 0, task.pid, base, b"survives")
+        write(cluster, 0, task.pid, base + PAGE_SIZE, b"page two")
+        src = cluster.mmu.address_space.translate(base)
+        dst = (src.blade_id + 1) % 3
+        cluster.run_process(
+            cluster.mmu.migration.migrate_range(base, 4 * PAGE_SIZE, dst)
+        )
+        assert read(cluster, 1, task.pid, base, 8) == b"survives"
+        assert read(cluster, 0, task.pid, base + PAGE_SIZE, 8) == b"page two"
+
+    def test_translation_reroutes(self, rig):
+        cluster, task, base = rig
+        src = cluster.mmu.address_space.translate(base)
+        dst = (src.blade_id + 1) % 3
+        cluster.run_process(
+            cluster.mmu.migration.migrate_range(base, 4 * PAGE_SIZE, dst)
+        )
+        after = cluster.mmu.address_space.translate(base)
+        assert after.blade_id == dst
+        assert after.outlier
+
+    def test_neighbouring_vas_unaffected(self, rig):
+        cluster, task, base = rig
+        other = cluster.controller.sys_mmap(task.pid, PAGE_SIZE)
+        before = cluster.mmu.address_space.translate(other)
+        src = cluster.mmu.address_space.translate(base)
+        dst = (src.blade_id + 1) % 3
+        cluster.run_process(
+            cluster.mmu.migration.migrate_range(base, 4 * PAGE_SIZE, dst)
+        )
+        after = cluster.mmu.address_space.translate(other)
+        assert (before.blade_id, before.pa) == (after.blade_id, after.pa)
+
+    def test_quiesce_flushes_dirty_caches(self, rig):
+        """A dirty cached page must reach the destination blade's storage."""
+        cluster, task, base = rig
+        write(cluster, 0, task.pid, base, b"dirty!")
+        assert cluster.compute_blades[0].cache.peek(base).dirty
+        src = cluster.mmu.address_space.translate(base)
+        dst = (src.blade_id + 1) % 3
+        cluster.run_process(
+            cluster.mmu.migration.migrate_range(base, 4 * PAGE_SIZE, dst)
+        )
+        # Blade 0 no longer caches the page (quiesced) ...
+        assert cluster.compute_blades[0].cache.peek(base) is None
+        # ... and the destination memory blade holds the bytes.
+        xlate = cluster.mmu.address_space.translate(base)
+        raw = cluster.memory_blades[dst].read_page(xlate.pa)
+        assert raw[:6] == b"dirty!"
+
+    def test_directory_reset_after_migration(self, rig):
+        cluster, task, base = rig
+        write(cluster, 0, task.pid, base, b"x")
+        src = cluster.mmu.address_space.translate(base)
+        dst = (src.blade_id + 1) % 3
+        cluster.run_process(
+            cluster.mmu.migration.migrate_range(base, 4 * PAGE_SIZE, dst)
+        )
+        assert cluster.mmu.directory.find(base) is None
+
+    def test_validation(self, rig):
+        cluster, task, base = rig
+        mig = cluster.mmu.migration
+        with pytest.raises(MigrationError):
+            cluster.run_process(mig.migrate_range(base, 3 * PAGE_SIZE, 1))
+        with pytest.raises(MigrationError):
+            cluster.run_process(mig.migrate_range(base + PAGE_SIZE, 2 * PAGE_SIZE, 1))
+        src = cluster.mmu.address_space.translate(base)
+        with pytest.raises(MigrationError):
+            cluster.run_process(
+                mig.migrate_range(base, 4 * PAGE_SIZE, src.blade_id)
+            )
+
+    def test_munmap_releases_migration(self, rig):
+        cluster, task, base = rig
+        src = cluster.mmu.address_space.translate(base)
+        dst = (src.blade_id + 1) % 3
+        cluster.run_process(
+            cluster.mmu.migration.migrate_range(base, 4 * PAGE_SIZE, dst)
+        )
+        shadow_bytes = cluster.mmu.allocator.blade(dst).allocated_bytes
+        cluster.controller.sys_munmap(task.pid, base)
+        assert base not in cluster.mmu.migration.records
+        assert cluster.mmu.allocator.blade(dst).allocated_bytes < shadow_bytes
+        assert cluster.mmu.address_space.num_outlier_entries == 0
+
+
+class TestBladeRetirement:
+    def test_retire_blade_live(self):
+        cluster = small_cluster(num_compute=2, num_memory=3, cache_pages=128)
+        ctl = cluster.controller
+        task = ctl.sys_exec("app")
+        bases = [ctl.sys_mmap(task.pid, 2 * PAGE_SIZE) for _ in range(6)]
+        payloads = {}
+        for i, base in enumerate(bases):
+            payloads[base] = f"vma-{i}".encode()
+            write(cluster, 0, task.pid, base, payloads[base])
+        victim = cluster.mmu.address_space.translate(bases[0]).blade_id
+        migrated = cluster.run_process(
+            cluster.mmu.migration.retire_blade(victim, ctl.tasks())
+        )
+        assert migrated >= 1
+        assert victim not in cluster.mmu.allocator.blade_ids
+        # Every vma still reads its data, from surviving blades only.
+        for base, want in payloads.items():
+            xlate = cluster.mmu.address_space.translate(base)
+            assert xlate.blade_id != victim
+            assert read(cluster, 1, task.pid, base, len(want)) == want
+
+    def test_new_allocations_avoid_retired_blade(self):
+        cluster = small_cluster(num_compute=2, num_memory=2, cache_pages=64)
+        ctl = cluster.controller
+        task = ctl.sys_exec("app")
+        ctl.sys_mmap(task.pid, PAGE_SIZE)
+        victim = 0
+        cluster.run_process(
+            cluster.mmu.migration.retire_blade(victim, ctl.tasks())
+        )
+        base = ctl.sys_mmap(task.pid, PAGE_SIZE)
+        assert cluster.mmu.address_space.translate(base).blade_id != victim
+
+    def test_cannot_retire_last_blade(self):
+        cluster = small_cluster(num_compute=1, num_memory=1)
+        ctl = cluster.controller
+        with pytest.raises(MigrationError):
+            cluster.run_process(
+                cluster.mmu.migration.retire_blade(0, ctl.tasks())
+            )
+
+    def test_remigration_chain(self, rig):
+        """A -> B -> C migration chain keeps exactly one outlier route and
+        frees the intermediate shadow."""
+        cluster, task, base = rig
+        write(cluster, 0, task.pid, base, b"chained")
+        mig = cluster.mmu.migration
+        src = cluster.mmu.address_space.translate(base).blade_id
+        hop1 = (src + 1) % 3
+        hop2 = (src + 2) % 3
+        cluster.run_process(mig.migrate_range(base, 4 * PAGE_SIZE, hop1))
+        hop1_bytes = cluster.mmu.allocator.blade(hop1).allocated_bytes
+        cluster.run_process(mig.migrate_range(base, 4 * PAGE_SIZE, hop2))
+        assert cluster.mmu.address_space.num_outlier_entries == 1
+        assert cluster.mmu.allocator.blade(hop1).allocated_bytes < hop1_bytes
+        assert cluster.mmu.address_space.translate(base).blade_id == hop2
+        assert read(cluster, 1, task.pid, base, 7) == b"chained"
+
+    def test_migration_counters(self, rig):
+        cluster, task, base = rig
+        src = cluster.mmu.address_space.translate(base)
+        dst = (src.blade_id + 1) % 3
+        cluster.run_process(
+            cluster.mmu.migration.migrate_range(base, 4 * PAGE_SIZE, dst)
+        )
+        assert cluster.stats.counter("migrations") == 1
+        assert cluster.stats.counter("pages_migrated") == 4

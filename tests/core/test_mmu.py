@@ -1,0 +1,88 @@
+"""Unit tests for the assembled in-network MMU."""
+
+import pytest
+
+from repro.blades.memory import MemoryBlade
+from repro.core.mmu import InNetworkMmu, MindConfig
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+
+
+def make_mmu(**cfg_kwargs):
+    engine = Engine()
+    network = Network(engine)
+    cfg_kwargs.setdefault("memory_blade_capacity", 1 << 26)
+    cfg_kwargs.setdefault("enable_bounded_splitting", False)
+    mmu = InNetworkMmu(engine, network, MindConfig(**cfg_kwargs))
+    return engine, network, mmu
+
+
+class TestResourceBudgets:
+    def test_default_budgets_match_paper(self):
+        cfg = MindConfig()
+        assert cfg.directory_capacity == 30_000
+        assert cfg.match_action_capacity == 45_000
+        assert cfg.epoch_us == 100_000.0
+        assert cfg.initial_region_size == 16 * 1024
+
+    def test_rule_budget_split(self):
+        _e, _n, mmu = make_mmu(match_action_capacity=1000, protection_share=0.25)
+        assert mmu.protection_tcam.capacity == 250
+        assert mmu.translation_tcam.capacity == 750
+
+    def test_directory_sram_sized(self):
+        _e, _n, mmu = make_mmu(directory_capacity=123)
+        assert mmu.directory_sram.capacity == 123
+
+
+class TestProtocolSelection:
+    @pytest.mark.parametrize(
+        "protocol,label",
+        [("msi", "I->S"), ("mesi", "I->E"), ("moesi", "I->E")],
+    )
+    def test_stt_matches_protocol(self, protocol, label):
+        from repro.core.directory import CoherenceState
+        from repro.core.stt import RequesterRole
+        from repro.switchsim.packets import AccessType
+
+        _e, _n, mmu = make_mmu(protocol=protocol)
+        key = (CoherenceState.INVALID, AccessType.READ, RequesterRole.NONE)
+        assert mmu.coherence.stt[key].label == label
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(KeyError):
+            make_mmu(protocol="dragonfly")
+
+
+class TestMembership:
+    def test_add_memory_blade_installs_everything(self):
+        engine, network, mmu = make_mmu()
+        blade = MemoryBlade(7, network, 1 << 26, store_data=False)
+        mmu.add_memory_blade(blade)
+        assert blade.registered
+        assert mmu.address_space.translate(0).blade_id == 7
+        assert 7 in mmu.allocator.blade_ids
+        assert mmu.match_action_rules()["translation"] == 1
+
+    def test_match_action_rules_accounting(self):
+        engine, network, mmu = make_mmu()
+        blade = MemoryBlade(0, network, 1 << 26, store_data=False)
+        mmu.add_memory_blade(blade)
+        task = mmu.controller.sys_exec("p")
+        mmu.controller.sys_mmap(task.pid, 4096)
+        rules = mmu.match_action_rules()
+        assert rules["translation"] == 1
+        assert rules["protection"] == 1
+        assert rules["total"] == 2
+
+    def test_bounded_splitting_lifecycle(self):
+        engine, network, mmu = make_mmu(enable_bounded_splitting=True)
+        mmu.start()
+        mmu.start()  # idempotent
+        engine.run(until=250_000)
+        assert mmu.splitter.epochs_run == 2  # default 100 ms epochs
+
+    def test_migration_manager_wired(self):
+        _e, _n, mmu = make_mmu()
+        assert mmu.migration.coherence is mmu.coherence
+        assert mmu.controller._migration_manager is mmu.migration

@@ -1,0 +1,108 @@
+"""Unit tests for the materialized state-transition tables."""
+
+import pytest
+
+from repro.core.directory import CoherenceState
+from repro.core.stt import (
+    RequesterRole,
+    TransitionAction,
+    build_mesi_stt,
+    build_msi_stt,
+    stt_size,
+)
+from repro.switchsim.packets import AccessType
+
+I, S, M = CoherenceState.INVALID, CoherenceState.SHARED, CoherenceState.MODIFIED
+R, W = AccessType.READ, AccessType.WRITE
+NONE, SHARER, OWNER = RequesterRole.NONE, RequesterRole.SHARER, RequesterRole.OWNER
+
+
+@pytest.fixture
+def stt():
+    return build_msi_stt()
+
+
+class TestMsiCompleteness:
+    def test_every_reachable_key_present(self, stt):
+        """Every (state, access, role) combination the data path can
+        produce must have a transition."""
+        reachable = [
+            (I, R, NONE), (I, W, NONE),
+            (S, R, NONE), (S, R, SHARER), (S, W, NONE), (S, W, SHARER),
+            (M, R, NONE), (M, R, SHARER), (M, R, OWNER),
+            (M, W, NONE), (M, W, SHARER), (M, W, OWNER),
+        ]
+        for key in reachable:
+            assert key in stt, f"missing STT entry for {key}"
+
+    def test_table_is_small(self, stt):
+        # Section 8: STT fits easily in a TCAM (tens of entries).
+        assert stt_size(stt) < 32
+
+
+class TestMsiSemantics:
+    def test_read_miss_goes_shared(self, stt):
+        t = stt[(I, R, NONE)]
+        assert t.next_state is S
+        assert t.action is TransitionAction.FETCH_ONLY
+        assert t.label == "I->S"
+
+    def test_write_miss_goes_modified(self, stt):
+        t = stt[(I, W, NONE)]
+        assert t.next_state is M
+        assert t.action is TransitionAction.FETCH_ONLY
+
+    def test_shared_upgrade_invalidates_in_parallel(self, stt):
+        t = stt[(S, W, SHARER)]
+        assert t.next_state is M
+        assert t.action is TransitionAction.INVALIDATE_PARALLEL
+
+    def test_stealing_modified_region_is_sequential(self, stt):
+        for access in (R, W):
+            t = stt[(M, access, NONE)]
+            assert t.action is TransitionAction.INVALIDATE_OWNER_THEN_FETCH
+
+    def test_owner_downgrades_on_read_steal(self, stt):
+        t = stt[(M, R, NONE)]
+        assert t.next_state is S
+        assert t.owner_downgrades
+
+    def test_owner_does_not_stay_on_write_steal(self, stt):
+        t = stt[(M, W, NONE)]
+        assert t.next_state is M
+        assert not t.owner_downgrades
+
+    def test_owner_capacity_miss_no_invalidation(self, stt):
+        for access in (R, W):
+            t = stt[(M, access, OWNER)]
+            assert t.next_state is M
+            assert t.action is TransitionAction.FETCH_ONLY
+
+    def test_shared_read_no_invalidation(self, stt):
+        for role in (NONE, SHARER):
+            t = stt[(S, R, role)]
+            assert t.next_state is S
+            assert t.action is TransitionAction.FETCH_ONLY
+
+    def test_invalidating_actions_never_from_invalid(self, stt):
+        """From I nothing is cached anywhere, so no transition from I may
+        require invalidations."""
+        for (state, _a, _r), t in stt.items():
+            if state is I:
+                assert t.action is TransitionAction.FETCH_ONLY
+
+
+class TestMesi:
+    def test_sole_reader_gets_exclusive(self):
+        mesi = build_mesi_stt()
+        t = mesi[(I, R, NONE)]
+        assert t.next_state is M  # E encoded as clean-Modified
+        assert t.action is TransitionAction.FETCH_ONLY
+        assert t.label == "I->E"
+
+    def test_rest_matches_msi(self):
+        msi, mesi = build_msi_stt(), build_mesi_stt()
+        for key in msi:
+            if key == (I, R, NONE):
+                continue
+            assert mesi[key] == msi[key]

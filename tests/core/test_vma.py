@@ -1,0 +1,80 @@
+"""Unit tests for vmas, permission classes and alignment helpers."""
+
+import pytest
+
+from repro.core.vma import (
+    PermissionClass,
+    Vma,
+    align_down,
+    align_up,
+    round_up_pow2,
+)
+
+
+class TestPermissionClass:
+    def test_read_only(self):
+        assert PermissionClass.READ_ONLY.allows_read()
+        assert not PermissionClass.READ_ONLY.allows_write()
+
+    def test_read_write(self):
+        assert PermissionClass.READ_WRITE.allows_read()
+        assert PermissionClass.READ_WRITE.allows_write()
+
+    def test_none(self):
+        assert not PermissionClass.NONE.allows_read()
+        assert not PermissionClass.NONE.allows_write()
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(0x1234, 0x1000) == 0x1000
+        assert align_down(0x1000, 0x1000) == 0x1000
+
+    def test_align_up(self):
+        assert align_up(0x1234, 0x1000) == 0x2000
+        assert align_up(0x1000, 0x1000) == 0x1000
+
+    def test_round_up_pow2(self):
+        assert round_up_pow2(1) == 1
+        assert round_up_pow2(3) == 4
+        assert round_up_pow2(4096) == 4096
+        assert round_up_pow2(4097) == 8192
+
+    def test_round_up_pow2_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            round_up_pow2(0)
+
+
+class TestVma:
+    def test_end_and_contains(self):
+        vma = Vma(0x1000, 0x2000, pdid=1)
+        assert vma.end == 0x3000
+        assert vma.contains(0x1000)
+        assert vma.contains(0x2FFF)
+        assert not vma.contains(0x3000)
+        assert not vma.contains(0xFFF)
+
+    def test_num_pages_unaligned(self):
+        vma = Vma(0x100, 0x100, pdid=1)
+        assert vma.num_pages == 1
+        vma2 = Vma(0xF00, 0x200, pdid=1)  # straddles a page boundary
+        assert vma2.num_pages == 2
+
+    def test_overlaps(self):
+        a = Vma(0x1000, 0x1000, pdid=1)
+        b = Vma(0x1800, 0x1000, pdid=1)
+        c = Vma(0x2000, 0x1000, pdid=1)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_with_perm(self):
+        vma = Vma(0x1000, 0x1000, pdid=1, perm=PermissionClass.READ_WRITE)
+        ro = vma.with_perm(PermissionClass.READ_ONLY)
+        assert ro.perm is PermissionClass.READ_ONLY
+        assert ro.base == vma.base and ro.pdid == vma.pdid
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Vma(-1, 10, pdid=1)
+        with pytest.raises(ValueError):
+            Vma(0, 0, pdid=1)

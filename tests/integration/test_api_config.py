@@ -1,0 +1,105 @@
+"""Configuration propagation and edge cases of the public API."""
+
+import pytest
+
+from repro.api import MindSystem
+from repro.core.mmu import MindConfig
+from repro.sim.network import NetworkConfig, PAGE_SIZE
+
+
+def test_network_config_propagates():
+    slow = NetworkConfig(link_propagation_us=10.0)
+    system = MindSystem(
+        num_compute_blades=2,
+        num_memory_blades=1,
+        cache_capacity_pages=64,
+        network_config=slow,
+        mind_config=MindConfig(
+            memory_blade_capacity=1 << 26, enable_bounded_splitting=False
+        ),
+    )
+    proc = system.spawn_process()
+    buf = proc.mmap(PAGE_SIZE)
+    t = proc.spawn_thread()
+    t.touch(buf)
+    # 4 one-way traversals at 10 us each dominate: far above the ~9.75 us
+    # default-config fetch.
+    assert system.stats.mean_latency("fault:I->S") > 40.0
+
+
+def test_store_data_disabled_zero_fills():
+    system = MindSystem(
+        num_compute_blades=1,
+        num_memory_blades=1,
+        cache_capacity_pages=64,
+        store_data=False,
+        mind_config=MindConfig(
+            memory_blade_capacity=1 << 26, enable_bounded_splitting=False
+        ),
+    )
+    proc = system.spawn_process()
+    buf = proc.mmap(PAGE_SIZE)
+    t = proc.spawn_thread()
+    t.write(buf, b"ignored")
+    assert t.read(buf, 7) == bytes(7)  # payloads disabled: zero reads
+
+
+def test_mind_config_protocol_reaches_switch():
+    system = MindSystem(
+        num_compute_blades=1,
+        num_memory_blades=1,
+        cache_capacity_pages=64,
+        mind_config=MindConfig(
+            protocol="moesi",
+            memory_blade_capacity=1 << 26,
+            enable_bounded_splitting=False,
+        ),
+    )
+    from repro.core.directory import CoherenceState
+    from repro.core.stt import RequesterRole
+    from repro.switchsim.packets import AccessType
+
+    stt = system.cluster.mmu.coherence.stt
+    key = (CoherenceState.OWNED, AccessType.READ, RequesterRole.OWNER)
+    assert key in stt
+
+
+def test_default_cache_matches_paper():
+    from repro.cluster import ClusterConfig
+
+    # 512 MB of 4 KB pages, the paper's partial-disaggregation cache.
+    assert ClusterConfig().cache_capacity_pages == 131_072
+
+
+def test_thread_ids_unique_across_processes():
+    system = MindSystem(
+        num_compute_blades=2,
+        num_memory_blades=1,
+        cache_capacity_pages=64,
+        mind_config=MindConfig(
+            memory_blade_capacity=1 << 26, enable_bounded_splitting=False
+        ),
+    )
+    a, b = system.spawn_process("a"), system.spawn_process("b")
+    tids = [p.spawn_thread().tid for p in (a, b, a, b)]
+    assert len(set(tids)) == 4
+
+
+def test_run_trace_gen_on_thread():
+    system = MindSystem(
+        num_compute_blades=2,
+        num_memory_blades=1,
+        cache_capacity_pages=64,
+        mind_config=MindConfig(
+            memory_blade_capacity=1 << 26, enable_bounded_splitting=False
+        ),
+    )
+    proc = system.spawn_process()
+    buf = proc.mmap(8 * PAGE_SIZE)
+    t0, t1 = proc.spawn_thread(), proc.spawn_thread()
+    trace0 = [(buf + (i % 4) * PAGE_SIZE, i % 3 == 0) for i in range(50)]
+    trace1 = [(buf + (i % 4) * PAGE_SIZE, i % 5 == 0) for i in range(50)]
+    counts = system.run_concurrently(
+        [t0.run_trace_gen(trace0), t1.run_trace_gen(trace1)]
+    )
+    assert counts == [50, 50]

@@ -1,0 +1,102 @@
+"""Live switch fail-over: a workload survives a primary-switch loss.
+
+Section 4.4's full story, end to end: run an application, snapshot the
+control plane, "lose" the switch (build a brand-new data plane on backup
+hardware), re-attach fresh blades, and verify the application's memory
+image -- held by the surviving memory blades -- is fully reachable and
+correct through the rebuilt tables.
+"""
+
+import pytest
+
+from repro.blades.compute import ComputeBlade
+from repro.core.coherence import CoherenceProtocol
+from repro.core.failures import ControlPlaneReplicator, rebuild_data_plane
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.stats import StatsCollector
+from repro.switchsim.multicast import MulticastEngine
+from repro.switchsim.pipeline import SwitchPipeline
+from repro.switchsim.sram import RegisterArray
+from repro.switchsim.tcam import Tcam
+from repro.sim.network import PAGE_SIZE
+
+from conftest import small_cluster
+
+
+def test_workload_survives_switch_failover():
+    # --- before the failure: a live application writes its state ---
+    cluster = small_cluster(num_compute=2, num_memory=2, cache_pages=64)
+    ctl = cluster.controller
+    task = ctl.sys_exec("survivor")
+    bufs = [ctl.sys_mmap(task.pid, 4 * PAGE_SIZE) for _ in range(4)]
+    payloads = {}
+    for i, buf in enumerate(bufs):
+        payloads[buf] = f"state-{i}".encode()
+        cluster.run_process(
+            cluster.compute_blades[i % 2].store_bytes(
+                task.pid, buf, payloads[buf]
+            )
+        )
+    replicator = ControlPlaneReplicator(ctl)
+    snapshot = replicator.capture()
+
+    # Blades flush their dirty pages before the switch swap (in practice
+    # the reset protocol forces this; here we emulate the quiesce).
+    for blade in cluster.compute_blades:
+        for buf in bufs:
+            page = blade.cache.peek(buf)
+            if page is not None and page.dirty:
+                xlate = cluster.mmu.address_space.translate(buf)
+                cluster.memory_blades[xlate.blade_id].write_page(
+                    xlate.pa, bytes(page.data)
+                )
+
+    # --- the failure: a new switch, programmed from the snapshot ---
+    backup = rebuild_data_plane(
+        snapshot,
+        xlate_tcam=Tcam(1024),
+        protection_tcam=Tcam(1024),
+        directory_sram=RegisterArray(256),
+    )
+    engine = cluster.engine  # memory blades live on; reuse their network
+    pipeline = SwitchPipeline(engine, cluster.network.config)
+    coherence = CoherenceProtocol(
+        engine=engine,
+        network=cluster.network,
+        pipeline=pipeline,
+        multicast=MulticastEngine(),
+        directory=backup.directory,
+        address_space=backup.address_space,
+        protection=backup.protection,
+        stt=cluster.mmu.coherence.stt,
+        stats=StatsCollector(),
+    )
+    for blade in cluster.memory_blades:
+        coherence.register_memory_blade(blade.blade_id, blade)
+
+    # Fresh compute blades attach to the rebuilt switch (cold caches).
+    new_blades = [
+        ComputeBlade(
+            blade_id=10 + i,
+            engine=engine,
+            network=cluster.network,
+            datapath=coherence,
+            cache_capacity_pages=64,
+            stats=StatsCollector(),
+        )
+        for i in range(2)
+    ]
+
+    # --- after: every byte of application state is reachable ---
+    for i, buf in enumerate(bufs):
+        data = engine.run_process(
+            new_blades[i % 2].load_bytes(task.pid, buf, len(payloads[buf]))
+        )
+        assert data == payloads[buf]
+    # Coherence works on the rebuilt switch too.
+    engine.run_process(new_blades[0].store_bytes(task.pid, bufs[0], b"post-failover"))
+    got = engine.run_process(new_blades[1].load_bytes(task.pid, bufs[0], 13))
+    assert got == b"post-failover"
+    # Directory re-warmed from cold.
+    assert len(backup.directory) >= 1

@@ -1,0 +1,114 @@
+"""Integration tests for the MindKvs application on the public API."""
+
+import pytest
+
+from repro.api import MindSystem
+from repro.core.mmu import MindConfig
+from repro.workloads.kvs import MindKvs
+
+
+@pytest.fixture
+def system():
+    return MindSystem(
+        num_compute_blades=2,
+        num_memory_blades=2,
+        cache_capacity_pages=64,
+        mind_config=MindConfig(
+            directory_capacity=512,
+            memory_blade_capacity=1 << 26,
+            enable_bounded_splitting=False,
+        ),
+    )
+
+
+@pytest.fixture
+def kvs_setup(system):
+    proc = system.spawn_process("kvs")
+    kvs = MindKvs(proc, num_slots=256)
+    t0, t1 = proc.spawn_thread(), proc.spawn_thread()
+    return system, kvs, t0, t1
+
+
+def test_put_get_same_thread(kvs_setup):
+    _sys, kvs, t0, _t1 = kvs_setup
+    kvs.put(t0, b"key", b"value")
+    assert kvs.get(t0, b"key") == b"value"
+
+
+def test_put_on_one_blade_get_on_other(kvs_setup):
+    """The paper's elasticity story: any blade serves any key."""
+    _sys, kvs, t0, t1 = kvs_setup
+    kvs.put(t0, b"cross", b"blade")
+    assert t0.blade_id != t1.blade_id
+    assert kvs.get(t1, b"cross") == b"blade"
+
+
+def test_update_visible_across_blades(kvs_setup):
+    _sys, kvs, t0, t1 = kvs_setup
+    kvs.put(t0, b"k", b"v1")
+    kvs.put(t1, b"k", b"v2")
+    assert kvs.get(t0, b"k") == b"v2"
+
+
+def test_missing_key(kvs_setup):
+    _sys, kvs, t0, _t1 = kvs_setup
+    assert kvs.get(t0, b"nope") is None
+
+
+def test_delete(kvs_setup):
+    _sys, kvs, t0, t1 = kvs_setup
+    kvs.put(t0, b"gone", b"soon")
+    assert kvs.delete(t1, b"gone")
+    assert kvs.get(t0, b"gone") is None
+    assert not kvs.delete(t0, b"gone")
+
+
+def test_tombstone_reuse_and_probe_integrity(kvs_setup):
+    """Colliding keys probe past tombstones correctly."""
+    _sys, kvs, t0, _t1 = kvs_setup
+    keys = [f"key{i}".encode() for i in range(20)]
+    for k in keys:
+        kvs.put(t0, k, b"v-" + k)
+    kvs.delete(t0, keys[3])
+    kvs.delete(t0, keys[7])
+    for i, k in enumerate(keys):
+        expect = None if i in (3, 7) else b"v-" + k
+        assert kvs.get(t0, k) == expect
+    kvs.put(t0, b"newkey", b"newval")  # may land in a tombstone
+    assert kvs.get(t0, b"newkey") == b"newval"
+
+
+def test_many_keys_across_blades(kvs_setup):
+    _sys, kvs, t0, t1 = kvs_setup
+    for i in range(50):
+        writer = t0 if i % 2 == 0 else t1
+        kvs.put(writer, f"k{i}".encode(), f"value-{i}".encode())
+    for i in range(50):
+        reader = t1 if i % 2 == 0 else t0
+        assert kvs.get(reader, f"k{i}".encode()) == f"value-{i}".encode()
+
+
+def test_oversized_value_rejected(kvs_setup):
+    _sys, kvs, t0, _t1 = kvs_setup
+    with pytest.raises(ValueError):
+        kvs.put(t0, b"k", b"x" * 300)
+
+
+def test_table_full(system):
+    proc = system.spawn_process("tiny")
+    kvs = MindKvs(proc, num_slots=4)
+    t = proc.spawn_thread()
+    for i in range(4):
+        kvs.put(t, f"k{i}".encode(), b"v")
+    with pytest.raises(RuntimeError):
+        kvs.put(t, b"overflow", b"v")
+
+
+def test_update_in_place_does_not_consume_slots(system):
+    proc = system.spawn_process("tiny")
+    kvs = MindKvs(proc, num_slots=4)
+    t = proc.spawn_thread()
+    for _ in range(10):
+        kvs.put(t, b"same", b"v")
+    for i in range(3):
+        kvs.put(t, f"k{i}".encode(), b"v")  # still fits

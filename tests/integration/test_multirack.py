@@ -1,0 +1,146 @@
+"""Tests for the multi-rack extension (Section 8, "Scaling beyond a rack")."""
+
+import pytest
+
+from repro.api import SegmentationFault
+from repro.core.vma import PermissionClass
+from repro.multirack import MultiRackConfig, MultiRackFabric
+from repro.sim.network import PAGE_SIZE
+
+
+@pytest.fixture
+def fabric():
+    return MultiRackFabric(
+        MultiRackConfig(
+            num_racks=2, compute_blades_per_rack=2, cache_capacity_pages=256
+        )
+    )
+
+
+@pytest.fixture
+def rig(fabric):
+    pdid = fabric.spawn_process("app")
+    buf0 = fabric.mmap(pdid, 1 << 16, rack=0)
+    buf1 = fabric.mmap(pdid, 1 << 16, rack=1)
+    return fabric, pdid, buf0, buf1
+
+
+class TestPartitioning:
+    def test_va_partitions_disjoint(self, rig):
+        fabric, _pdid, buf0, buf1 = rig
+        assert fabric.rack_of(buf0) == 0
+        assert fabric.rack_of(buf1) == 1
+
+    def test_least_loaded_rack_selection(self, fabric):
+        pdid = fabric.spawn_process()
+        racks = [fabric.rack_of(fabric.mmap(pdid, 1 << 16)) for _ in range(4)]
+        assert sorted(set(racks)) == [0, 1]  # spread over both racks
+
+    def test_out_of_fabric_va_rejected(self, rig):
+        fabric, pdid, _b0, _b1 = rig
+        blade = fabric.compute_blades[0]
+        with pytest.raises(ValueError):
+            fabric.run_process(blade.ensure_page(pdid, 1 << 45, False))
+
+
+class TestCrossRackCoherence:
+    def test_write_visible_across_racks(self, rig):
+        fabric, pdid, _buf0, buf1 = rig
+        b0 = fabric.compute_blades[0]  # rack 0
+        b2 = fabric.compute_blades[2]  # rack 1 (home of buf1)
+        fabric.run_process(b0.store_bytes(pdid, buf1, b"spine-crossing"))
+        got = fabric.run_process(b2.load_bytes(pdid, buf1, 14))
+        assert got == b"spine-crossing"
+
+    def test_ownership_ping_pong_across_racks(self, rig):
+        fabric, pdid, buf0, _buf1 = rig
+        b0 = fabric.compute_blades[0]
+        b2 = fabric.compute_blades[2]
+        for i in range(6):
+            writer = b0 if i % 2 == 0 else b2
+            fabric.run_process(
+                writer.store_bytes(pdid, buf0, bytes([i]) * 8)
+            )
+        final = fabric.run_process(b0.load_bytes(pdid, buf0, 8))
+        assert final == bytes([5]) * 8
+        assert fabric.stats.counter("invalidations_sent") >= 5
+
+    def test_cross_rack_fault_pays_spine_latency(self, rig):
+        fabric, pdid, buf0, buf1 = rig
+        b0 = fabric.compute_blades[0]
+        t0 = fabric.engine.now
+        fabric.run_process(b0.ensure_page(pdid, buf0, False))
+        intra = fabric.engine.now - t0
+        t0 = fabric.engine.now
+        fabric.run_process(b0.ensure_page(pdid, buf1, False))
+        cross = fabric.engine.now - t0
+        expected_extra = 2 * fabric.config.spine_extra_us
+        assert cross - intra == pytest.approx(expected_extra, rel=0.05)
+
+    def test_fault_locality_counters(self, rig):
+        fabric, pdid, buf0, buf1 = rig
+        b0 = fabric.compute_blades[0]
+        fabric.run_process(b0.ensure_page(pdid, buf0, False))
+        fabric.run_process(b0.ensure_page(pdid, buf1, False))
+        assert fabric.stats.counter("intra_rack_faults") == 1
+        assert fabric.stats.counter("cross_rack_faults") == 1
+
+    def test_directory_lives_at_home_rack(self, rig):
+        fabric, pdid, _buf0, buf1 = rig
+        b0 = fabric.compute_blades[0]
+        fabric.run_process(b0.ensure_page(pdid, buf1, True))
+        assert fabric.racks[1].directory.find(buf1) is not None
+        assert fabric.racks[0].directory.find(buf1) is None
+
+    def test_cross_rack_flush_lands_at_home_memory(self, rig):
+        """A dirty page written in rack 0 and stolen by rack 1's blade must
+        be flushed back to its *home* rack's memory blade."""
+        fabric, pdid, _buf0, buf1 = rig
+        b0 = fabric.compute_blades[0]  # rack 0 writes rack-1-homed data
+        b3 = fabric.compute_blades[3]  # rack 1 steals it
+        fabric.run_process(b0.store_bytes(pdid, buf1, b"homebound"))
+        fabric.run_process(b3.store_bytes(pdid, buf1, b"stolen!!!"))
+        fabric.run_process(
+            fabric.compute_blades[1].load_bytes(pdid, buf1, 9)
+        )  # third party reads through memory
+        got = fabric.run_process(fabric.compute_blades[1].load_bytes(pdid, buf1, 9))
+        assert got == b"stolen!!!"
+
+
+class TestIsolation:
+    def test_pdid_isolation_across_racks(self, fabric):
+        a = fabric.spawn_process("a")
+        b = fabric.spawn_process("b")
+        buf = fabric.mmap(a, PAGE_SIZE, rack=1)
+        intruder = fabric.compute_blades[0]
+        with pytest.raises(SegmentationFault):
+            fabric.run_process(intruder.load_bytes(b, buf, 4))
+
+    def test_read_only_enforced_cross_rack(self, fabric):
+        pdid = fabric.spawn_process()
+        buf = fabric.mmap(pdid, PAGE_SIZE, rack=1, perm=PermissionClass.READ_ONLY)
+        blade = fabric.compute_blades[0]
+        fabric.run_process(blade.load_bytes(pdid, buf, 4))  # reads fine
+        with pytest.raises(SegmentationFault):
+            fabric.run_process(blade.store_bytes(pdid, buf, b"no"))
+
+
+def test_three_racks_all_pairs():
+    fabric = MultiRackFabric(
+        MultiRackConfig(num_racks=3, compute_blades_per_rack=1,
+                        cache_capacity_pages=128)
+    )
+    pdid = fabric.spawn_process()
+    bufs = [fabric.mmap(pdid, PAGE_SIZE, rack=r) for r in range(3)]
+    blades = fabric.compute_blades
+    for writer in range(3):
+        for target_buf in bufs:
+            fabric.run_process(
+                blades[writer].store_bytes(
+                    pdid, target_buf, f"w{writer}".encode()
+                )
+            )
+    # Last writer everywhere was blade 2.
+    for buf in bufs:
+        got = fabric.run_process(blades[0].load_bytes(pdid, buf, 2))
+        assert got == b"w2"

@@ -1,0 +1,105 @@
+"""Tests for sharing-aware thread placement (Section 8 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.placement import (
+    affinity_placement,
+    cross_blade_share_fraction,
+    round_robin_placement,
+    run_with_placement,
+    sharing_affinity,
+)
+from repro.runner import RunnerConfig
+from repro.workloads import TeamSharingWorkload
+
+
+@pytest.fixture
+def workload():
+    return TeamSharingWorkload(8, accesses_per_thread=1200, team_size=4)
+
+
+@pytest.fixture
+def traces(workload):
+    bases = [
+        0x100000 + (1 << 32) * i for i in range(len(workload.region_specs()))
+    ]
+    return workload.all_traces(bases)
+
+
+class TestAffinity:
+    def test_matrix_symmetric_zero_diagonal(self, traces):
+        affinity = sharing_affinity(traces)
+        assert (affinity == affinity.T).all()
+        assert (np.diag(affinity) == 0).all()
+
+    def test_teammates_score_higher(self, workload, traces):
+        affinity = sharing_affinity(traces)
+        intra = affinity[0, 1]  # same team (threads 0-3)
+        inter = affinity[0, 4]  # different team
+        assert intra > 5 * inter
+
+    def test_read_only_sharing_scores_zero(self):
+        """Read-read sharing never invalidates; affinity must ignore it."""
+        wl = TeamSharingWorkload(
+            8, accesses_per_thread=800, team_size=4, team_write_ratio=0.0,
+            global_fraction=0.0,
+        )
+        bases = [0x100000 + (1 << 32) * i for i in range(len(wl.region_specs()))]
+        affinity = sharing_affinity(wl.all_traces(bases))
+        assert affinity.max() == 0
+
+
+class TestPlacement:
+    def test_round_robin_shape(self):
+        assert round_robin_placement(6, 2) == [0, 1, 0, 1, 0, 1]
+
+    def test_affinity_placement_recovers_teams(self, traces):
+        placement = affinity_placement(traces, num_blades=2, threads_per_blade=4)
+        teams = [set(placement[0:4]), set(placement[4:8])]
+        assert all(len(t) == 1 for t in teams), placement
+        assert teams[0] != teams[1]
+
+    def test_cross_share_fraction_bounds(self, traces):
+        rr = round_robin_placement(8, 2)
+        aff = affinity_placement(traces, 2, 4)
+        rr_cross = cross_blade_share_fraction(traces, rr)
+        aff_cross = cross_blade_share_fraction(traces, aff)
+        assert 0.0 <= aff_cross < 0.2
+        assert aff_cross < rr_cross <= 1.0
+
+    def test_too_many_threads_rejected(self, traces):
+        with pytest.raises(ValueError):
+            affinity_placement(traces, num_blades=1, threads_per_blade=4)
+
+
+class TestEndToEnd:
+    def test_affinity_beats_round_robin_on_team_workload(self, workload):
+        cfg = RunnerConfig(num_memory_blades=2, epoch_us=2_000.0)
+        bases = [
+            0x100000 + (1 << 32) * i
+            for i in range(len(workload.region_specs()))
+        ]
+        traces = workload.all_traces(bases)
+        rr = run_with_placement(
+            workload, 2, round_robin_placement(8, 2), cfg
+        )
+        aff = run_with_placement(
+            workload, 2, affinity_placement(traces, 2, 4), cfg
+        )
+        assert aff.runtime_us < rr.runtime_us
+        assert aff.stats.counter("invalidations_sent") < (
+            rr.stats.counter("invalidations_sent") / 2
+        )
+
+    def test_placement_preserves_results(self, workload):
+        """Placement changes performance, never the work done."""
+        cfg = RunnerConfig(num_memory_blades=2, epoch_us=2_000.0)
+        bases = [
+            0x100000 + (1 << 32) * i
+            for i in range(len(workload.region_specs()))
+        ]
+        traces = workload.all_traces(bases)
+        rr = run_with_placement(workload, 2, round_robin_placement(8, 2), cfg)
+        aff = run_with_placement(workload, 2, affinity_placement(traces, 2, 4), cfg)
+        assert rr.total_accesses == aff.total_accesses

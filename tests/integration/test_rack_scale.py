@@ -1,0 +1,71 @@
+"""Rack-scale sanity: larger configurations the 32-port switch supports."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, MindCluster
+from repro.core.mmu import MindConfig
+from repro.sim.network import PAGE_SIZE
+
+
+def big_rack(num_compute=16, num_memory=8):
+    return MindCluster(
+        ClusterConfig(
+            num_compute_blades=num_compute,
+            num_memory_blades=num_memory,
+            cache_capacity_pages=64,
+            mind=MindConfig(
+                directory_capacity=4096,
+                memory_blade_capacity=1 << 26,
+                enable_bounded_splitting=False,
+            ),
+        )
+    )
+
+
+def test_sixteen_compute_eight_memory_rack():
+    cluster = big_rack()
+    assert len(cluster.network.ports) == 24  # fits the 32-port Wedge
+    ctl = cluster.controller
+    task = ctl.sys_exec("big")
+    base = ctl.sys_mmap(task.pid, 1 << 20)
+    # Every blade writes its own page; every blade reads a neighbour's.
+    gens = []
+    for i, blade in enumerate(cluster.compute_blades):
+        gens.append(blade.store_bytes(task.pid, base + i * PAGE_SIZE, bytes([i])))
+    cluster.run_all(gens)
+    gens = []
+    for i, blade in enumerate(cluster.compute_blades):
+        neighbour = (i + 1) % 16
+        gens.append(blade.load_bytes(task.pid, base + neighbour * PAGE_SIZE, 1))
+    results = cluster.run_all(gens)
+    for i, data in enumerate(results):
+        assert data == bytes([(i + 1) % 16])
+
+
+def test_allocations_spread_over_eight_memory_blades():
+    cluster = big_rack()
+    ctl = cluster.controller
+    task = ctl.sys_exec("spread")
+    blades_used = set()
+    for _ in range(16):
+        base = ctl.sys_mmap(task.pid, 1 << 16)
+        blades_used.add(cluster.mmu.address_space.translate(base).blade_id)
+    assert blades_used == set(range(8))
+    assert cluster.mmu.allocator.jain_fairness() > 0.99
+
+
+def test_full_sharer_fanout_invalidation():
+    """A write to a page shared by 15 other blades invalidates all 15."""
+    cluster = big_rack()
+    ctl = cluster.controller
+    task = ctl.sys_exec("fanout")
+    base = ctl.sys_mmap(task.pid, PAGE_SIZE)
+    for blade in cluster.compute_blades:
+        cluster.run_process(blade.ensure_page(task.pid, base, False))
+    writer = cluster.compute_blades[0]
+    cluster.run_process(writer.ensure_page(task.pid, base, True))
+    assert cluster.stats.counter("invalidations_sent") == 15
+    for blade in cluster.compute_blades[1:]:
+        assert blade.cache.peek(base) is None
+    region = cluster.mmu.directory.find(base)
+    assert region.owner == writer.port.port_id

@@ -1,0 +1,95 @@
+"""Integration tests for the cross-system workload runner."""
+
+import pytest
+
+from repro.runner import RunnerConfig, SYSTEMS, run_system, scaling_sweep
+from repro.workloads import TensorFlowLikeWorkload, UniformSharingWorkload
+
+
+@pytest.fixture
+def cfg():
+    return RunnerConfig(num_memory_blades=2, epoch_us=2_000.0)
+
+
+def small_wl(num_threads=4):
+    return UniformSharingWorkload(
+        num_threads,
+        accesses_per_thread=300,
+        shared_pages=256,
+        private_pages_per_thread=64,
+    )
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("system", ["mind", "mind-pso", "mind-pso+", "mind-mesi", "gam"])
+    def test_every_system_runs(self, system, cfg):
+        result = run_system(system, small_wl(), num_blades=2, config=cfg)
+        assert result.runtime_us > 0
+        assert result.total_accesses == 4 * 300
+
+    def test_fastswap_single_blade(self, cfg):
+        result = run_system("fastswap", small_wl(), num_blades=1, config=cfg)
+        assert result.system == "FastSwap"
+
+    def test_unknown_system_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            run_system("nonsense", small_wl(), 1, cfg)
+
+    def test_system_names_recorded(self, cfg):
+        assert run_system("mind-pso", small_wl(), 1, cfg).system == "MIND-PSO"
+        assert run_system("mind-pso+", small_wl(), 1, cfg).system == "MIND-PSO+"
+
+    def test_systems_constant_lists_all(self):
+        assert set(SYSTEMS) == {
+            "mind", "mind-pso", "mind-pso+", "mind-mesi", "mind-moesi",
+            "gam", "fastswap",
+        }
+
+
+class TestDeterminism:
+    def test_same_run_same_runtime(self, cfg):
+        a = run_system("mind", small_wl(), 2, cfg)
+        b = run_system("mind", small_wl(), 2, cfg)
+        assert a.runtime_us == b.runtime_us
+        assert dict(a.stats.counters) == dict(b.stats.counters)
+
+    def test_identical_traces_across_systems(self, cfg):
+        """The PIN-trace methodology: every system replays identical
+        access streams (same total, same write mix)."""
+        wl = small_wl()
+        bases = [0x100000 + (1 << 30) * i for i in range(len(wl.region_specs()))]
+        t1 = wl.thread_trace(0, bases)
+        t2 = wl.thread_trace(0, bases)
+        assert (t1.vas == t2.vas).all() and (t1.writes == t2.writes).all()
+
+
+class TestScalingSweep:
+    def test_sweep_runs_each_point(self, cfg):
+        results = scaling_sweep(
+            "mind",
+            lambda n: small_wl(n),
+            blade_counts=[1, 2],
+            threads_per_blade=2,
+            config=cfg,
+        )
+        assert set(results) == {1, 2}
+        assert results[1].num_threads == 2
+        assert results[2].num_threads == 4
+
+    def test_pso_never_slower_than_tso_on_write_heavy(self, cfg):
+        wl_factory = lambda n: UniformSharingWorkload(
+            n, accesses_per_thread=300, read_ratio=0.0, sharing_ratio=0.2,
+            shared_pages=256, private_pages_per_thread=64,
+        )
+        tso = run_system("mind", wl_factory(4), 2, cfg)
+        pso = run_system("mind-pso", wl_factory(4), 2, cfg)
+        assert pso.runtime_us <= tso.runtime_us * 1.05
+
+
+class TestEpochCompression:
+    def test_bounded_splitting_active_during_replay(self):
+        cfg = RunnerConfig(num_memory_blades=2, epoch_us=300.0)
+        wl = TensorFlowLikeWorkload(4, accesses_per_thread=8000)
+        result = run_system("mind", wl, 2, cfg)
+        # With compressed epochs a multi-ms run records directory telemetry.
+        assert len(result.stats.series("directory_entries")) >= 2

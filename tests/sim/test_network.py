@@ -1,0 +1,138 @@
+"""Unit tests for the rack network model."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.network import (
+    CONTROL_MSG_BYTES,
+    Link,
+    Network,
+    NetworkConfig,
+    PAGE_SIZE,
+)
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def config():
+    return NetworkConfig()
+
+
+def test_serialization_time_scales_with_size(config):
+    assert config.serialization_us(PAGE_SIZE) == pytest.approx(
+        2 * config.serialization_us(PAGE_SIZE // 2)
+    )
+
+
+def test_serialization_100gbps_page(config):
+    # 4 KB at 100 Gbps = 32768 bits / 100e3 bits-per-us.
+    assert config.page_serialization_us() == pytest.approx(0.32768)
+
+
+def test_link_transfer_time(engine, config):
+    link = Link(engine, config, "test")
+    engine.run_process(link.transfer(PAGE_SIZE))
+    expected = config.serialization_us(PAGE_SIZE) + config.link_propagation_us
+    assert engine.now == pytest.approx(expected)
+
+
+def test_link_transfers_serialize(engine, config):
+    """Two page transfers on one link: serialization is FIFO; propagation
+    of the second overlaps nothing (starts after its serialization)."""
+    link = Link(engine, config, "test")
+    done = []
+
+    def send():
+        yield engine.process(link.transfer(PAGE_SIZE))
+        done.append(engine.now)
+
+    engine.process(send())
+    engine.process(send())
+    engine.run()
+    ser = config.serialization_us(PAGE_SIZE)
+    prop = config.link_propagation_us
+    assert done[0] == pytest.approx(ser + prop)
+    assert done[1] == pytest.approx(2 * ser + prop)
+
+
+def test_link_counts_bytes(engine, config):
+    link = Link(engine, config, "test")
+    engine.run_process(link.transfer(100))
+    engine.run_process(link.transfer(200))
+    assert link.bytes_carried == 300
+
+
+def test_control_message_is_cheap(engine, config):
+    link = Link(engine, config, "test")
+    engine.run_process(link.transfer(CONTROL_MSG_BYTES))
+    assert engine.now < config.link_propagation_us + 0.01
+
+
+def test_network_attach_unique_names(engine):
+    net = Network(engine)
+    net.attach("a")
+    with pytest.raises(ValueError):
+        net.attach("a")
+
+
+def test_network_port_ids_sequential(engine):
+    net = Network(engine)
+    ports = [net.attach(f"blade{i}") for i in range(4)]
+    assert [p.port_id for p in ports] == [0, 1, 2, 3]
+
+
+def test_network_port_lookup(engine):
+    net = Network(engine)
+    port = net.attach("x")
+    assert net.port("x") is port
+
+
+def test_full_duplex_links_independent(engine, config):
+    """Up and down links of a port carry traffic concurrently."""
+    net = Network(engine, config)
+    port = net.attach("blade")
+    done = []
+
+    def up():
+        yield engine.process(port.to_switch.transfer(PAGE_SIZE))
+        done.append(("up", engine.now))
+
+    def down():
+        yield engine.process(port.from_switch.transfer(PAGE_SIZE))
+        done.append(("down", engine.now))
+
+    engine.process(up())
+    engine.process(down())
+    engine.run()
+    expected = config.serialization_us(PAGE_SIZE) + config.link_propagation_us
+    assert done[0][1] == pytest.approx(expected)
+    assert done[1][1] == pytest.approx(expected)
+
+
+def test_total_bytes_across_ports(engine):
+    net = Network(engine)
+    a, b = net.attach("a"), net.attach("b")
+    engine.run_process(a.to_switch.transfer(100))
+    engine.run_process(b.from_switch.transfer(50))
+    assert net.total_bytes() == 150
+
+
+def test_config_latency_budget_is_sane(config):
+    """The one-way fetch path must land near the paper's 9 us point."""
+    one_way = (
+        config.rdma_verb_overhead_us
+        + config.serialization_us(CONTROL_MSG_BYTES)
+        + 2 * config.link_propagation_us  # to switch, to memory blade
+        + config.switch_pipeline_us
+        + config.memory_service_us
+        + config.dram_access_us
+        + config.serialization_us(PAGE_SIZE) * 2
+        + config.link_propagation_us * 2  # back through the switch
+        + config.switch_pipeline_us
+        + config.rdma_verb_overhead_us
+    )
+    assert 7.0 < one_way < 11.0

@@ -1,0 +1,49 @@
+"""Unit tests for the switch control-plane CPU model."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.switchsim.control_cpu import ControlCpu
+
+
+def test_rule_update_charges_pcie_cost():
+    engine = Engine()
+    cpu = ControlCpu(engine)
+    engine.run_process(cpu.apply_rule_update())
+    assert engine.now == pytest.approx(ControlCpu.RULE_UPDATE_US)
+    assert cpu.rule_updates == 1
+
+
+def test_syscall_cost():
+    engine = Engine()
+    cpu = ControlCpu(engine)
+    engine.run_process(cpu.handle_syscall())
+    assert engine.now == pytest.approx(ControlCpu.SYSCALL_US)
+    assert cpu.syscalls_handled == 1
+
+
+def test_control_ops_serialize():
+    engine = Engine()
+    cpu = ControlCpu(engine)
+    done = []
+
+    def op():
+        yield engine.process(cpu.apply_rule_update())
+        done.append(engine.now)
+
+    engine.process(op())
+    engine.process(op())
+    engine.run()
+    assert done[1] == pytest.approx(2 * ControlCpu.RULE_UPDATE_US)
+
+
+def test_utilization():
+    engine = Engine()
+    cpu = ControlCpu(engine)
+
+    def op():
+        yield engine.process(cpu.apply_rule_update())
+        yield ControlCpu.RULE_UPDATE_US  # idle for as long again
+
+    engine.run_process(op())
+    assert cpu.utilization() == pytest.approx(0.5)

@@ -1,0 +1,66 @@
+"""Unit tests for the multicast engine with egress pruning."""
+
+import pytest
+
+from repro.switchsim.multicast import MulticastEngine
+
+
+@pytest.fixture
+def engine():
+    mc = MulticastEngine()
+    mc.create_group(1, [0, 1, 2, 3])
+    return mc
+
+
+def test_replicate_to_all_sharers(engine):
+    out = engine.replicate(1, frozenset({0, 1, 2, 3}))
+    assert out == [0, 1, 2, 3]
+
+
+def test_egress_pruning_drops_non_sharers(engine):
+    out = engine.replicate(1, frozenset({1, 3}))
+    assert out == [1, 3]
+    assert engine.pruned == 2
+    assert engine.delivered == 2
+
+
+def test_requester_excluded(engine):
+    out = engine.replicate(1, frozenset({0, 1, 2}), exclude_port=1)
+    assert out == [0, 2]
+
+
+def test_replication_counts_group_size(engine):
+    engine.replicate(1, frozenset({0}))
+    assert engine.replicated == 4  # one copy per group member
+
+
+def test_empty_sharer_list(engine):
+    assert engine.replicate(1, frozenset()) == []
+
+
+def test_sharer_not_in_group_not_delivered(engine):
+    # Port 9 is a sharer but not in the multicast group: no copy exists.
+    out = engine.replicate(1, frozenset({0, 9}))
+    assert out == [0]
+
+
+def test_group_membership_mutation(engine):
+    engine.group(1).add_port(4)
+    assert engine.replicate(1, frozenset({4})) == [4]
+    engine.group(1).remove_port(4)
+    assert engine.replicate(1, frozenset({4})) == []
+
+
+def test_duplicate_group_rejected(engine):
+    with pytest.raises(ValueError):
+        engine.create_group(1, [])
+
+
+def test_unknown_group_rejected(engine):
+    with pytest.raises(KeyError):
+        engine.replicate(99, frozenset())
+
+
+def test_deterministic_delivery_order(engine):
+    out = engine.replicate(1, frozenset({3, 0, 2}))
+    assert out == sorted(out)

@@ -1,0 +1,114 @@
+"""Unit tests for the match-action pipeline model."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.network import NetworkConfig
+from repro.switchsim.pipeline import MauComputeError, SwitchPipeline
+
+
+@pytest.fixture
+def pipeline():
+    return SwitchPipeline(Engine(), NetworkConfig())
+
+
+def test_add_and_get_stage(pipeline):
+    mau = pipeline.add_stage("directory")
+    assert pipeline.stage("directory") is mau
+
+
+def test_duplicate_stage_rejected(pipeline):
+    pipeline.add_stage("x")
+    with pytest.raises(ValueError):
+        pipeline.add_stage("x")
+
+
+def test_unknown_stage_rejected(pipeline):
+    with pytest.raises(KeyError):
+        pipeline.stage("nope")
+
+
+def test_packet_must_traverse_before_ops(pipeline):
+    mau = pipeline.add_stage("m")
+    pkt = pipeline.packet()
+    with pytest.raises(MauComputeError):
+        pkt.execute(mau, lambda: 1)
+
+
+def test_one_op_per_mau_per_pass(pipeline):
+    engine = pipeline.engine
+    mau = pipeline.add_stage("m")
+    pkt = pipeline.packet()
+    engine.run_process(pkt.traverse())
+    assert pkt.execute(mau, lambda: "ok") == "ok"
+    with pytest.raises(MauComputeError):
+        pkt.execute(mau, lambda: "second")
+
+
+def test_recirculation_resets_op_budget(pipeline):
+    engine = pipeline.engine
+    mau = pipeline.add_stage("m")
+    pkt = pipeline.packet()
+    engine.run_process(pkt.traverse())
+    pkt.execute(mau, lambda: 1)
+    engine.run_process(pkt.recirculate())
+    assert pkt.execute(mau, lambda: 2) == 2
+    assert pipeline.recirculations == 1
+
+
+def test_different_maus_independent_budgets(pipeline):
+    engine = pipeline.engine
+    a = pipeline.add_stage("a")
+    b = pipeline.add_stage("b")
+    pkt = pipeline.packet()
+    engine.run_process(pkt.traverse())
+    pkt.execute(a, lambda: 1)
+    pkt.execute(b, lambda: 2)  # must not raise
+
+
+def test_concurrent_packets_do_not_interfere(pipeline):
+    """Two in-flight packets each get their own per-pass budget."""
+    engine = pipeline.engine
+    mau = pipeline.add_stage("m")
+    p1, p2 = pipeline.packet(), pipeline.packet()
+    engine.run_process(p1.traverse())
+    engine.run_process(p2.traverse())
+    p1.execute(mau, lambda: 1)
+    p2.execute(mau, lambda: 2)  # independent budget: no error
+    assert mau.total_ops == 2
+
+
+def test_traverse_costs_pipeline_latency(pipeline):
+    engine = pipeline.engine
+    pkt = pipeline.packet()
+    engine.run_process(pkt.traverse())
+    assert engine.now == pytest.approx(pipeline.config.switch_pipeline_us)
+
+
+def test_recirculate_costs_more_than_traverse(pipeline):
+    engine = pipeline.engine
+    pkt = pipeline.packet()
+    engine.run_process(pkt.traverse())
+    t_traverse = engine.now
+    engine.run_process(pkt.recirculate())
+    assert engine.now - t_traverse > t_traverse
+
+
+def test_pass_counters(pipeline):
+    engine = pipeline.engine
+    pkt = pipeline.packet()
+    engine.run_process(pkt.traverse())
+    engine.run_process(pkt.recirculate())
+    assert pipeline.passes == 2
+    assert pkt.passes == 2
+
+
+def test_max_ops_per_pass_configurable(pipeline):
+    engine = pipeline.engine
+    mau = pipeline.add_stage("wide", max_ops_per_pass=2)
+    pkt = pipeline.packet()
+    engine.run_process(pkt.traverse())
+    pkt.execute(mau, lambda: 1)
+    pkt.execute(mau, lambda: 2)
+    with pytest.raises(MauComputeError):
+        pkt.execute(mau, lambda: 3)

@@ -1,0 +1,66 @@
+"""Tests for switch-side RDMA connection virtualization (Section 6.3)."""
+
+import pytest
+
+from repro.sim.network import PAGE_SIZE
+from repro.switchsim.rdma_virt import RdmaVirtualizer
+
+from conftest import small_cluster
+
+
+class TestVirtualizer:
+    def test_connections_created_lazily(self):
+        virt = RdmaVirtualizer()
+        assert virt.num_connections == 0
+        virt.rewrite(compute_port=0, memory_blade=1)
+        assert virt.num_connections == 1
+        virt.rewrite(0, 1)
+        assert virt.num_connections == 1  # reused
+        virt.rewrite(0, 2)
+        assert virt.num_connections == 2
+
+    def test_psn_sequencing_per_connection(self):
+        virt = RdmaVirtualizer()
+        assert virt.rewrite(0, 1) == 0
+        assert virt.rewrite(0, 1) == 1
+        assert virt.rewrite(0, 2) == 0  # independent sequence
+        assert virt.rewrite(0, 1) == 2
+
+    def test_rewrite_counters(self):
+        virt = RdmaVirtualizer()
+        for _ in range(5):
+            virt.rewrite(0, 1)
+        virt.rewrite(1, 1)
+        assert virt.rewrites == 6
+        assert virt.connection(0, 1).packets_rewritten == 5
+        assert virt.connections_for_blade(0) == 1
+        assert virt.connections_for_blade(1) == 1
+
+
+class TestIntegration:
+    def test_fetches_rewrite_headers(self):
+        cluster = small_cluster(num_compute=2, num_memory=2)
+        ctl = cluster.controller
+        task = ctl.sys_exec("t")
+        base = ctl.sys_mmap(task.pid, 8 * PAGE_SIZE)
+        blade = cluster.compute_blades[0]
+        for i in range(4):
+            cluster.run_process(
+                blade.ensure_page(task.pid, base + i * PAGE_SIZE, False)
+            )
+        virt = cluster.mmu.coherence.rdma_virt
+        assert virt.rewrites == 4
+        # One virtual connection per (compute, memory) pair actually used.
+        assert virt.connections_for_blade(blade.port.port_id) >= 1
+
+    def test_flushes_rewrite_headers_too(self):
+        cluster = small_cluster(num_compute=2, num_memory=1)
+        ctl = cluster.controller
+        task = ctl.sys_exec("t")
+        base = ctl.sys_mmap(task.pid, PAGE_SIZE)
+        b0, b1 = cluster.compute_blades
+        cluster.run_process(b0.store_bytes(task.pid, base, b"x"))
+        before = cluster.mmu.coherence.rdma_virt.rewrites
+        cluster.run_process(b1.store_bytes(task.pid, base, b"y"))  # M->M flush
+        cluster.run(until=cluster.engine.now + 500)
+        assert cluster.mmu.coherence.rdma_virt.rewrites > before + 1

@@ -1,0 +1,102 @@
+"""Unit tests for the SRAM register array (directory slot storage)."""
+
+import pytest
+
+from repro.switchsim.sram import RegisterArray, SramFullError
+
+
+def test_allocate_and_lookup():
+    sram = RegisterArray(4)
+    slot = sram.allocate(0x1000, data="entry")
+    assert sram.lookup(0x1000) is slot
+    assert slot.data == "entry"
+
+
+def test_lookup_missing_returns_none():
+    assert RegisterArray(4).lookup(0x42) is None
+
+
+def test_capacity_enforced():
+    sram = RegisterArray(2)
+    sram.allocate(1)
+    sram.allocate(2)
+    with pytest.raises(SramFullError):
+        sram.allocate(3)
+
+
+def test_duplicate_key_rejected():
+    sram = RegisterArray(2)
+    sram.allocate(1)
+    with pytest.raises(ValueError):
+        sram.allocate(1)
+
+
+def test_release_returns_slot_to_free_list():
+    sram = RegisterArray(1)
+    sram.allocate(1, data="x")
+    sram.release(1)
+    assert sram.free == 1
+    assert sram.lookup(1) is None
+    slot = sram.allocate(2)
+    assert slot.data is None  # old payload cleared
+
+
+def test_release_unknown_key_rejected():
+    with pytest.raises(KeyError):
+        RegisterArray(2).release(99)
+
+
+def test_rekey_preserves_slot_data():
+    sram = RegisterArray(2)
+    sram.allocate(1, data="payload")
+    sram.rekey(1, 2)
+    assert sram.lookup(1) is None
+    assert sram.lookup(2).data == "payload"
+
+
+def test_rekey_to_existing_key_rejected():
+    sram = RegisterArray(4)
+    sram.allocate(1)
+    sram.allocate(2)
+    with pytest.raises(ValueError):
+        sram.rekey(1, 2)
+
+
+def test_rekey_unknown_key_rejected():
+    with pytest.raises(KeyError):
+        RegisterArray(2).rekey(1, 2)
+
+
+def test_utilization_and_peak():
+    sram = RegisterArray(4)
+    sram.allocate(1)
+    sram.allocate(2)
+    assert sram.utilization() == pytest.approx(0.5)
+    sram.release(1)
+    assert sram.utilization() == pytest.approx(0.25)
+    assert sram.peak_used == 2
+
+
+def test_items_iterates_live_entries():
+    sram = RegisterArray(4)
+    sram.allocate(1, data="a")
+    sram.allocate(2, data="b")
+    assert dict(sram.items()) == {1: "a", 2: "b"}
+    assert sorted(sram.keys()) == [1, 2]
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        RegisterArray(0)
+
+
+def test_full_churn_cycle():
+    """Allocate/release churn must never leak slots."""
+    sram = RegisterArray(8)
+    for round_ in range(10):
+        for i in range(8):
+            sram.allocate(round_ * 100 + i)
+        assert sram.free == 0
+        for i in range(8):
+            sram.release(round_ * 100 + i)
+        assert sram.free == 8

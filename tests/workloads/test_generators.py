@@ -1,0 +1,204 @@
+"""Statistical tests for the concrete workload generators.
+
+Each generator must exhibit the access characteristics the paper relies on
+to explain its system-level results (sharing, write mix, skew).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.network import PAGE_SIZE
+from repro.workloads import (
+    GraphLikeWorkload,
+    MemcachedYcsbWorkload,
+    NativeKvsWorkload,
+    TensorFlowLikeWorkload,
+    UniformSharingWorkload,
+)
+
+
+def bound(workload):
+    specs = workload.region_specs()
+    bases = []
+    cursor = 0
+    for spec in specs:
+        bases.append(cursor)
+        cursor += 1 << 40  # huge stride: region index recoverable
+    return bases
+
+
+def regions_of(trace):
+    return (trace.vas // (1 << 40)).astype(int)
+
+
+class TestUniform:
+    def test_sharing_ratio_respected(self):
+        wl = UniformSharingWorkload(
+            4, 4000, read_ratio=0.5, sharing_ratio=0.3, shared_pages=1000,
+        )
+        trace = wl.thread_trace(0, bound(wl))
+        shared_frac = (regions_of(trace) == 0).mean()
+        assert shared_frac == pytest.approx(0.3, abs=0.05)
+
+    def test_read_ratio_respected(self):
+        wl = UniformSharingWorkload(2, 4000, read_ratio=0.8)
+        trace = wl.thread_trace(0, bound(wl))
+        assert trace.write_fraction == pytest.approx(0.2, abs=0.05)
+
+    def test_extremes(self):
+        wl = UniformSharingWorkload(2, 1000, read_ratio=1.0, sharing_ratio=0.0)
+        trace = wl.thread_trace(0, bound(wl))
+        assert trace.write_fraction == 0.0
+        assert (regions_of(trace) == 1).all()  # thread 0's private region
+
+    def test_private_regions_disjoint_by_thread(self):
+        wl = UniformSharingWorkload(4, 1000, sharing_ratio=0.0)
+        t0 = wl.thread_trace(0, bound(wl))
+        t3 = wl.thread_trace(3, bound(wl))
+        assert set(regions_of(t0)) == {1}
+        assert set(regions_of(t3)) == {4}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            UniformSharingWorkload(2, 100, read_ratio=1.5)
+        with pytest.raises(ValueError):
+            UniformSharingWorkload(2, 100, sharing_ratio=-0.1)
+        with pytest.raises(ValueError):
+            UniformSharingWorkload(0, 100)
+
+
+class TestTensorFlowLike:
+    def test_private_traffic_dominates(self):
+        wl = TensorFlowLikeWorkload(4, 8000)
+        trace = wl.thread_trace(0, bound(wl))
+        shared_frac = (regions_of(trace) == 0).mean()
+        assert shared_frac < 0.3
+
+    def test_shared_writes_are_rare(self):
+        wl = TensorFlowLikeWorkload(4, 8000)
+        trace = wl.thread_trace(0, bound(wl))
+        shared_writes = (
+            (regions_of(trace) == 0) & trace.writes
+        ).mean()
+        assert shared_writes < 0.05
+
+    def test_activation_sweep_is_sequential(self):
+        wl = TensorFlowLikeWorkload(2, 8000, burst=1)
+        trace = wl.thread_trace(0, bound(wl))
+        acts = trace.vas[regions_of(trace) == 1]
+        deltas = np.diff(acts)
+        # A sequential sweep: most steps advance by exactly one page.
+        assert (deltas == PAGE_SIZE).mean() > 0.7
+
+    def test_threads_use_own_activation_regions(self):
+        wl = TensorFlowLikeWorkload(3, 2000)
+        for t in range(3):
+            trace = wl.thread_trace(t, bound(wl))
+            regs = set(regions_of(trace))
+            assert regs <= {0, 1 + t}
+
+
+class TestGraphLike:
+    def test_rank_region_shared_by_all_threads(self):
+        wl = GraphLikeWorkload(4, 4000)
+        for t in range(4):
+            trace = wl.thread_trace(t, bound(wl))
+            assert (regions_of(trace) == 0).any()
+
+    def test_shared_writes_exceed_tf(self):
+        """The paper: GC writes ~2.5x more shared data than TF."""
+        gc = GraphLikeWorkload(4, 8000)
+        tf = TensorFlowLikeWorkload(4, 8000)
+        gc_sw = ((regions_of(gc.thread_trace(0, bound(gc))) == 0)
+                 & gc.thread_trace(0, bound(gc)).writes).mean()
+        tf_sw = ((regions_of(tf.thread_trace(0, bound(tf))) == 0)
+                 & tf.thread_trace(0, bound(tf)).writes).mean()
+        assert gc_sw > 2.0 * tf_sw
+
+    def test_hub_pages_are_hot(self):
+        wl = GraphLikeWorkload(2, 8000, burst=1)
+        trace = wl.thread_trace(0, bound(wl))
+        rank_pages = trace.vas[regions_of(trace) == 0] // PAGE_SIZE
+        hot = (rank_pages < wl.hot_pages).mean()
+        assert hot > wl.hot_fraction * 0.7
+
+    def test_hub_pages_written_too(self):
+        wl = GraphLikeWorkload(2, 8000, burst=1)
+        trace = wl.thread_trace(0, bound(wl))
+        mask = (regions_of(trace) == 0) & trace.writes
+        rank_pages = trace.vas[mask] // PAGE_SIZE
+        assert (rank_pages < wl.hot_pages).any()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GraphLikeWorkload(2, 100, hot_fraction=2.0)
+        with pytest.raises(ValueError):
+            GraphLikeWorkload(2, 100, hot_pages=0)
+
+
+class TestMemcachedYcsb:
+    def test_workload_a_write_mix(self):
+        wl = MemcachedYcsbWorkload.workload_a(4, accesses_per_thread=4000)
+        trace = wl.thread_trace(0, bound(wl))
+        # 50% updates plus metadata writes on reads.
+        assert 0.45 < trace.write_fraction < 0.75
+        assert wl.name == "M_A"
+
+    def test_workload_c_reads_table_only(self):
+        wl = MemcachedYcsbWorkload.workload_c(4, accesses_per_thread=4000)
+        trace = wl.thread_trace(0, bound(wl))
+        table_mask = regions_of(trace) == 0
+        assert not trace.writes[table_mask].any()
+        assert wl.name == "M_C"
+
+    def test_workload_c_still_writes_metadata(self):
+        """GETs bump the LRU: even read-only YCSB-C generates shared
+        writes, the root cause of M_C's directory pressure."""
+        wl = MemcachedYcsbWorkload.workload_c(4, accesses_per_thread=4000)
+        trace = wl.thread_trace(0, bound(wl))
+        meta_mask = regions_of(trace) == 1
+        assert meta_mask.any()
+        assert trace.writes[meta_mask].all()
+
+    def test_zipfian_skew_on_table(self):
+        wl = MemcachedYcsbWorkload.workload_c(
+            2, accesses_per_thread=8000, table_pages=10_000, burst=1,
+            metadata_fraction=0.0,
+        )
+        trace = wl.thread_trace(0, bound(wl))
+        pages = trace.vas // PAGE_SIZE
+        _unique, counts = np.unique(pages, return_counts=True)
+        # Zipf: the hottest page gets far more than the mean.
+        assert counts.max() > 10 * counts.mean()
+
+    def test_all_threads_share_whole_table(self):
+        wl = MemcachedYcsbWorkload.workload_a(4, accesses_per_thread=2000)
+        spans = []
+        for t in range(4):
+            trace = wl.thread_trace(t, bound(wl))
+            table = trace.vas[regions_of(trace) == 0]
+            spans.append((table.min(), table.max()))
+        # Every thread covers a broad slice of the same table.
+        widths = [hi - lo for lo, hi in spans]
+        assert min(widths) > 0.5 * max(widths)
+
+
+class TestNativeKvs:
+    def test_locality_respected(self):
+        wl = NativeKvsWorkload(4, 4000, locality=0.9)
+        trace = wl.thread_trace(1, bound(wl))
+        own = (regions_of(trace) == 1).mean()
+        assert own > 0.85
+
+    def test_cross_partition_traffic_exists(self):
+        wl = NativeKvsWorkload(4, 4000, locality=0.5)
+        trace = wl.thread_trace(0, bound(wl))
+        assert len(set(regions_of(trace))) > 1
+
+    def test_name_reflects_mix(self):
+        assert NativeKvsWorkload(2, 100, read_ratio=0.5).name == "NativeKVS-A"
+        assert NativeKvsWorkload(2, 100, read_ratio=1.0).name == "NativeKVS-C"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NativeKvsWorkload(2, 100, locality=1.5)

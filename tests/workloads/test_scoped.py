@@ -1,0 +1,68 @@
+"""Tests for the team-scoped sharing workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import TeamSharingWorkload
+
+
+def bound(workload):
+    return [i << 40 for i in range(len(workload.region_specs()))]
+
+
+def regions_of(trace):
+    return (trace.vas >> 40).astype(int)
+
+
+@pytest.fixture
+def wl():
+    return TeamSharingWorkload(8, accesses_per_thread=2000, team_size=4)
+
+
+def test_team_structure(wl):
+    assert wl.num_teams == 2
+    assert wl.team_of(0) == 0
+    assert wl.team_of(5) == 1
+
+
+def test_thread_count_must_divide():
+    with pytest.raises(ValueError):
+        TeamSharingWorkload(7, 100, team_size=4)
+
+
+def test_region_layout(wl):
+    specs = wl.region_specs()
+    # global + 2 teams + 8 privates.
+    assert len(specs) == 11
+    assert specs[0].name == "global"
+
+
+def test_thread_touches_only_its_team(wl):
+    for tid in range(8):
+        trace = wl.thread_trace(tid, bound(wl))
+        regions = set(regions_of(trace))
+        my_team = 1 + wl.team_of(tid)
+        other_team = 1 + (1 - wl.team_of(tid))
+        assert my_team in regions
+        assert other_team not in regions
+
+
+def test_fraction_split(wl):
+    trace = wl.thread_trace(0, bound(wl))
+    regions = regions_of(trace)
+    team_frac = (regions == 1).mean()
+    global_frac = (regions == 0).mean()
+    assert team_frac == pytest.approx(wl.team_fraction, abs=0.06)
+    assert global_frac == pytest.approx(wl.global_fraction, abs=0.04)
+
+
+def test_global_traffic_read_mostly(wl):
+    trace = wl.thread_trace(0, bound(wl))
+    mask = regions_of(trace) == 0
+    assert trace.writes[mask].mean() < 0.1
+
+
+def test_team_traffic_mixed(wl):
+    trace = wl.thread_trace(0, bound(wl))
+    mask = regions_of(trace) == 1
+    assert 0.3 < trace.writes[mask].mean() < 0.7

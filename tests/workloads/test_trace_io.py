@@ -1,0 +1,128 @@
+"""Tests for trace bundle save/load/replay."""
+
+import numpy as np
+import pytest
+
+from repro.runner import RunnerConfig, run_system
+from repro.sim.network import PAGE_SIZE
+from repro.workloads import UniformSharingWorkload
+from repro.workloads.trace import RegionSpec
+from repro.workloads.trace_io import (
+    FileWorkload,
+    TraceFormatError,
+    convert_pin_text,
+    load_traces,
+    record_workload,
+    save_traces,
+)
+
+
+def sample_bundle(tmp_path, threads=2, n=100):
+    specs = [RegionSpec("data", 64 * PAGE_SIZE)]
+    rng = np.random.default_rng(5)
+    per_thread = [
+        (
+            np.zeros(n, dtype=np.int64),
+            rng.integers(0, 64, size=n),
+            rng.random(n) < 0.5,
+        )
+        for _ in range(threads)
+    ]
+    path = tmp_path / "trace.npz"
+    save_traces(path, "sample", specs, per_thread)
+    return path, specs, per_thread
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        path, specs, per_thread = sample_bundle(tmp_path)
+        name, loaded_specs, loaded = load_traces(path)
+        assert name == "sample"
+        assert [(s.name, s.size_bytes) for s in loaded_specs] == [
+            (s.name, s.size_bytes) for s in specs
+        ]
+        for (r, p, w), (lr, lp, lw) in zip(per_thread, loaded):
+            assert (r == lr).all() and (p == lp).all() and (w == lw).all()
+
+    def test_mismatched_arrays_rejected(self, tmp_path):
+        specs = [RegionSpec("x", PAGE_SIZE)]
+        bad = [(np.zeros(3, dtype=np.int64), np.zeros(2, dtype=np.int64),
+                np.zeros(3, dtype=bool))]
+        with pytest.raises(TraceFormatError):
+            save_traces(tmp_path / "bad.npz", "bad", specs, bad)
+
+    def test_record_generated_workload(self, tmp_path):
+        wl = UniformSharingWorkload(
+            2, accesses_per_thread=200, shared_pages=32,
+            private_pages_per_thread=8,
+        )
+        path = tmp_path / "uniform.npz"
+        record_workload(wl, path)
+        replay = FileWorkload(path)
+        assert replay.num_threads == 2
+        bases = [i << 32 for i in range(len(wl.region_specs()))]
+        original = wl.thread_trace(0, bases)
+        recorded = replay.thread_trace(0, bases)
+        assert (original.vas == recorded.vas).all()
+        assert (original.writes == recorded.writes).all()
+
+
+class TestFileWorkload:
+    def test_replays_on_mind(self, tmp_path):
+        path, _specs, per_thread = sample_bundle(tmp_path)
+        wl = FileWorkload(path)
+        result = run_system(
+            "mind", wl, 2, RunnerConfig(num_memory_blades=1, epoch_us=None)
+        )
+        assert result.total_accesses == sum(len(t[0]) for t in per_thread)
+        assert result.workload == "sample"
+
+    def test_burst_expansion(self, tmp_path):
+        path, _specs, _per = sample_bundle(tmp_path, n=10)
+        wl = FileWorkload(path, burst=4)
+        bases = [0]
+        trace = wl.thread_trace(0, bases)
+        assert len(trace) == 40
+        assert (trace.vas[0:4] == trace.vas[0]).all()
+
+    def test_empty_bundle_rejected(self, tmp_path):
+        save_traces(tmp_path / "empty.npz", "e", [RegionSpec("x", PAGE_SIZE)], [])
+        with pytest.raises(TraceFormatError):
+            FileWorkload(tmp_path / "empty.npz")
+
+
+class TestPinConversion:
+    def test_convert_basic(self):
+        lines = [
+            "# a comment",
+            "0 0x1000 R",
+            "0 0x2010 W",
+            "1 0x1008 R",
+            "",
+        ]
+        specs, per_thread = convert_pin_text(
+            lines, region_base=0x0, region_size=16 * PAGE_SIZE
+        )
+        assert len(specs) == 1
+        assert len(per_thread) == 2
+        regions, pages, writes = per_thread[0]
+        assert pages.tolist() == [1, 2]
+        assert writes.tolist() == [False, True]
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(TraceFormatError):
+            convert_pin_text(["0 0x1000 X"], 0, 16 * PAGE_SIZE)
+
+    def test_out_of_region_rejected(self):
+        with pytest.raises(TraceFormatError):
+            convert_pin_text(["0 0xFFFFFF R"], 0, 16 * PAGE_SIZE)
+
+    def test_round_trip_through_file(self, tmp_path):
+        lines = [f"0 {hex(i * 0x1000)} {'W' if i % 2 else 'R'}" for i in range(8)]
+        specs, per_thread = convert_pin_text(lines, 0, 16 * PAGE_SIZE)
+        path = tmp_path / "pin.npz"
+        save_traces(path, "pin-trace", specs, per_thread)
+        wl = FileWorkload(path)
+        trace = wl.thread_trace(0, [0])
+        assert len(trace) == 8
+        assert trace.writes.sum() == 4
