@@ -1,18 +1,32 @@
-"""``python -m repro``: a one-minute tour of the reproduction.
+"""``python -m repro``: a one-minute tour, plus observability reports.
 
-Builds a small rack, demonstrates cross-blade coherent shared memory, and
-prints the MSI transition latencies the paper reports in Fig. 7 (left).
+Subcommands:
+
+- ``tour`` (default) -- build a small rack, demonstrate cross-blade
+  coherent shared memory, and print the MSI transition latencies the paper
+  reports in Fig. 7 (left).
+- ``report`` -- replay a small synthetic workload with tracing enabled and
+  print a per-run report: latency percentiles, the span-derived fault-path
+  breakdown, queueing hotspots and switch-resource peaks.  Optionally
+  export the event trace as Chrome trace-event JSON (``--trace-out``,
+  loadable in ``chrome://tracing`` / Perfetto) or JSONL (``--jsonl-out``).
+
 For the full evaluation, run ``pytest benchmarks/ --benchmark-only -s``.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
+from typing import List, Optional
 
 from .api import MindSystem
+from .runner import SYSTEMS, RunnerConfig, run_system
+from .workloads import UniformSharingWorkload
 
 
-def main() -> int:
+def tour(_args: argparse.Namespace) -> int:
     print(__doc__)
     system = MindSystem(num_compute_blades=3, num_memory_blades=2)
     proc = system.spawn_process("tour")
@@ -39,6 +53,85 @@ def main() -> int:
         "invalidations -- all in the network fabric."
     )
     return 0
+
+
+def report(args: argparse.Namespace) -> int:
+    config = RunnerConfig(
+        trace=True,
+        trace_capacity=args.trace_capacity,
+        sample_interval_us=args.sample_us,
+    )
+    workload = UniformSharingWorkload(
+        args.blades * args.threads_per_blade,
+        accesses_per_thread=args.accesses,
+        read_ratio=args.read_ratio,
+        sharing_ratio=args.sharing_ratio,
+        shared_pages=args.shared_pages,
+        private_pages_per_thread=256,
+        seed=args.seed,
+        burst=4,
+    )
+    result = run_system(args.system, workload, args.blades, config)
+    run_report = result.report()
+    if args.json:
+        print(json.dumps(run_report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(run_report.render())
+    if result.trace is None:
+        if args.trace_out or args.jsonl_out:
+            print(
+                f"note: system {args.system!r} does not record traces; "
+                "no trace files written",
+                file=sys.stderr,
+            )
+        return 0
+    if args.trace_out:
+        result.trace.write_chrome_trace(args.trace_out)
+        print(
+            f"\nwrote {len(result.trace)} trace events to {args.trace_out} "
+            "(open in chrome://tracing or Perfetto)"
+        )
+    if args.jsonl_out:
+        result.trace.write_jsonl(args.jsonl_out)
+        print(f"wrote {len(result.trace)} records to {args.jsonl_out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MIND reproduction: demo tour and run reports.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    tour_p = sub.add_parser("tour", help="coherent shared-memory demo (default)")
+    tour_p.set_defaults(fn=tour)
+
+    rep = sub.add_parser(
+        "report", help="replay a small workload with tracing and print a report"
+    )
+    rep.add_argument("--system", default="mind", choices=SYSTEMS)
+    rep.add_argument("--blades", type=int, default=4)
+    rep.add_argument("--threads-per-blade", type=int, default=2)
+    rep.add_argument("--accesses", type=int, default=1_000)
+    rep.add_argument("--read-ratio", type=float, default=0.5)
+    rep.add_argument("--sharing-ratio", type=float, default=0.5)
+    rep.add_argument("--shared-pages", type=int, default=400)
+    rep.add_argument("--seed", type=int, default=1)
+    rep.add_argument("--sample-us", type=float, default=100.0)
+    rep.add_argument("--trace-capacity", type=int, default=1 << 18)
+    rep.add_argument("--json", action="store_true", help="emit the report as JSON")
+    rep.add_argument("--trace-out", help="write a Chrome trace-event JSON file")
+    rep.add_argument("--jsonl-out", help="write raw trace records as JSONL")
+    rep.set_defaults(fn=report)
+
+    parser.set_defaults(fn=tour)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
 
 
 if __name__ == "__main__":

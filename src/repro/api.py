@@ -162,11 +162,15 @@ class MindSystem:
         mind_config: Optional[MindConfig] = None,
         network_config: Optional[NetworkConfig] = None,
         store_data: bool = True,
+        trace: bool = False,
+        trace_capacity: int = 1 << 16,
     ):
         config = ClusterConfig(
             num_compute_blades=num_compute_blades,
             num_memory_blades=num_memory_blades,
             store_data=store_data,
+            trace=trace,
+            trace_capacity=trace_capacity,
         )
         if cache_capacity_pages is not None:
             config.cache_capacity_pages = cache_capacity_pages
@@ -183,6 +187,15 @@ class MindSystem:
     @property
     def stats(self):
         return self.cluster.stats
+
+    @property
+    def tracer(self):
+        """The cluster's event tracer (records only when ``trace=True``)."""
+        return self.cluster.tracer
+
+    def capture_telemetry(self) -> None:
+        """Snapshot switch-resource peaks and queueing waits into stats."""
+        self.cluster.capture_telemetry()
 
     @property
     def now_us(self) -> float:

@@ -28,6 +28,7 @@ from typing import Dict, Generator, Iterable, Optional, Tuple
 
 from ..core.coherence import CoherenceProtocol, FaultResult
 from ..core.vma import align_down
+from ..obs.spans import SpanCursor
 from ..sim.engine import Engine, Event, Resource
 from ..sim.network import Network, NetworkConfig, PAGE_SIZE
 from ..sim.stats import StatsCollector
@@ -77,7 +78,9 @@ class ComputeBlade:
         #: serializes the kernel's memory-management critical sections: page
         #: fault entry/PTE fixup and invalidation processing contend on it,
         #: producing the invalidation queueing delay of Fig. 7 (right).
-        self.kernel_lock = Resource(engine, capacity=1)
+        self.kernel_lock = Resource(
+            engine, capacity=1, name=f"blade{blade_id}.kernel_lock"
+        )
         #: cumulative time TLB-shootdown IPIs have stolen from every core on
         #: this blade; running threads observe it and slow down accordingly.
         self.steal_time_us = 0.0
@@ -92,11 +95,22 @@ class ComputeBlade:
         """Kernel invalidation path; returns an :class:`InvalidationAck`.
 
         Serialized per blade: concurrent invalidations queue, and the wait
-        is reported in the ACK as queueing delay.
+        is reported in the ACK as queueing delay.  A :class:`SpanCursor`
+        partitions the handling time into the queue/process/tlb components
+        Fig. 7 (right) plots (the ``invalidation`` breakdown).
         """
+        tracer = self.engine.tracer
+        spans = SpanCursor(
+            self.engine,
+            self.stats,
+            "invalidation",
+            trace_cat="blade",
+            track=tracer.track(f"blade{self.blade_id}") if tracer.enabled else 0,
+        )
         acquire_ev = self.kernel_lock.acquire()
         yield acquire_ev
         queue_delay = acquire_ev.value or 0.0
+        spans.mark("queue")
         try:
             self.stats.incr("invalidations_received")
             yield self.config.invalidation_processing_us
@@ -109,6 +123,7 @@ class ComputeBlade:
                 inval.downgrade_to_shared,
                 keep_dirty=inval.keep_dirty,
             )
+            spans.mark("process")
             tlb_us = self.ptes.shootdown_region(
                 inval.region_base, inval.region_size, inval.downgrade_to_shared
             )
@@ -117,6 +132,7 @@ class ComputeBlade:
                 # blade lose the same time (they observe steal_time_us).
                 self.steal_time_us += tlb_us
                 yield tlb_us
+                spans.mark("tlb")
             for page in outcome.flushed:
                 data = bytes(page.data) if page.data is not None else None
                 # Asynchronous write-back: the ACK does not wait for the
@@ -169,6 +185,7 @@ class ComputeBlade:
                     return page
         ev = self.engine.event()
         self._inflight_faults[page_va] = ev
+        t_fault = self.engine.now
         try:
             # Fault entry runs a kernel mm critical section; invalidation
             # handling contends on the same lock.
@@ -211,6 +228,15 @@ class ComputeBlade:
                     self.stats.incr("eviction_flushes")
                     data = bytes(victim.data) if victim.data is not None else None
                     self.datapath.flush_page_async(self.port, victim.va, data)
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.complete(
+                    t_fault,
+                    self.engine.now - t_fault,
+                    "blade",
+                    f"fault:{'w' if write else 'r'}:{page_va:#x}",
+                    track=tracer.track(f"blade{self.blade_id}"),
+                )
             return page
         finally:
             del self._inflight_faults[page_va]

@@ -17,6 +17,8 @@ from .blades.compute import ComputeBlade
 from .blades.memory import MemoryBlade
 from .core.coherence import FaultInjector
 from .core.mmu import InNetworkMmu, MindConfig
+from .obs.gauges import GaugeSampler
+from .obs.tracer import Tracer
 from .sim.engine import Engine
 from .sim.network import Network, NetworkConfig, PAGE_SIZE
 from .sim.stats import StatsCollector
@@ -36,6 +38,14 @@ class ClusterConfig:
     store_data: bool = True
     mind: MindConfig = field(default_factory=MindConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    #: enable the observability subsystem: event tracing plus background
+    #: gauge sampling.  Off by default -- instrumentation sites then cost a
+    #: single ``tracer.enabled`` check.
+    trace: bool = False
+    #: ring-buffer capacity of the tracer (oldest records drop when full).
+    trace_capacity: int = 1 << 16
+    #: gauge sampling period in simulated microseconds (when tracing).
+    sample_interval_us: float = 100.0
 
 
 class MindCluster:
@@ -49,6 +59,12 @@ class MindCluster:
         self.config = config or ClusterConfig()
         self.engine = Engine()
         self.stats = StatsCollector()
+        #: the observability sink; installed on the engine so every layer
+        #: (network, pipeline, coherence, blades) reaches it the same way.
+        self.tracer = Tracer(
+            capacity=self.config.trace_capacity, enabled=self.config.trace
+        )
+        self.engine.tracer = self.tracer
         self.network = Network(self.engine, self.config.network)
         self.mmu = InNetworkMmu(
             self.engine,
@@ -82,7 +98,29 @@ class MindCluster:
         self.mmu.controller.set_drop_cached_range(self._drop_cached_range)
         self.mmu.controller.set_flush_cached_range(self._flush_cached_range)
         self.mmu.controller.set_revoke_domain_range(self._revoke_domain_range)
+        self.sampler = self._build_sampler()
         self.mmu.start()
+        if self.config.trace:
+            # Perpetual background process, like the epoch loop: drive the
+            # cluster with run_until_complete-style helpers, not run().
+            self.sampler.start()
+
+    def _build_sampler(self) -> GaugeSampler:
+        """Register the switch-resource and queue-depth gauges Fig. 8 needs."""
+        sampler = GaugeSampler(
+            self.engine, self.stats, interval_us=self.config.sample_interval_us
+        )
+        sampler.add("directory_sram.used", lambda: self.mmu.directory_sram.used)
+        sampler.add("tcam.translation", lambda: len(self.mmu.translation_tcam))
+        sampler.add("tcam.protection", lambda: len(self.mmu.protection_tcam))
+        sampler.add("pipeline.recirculations", lambda: self.mmu.pipeline.recirculations)
+        for blade in self.compute_blades:
+            lock = blade.kernel_lock
+            sampler.add(
+                f"blade{blade.blade_id}.kernel_queue",
+                lambda l=lock: l.queue_length,
+            )
+        return sampler
 
     @property
     def controller(self):
@@ -124,6 +162,28 @@ class MindCluster:
         """Domain revocation: drop only that domain's PTEs everywhere."""
         for blade in self.compute_blades:
             blade.ptes.unmap_domain_range(pdid, base, length)
+
+    # -- observability ---------------------------------------------------------
+
+    def capture_telemetry(self) -> None:
+        """Stash end-of-run switch-resource peaks and queueing telemetry in
+        the stats collector, so :meth:`RunResult.report` works from stats
+        alone (and survives pickling).  Idempotent: counters are assigned,
+        not accumulated."""
+        stats = self.stats
+        stats.counters["directory_peak"] = self.mmu.directory_sram.peak_used
+        stats.counters["directory_final"] = len(self.mmu.directory)
+        stats.counters["match_action_rules"] = self.mmu.match_action_rules()["total"]
+        stats.counters["pipeline_passes"] = self.mmu.pipeline.passes
+        stats.counters["recirculations"] = self.mmu.pipeline.recirculations
+        for resource in self.engine.resources:
+            if resource.total_wait_us:
+                stats.set_gauge(f"wait_us:{resource.name}", resource.total_wait_us)
+            utilization = resource.utilization()
+            if utilization:
+                stats.set_gauge(f"utilization:{resource.name}", utilization)
+        if self.config.trace:
+            self.sampler.sample_once()
 
     # -- execution helpers ----------------------------------------------------
 

@@ -1,0 +1,204 @@
+"""Per-run reports: latency, breakdowns, hotspots, switch-resource peaks.
+
+A :class:`RunReport` condenses one :class:`~repro.sim.stats.RunResult`
+into the views the paper's figures are built from: latency summaries with
+p50/p99, the span-derived fault-path breakdown (with a consistency check
+that the components sum to the measured end-to-end latency), the top
+queueing hotspots by accumulated wait time, and the switch-resource peaks
+(directory SRAM, match-action rules, recirculations).
+
+Render as text (``render()``) or machine-readable JSON (``to_json()``);
+``python -m repro report`` wraps both behind a CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+
+from ..sim.stats import LatencySummary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.stats import RunResult
+
+#: gauge-key prefixes the telemetry capture uses (see MindCluster).
+WAIT_PREFIX = "wait_us:"
+UTIL_PREFIX = "utilization:"
+
+#: switch-resource counters surfaced as "peaks" in the report.
+_PEAK_COUNTERS = (
+    "directory_peak",
+    "directory_final",
+    "match_action_rules",
+    "pipeline_passes",
+    "recirculations",
+)
+
+
+@dataclass
+class RunReport:
+    """A rendered-friendly digest of one run."""
+
+    meta: Dict[str, Any]
+    latencies: Dict[str, LatencySummary]
+    fault_breakdown: Dict[str, float]
+    #: relative error between the span components' sum and the measured
+    #: total end-to-end fault latency (0.0 when they agree exactly).
+    fault_breakdown_error: float
+    invalidation_breakdown: Dict[str, float]
+    hotspots: List[Tuple[str, float]]
+    utilizations: List[Tuple[str, float]]
+    switch_peaks: Dict[str, int]
+    counters: Dict[str, int]
+    timeseries_peaks: Dict[str, float] = field(default_factory=dict)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_result(cls, result: "RunResult") -> "RunReport":
+        stats = result.stats
+        latencies = {
+            cat: stats.latency_summary(cat) for cat in sorted(stats.latencies)
+        }
+        fault_breakdown = stats.breakdown("fault_path")
+        total_fault_us = float(sum(stats.latencies.get("fault", ())))
+        span_sum = sum(fault_breakdown.values())
+        if total_fault_us > 0:
+            error = abs(span_sum - total_fault_us) / total_fault_us
+        else:
+            error = 0.0 if span_sum == 0 else 1.0
+        hotspots = sorted(
+            (
+                (name[len(WAIT_PREFIX):], value)
+                for name, value in stats.gauges.items()
+                if name.startswith(WAIT_PREFIX)
+            ),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        utilizations = sorted(
+            (
+                (name[len(UTIL_PREFIX):], value)
+                for name, value in stats.gauges.items()
+                if name.startswith(UTIL_PREFIX)
+            ),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        peaks = {
+            name: stats.counter(name)
+            for name in _PEAK_COUNTERS
+            if name in stats.counters
+        }
+        series_peaks = {
+            name: max(v for _t, v in points)
+            for name, points in sorted(stats.timeseries.items())
+            if points
+        }
+        return cls(
+            meta={
+                "system": result.system,
+                "workload": result.workload,
+                "num_blades": result.num_blades,
+                "num_threads": result.num_threads,
+                "runtime_us": result.runtime_us,
+                "total_accesses": result.total_accesses,
+                "throughput_iops": result.throughput_iops,
+            },
+            latencies=latencies,
+            fault_breakdown=fault_breakdown,
+            fault_breakdown_error=error,
+            invalidation_breakdown=stats.breakdown("invalidation"),
+            hotspots=hotspots,
+            utilizations=utilizations,
+            switch_peaks=peaks,
+            counters=dict(sorted(stats.counters.items())),
+            timeseries_peaks=series_peaks,
+        )
+
+    # -- export ----------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "meta": self.meta,
+            "latencies": {
+                cat: {
+                    "count": s.count,
+                    "mean": s.mean,
+                    "p50": s.p50,
+                    "p99": s.p99,
+                    "max": s.max,
+                }
+                for cat, s in self.latencies.items()
+            },
+            "fault_breakdown": self.fault_breakdown,
+            "fault_breakdown_error": self.fault_breakdown_error,
+            "invalidation_breakdown": self.invalidation_breakdown,
+            "hotspots": [{"name": n, "wait_us": w} for n, w in self.hotspots],
+            "utilizations": [
+                {"name": n, "utilization": u} for n, u in self.utilizations
+            ],
+            "switch_peaks": self.switch_peaks,
+            "counters": self.counters,
+            "timeseries_peaks": self.timeseries_peaks,
+        }
+
+    def render(self, top: int = 8) -> str:
+        m = self.meta
+        lines: List[str] = []
+        lines.append(
+            f"run report: {m['system']} / {m['workload']} -- "
+            f"{m['num_blades']} blades, {m['num_threads']} threads"
+        )
+        lines.append(
+            f"  runtime {m['runtime_us']:.1f} us, "
+            f"{m['total_accesses']} accesses, "
+            f"{m['throughput_iops'] / 1e6:.2f} M IOPS"
+        )
+        if self.latencies:
+            lines.append("")
+            lines.append("latency (us):")
+            lines.append(
+                f"  {'category':<24s}{'count':>8s}{'mean':>9s}"
+                f"{'p50':>9s}{'p99':>9s}{'max':>9s}"
+            )
+            for cat, s in self.latencies.items():
+                lines.append(
+                    f"  {cat:<24s}{s.count:>8d}{s.mean:>9.2f}"
+                    f"{s.p50:>9.2f}{s.p99:>9.2f}{s.max:>9.2f}"
+                )
+        if self.fault_breakdown:
+            total = sum(self.fault_breakdown.values())
+            lines.append("")
+            lines.append(
+                "fault-path breakdown (span components; "
+                f"sum vs end-to-end: {self.fault_breakdown_error * 100:.2f}% off):"
+            )
+            for comp, us in sorted(
+                self.fault_breakdown.items(), key=lambda kv: -kv[1]
+            ):
+                share = 100.0 * us / total if total else 0.0
+                lines.append(f"  {comp:<24s}{us:>12.1f} us  {share:>5.1f}%")
+        if self.invalidation_breakdown:
+            lines.append("")
+            lines.append("invalidation handling (total us across blades):")
+            for comp, us in sorted(
+                self.invalidation_breakdown.items(), key=lambda kv: -kv[1]
+            ):
+                lines.append(f"  {comp:<24s}{us:>12.1f} us")
+        if self.hotspots:
+            lines.append("")
+            lines.append(f"top queueing hotspots (accumulated wait, top {top}):")
+            for name, wait in self.hotspots[:top]:
+                util = dict(self.utilizations).get(name)
+                util_str = f"  util {util * 100:.1f}%" if util is not None else ""
+                lines.append(f"  {name:<28s}{wait:>12.1f} us{util_str}")
+        if self.switch_peaks:
+            lines.append("")
+            lines.append("switch resources:")
+            for name, value in self.switch_peaks.items():
+                lines.append(f"  {name:<28s}{value:>12d}")
+        if self.timeseries_peaks:
+            lines.append("")
+            lines.append("sampled series peaks:")
+            for name, value in self.timeseries_peaks.items():
+                lines.append(f"  {name:<28s}{value:>12.1f}")
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Span instrumentation: partition a transaction's wall time by component.
+
+The coherence fault path and the blade invalidation path are long
+generator-based transactions whose latency the paper decomposes into
+components (Fig. 7).  A :class:`SpanCursor` rides along such a transaction:
+each :meth:`SpanCursor.mark` closes the segment since the previous mark,
+folds its duration into the run's :class:`~repro.sim.stats.StatsCollector`
+breakdown, and (when tracing is enabled) emits a matching span record.
+
+Because the marks *partition* ``[t0, now)``, the per-component breakdown
+sums exactly to the measured end-to-end latency -- the consistency the
+run report asserts -- with no hand-maintained accounting to drift.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..sim.engine import Engine
+    from ..sim.stats import StatsCollector
+
+
+class SpanCursor:
+    """Cursor over one transaction's timeline.
+
+    ``category`` names the stats breakdown the segments accumulate into;
+    ``trace_cat`` is the trace-record category (a subsystem name such as
+    ``"coherence"`` or ``"blade"``).  Marks with zero elapsed time are
+    skipped entirely so breakdowns only contain components that cost time.
+    """
+
+    __slots__ = ("engine", "stats", "category", "trace_cat", "track", "t0", "_t_last")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        stats: "StatsCollector",
+        category: str,
+        trace_cat: Optional[str] = None,
+        track: int = 0,
+    ):
+        self.engine = engine
+        self.stats = stats
+        self.category = category
+        self.trace_cat = trace_cat or category
+        self.track = track
+        self.t0 = engine.now
+        self._t_last = engine.now
+
+    def mark(self, component: str) -> float:
+        """Close the segment since the last mark as ``component``."""
+        now = self.engine.now
+        dur = now - self._t_last
+        self._t_last = now
+        if dur:
+            self.stats.add_breakdown(self.category, component, dur)
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.complete(
+                    now - dur, dur, self.trace_cat, component, track=self.track
+                )
+        return dur
+
+    def skip(self) -> None:
+        """Advance past a segment without attributing it (rarely needed)."""
+        self._t_last = self.engine.now
+
+    def total(self) -> float:
+        """Wall time elapsed since the cursor was opened."""
+        return self.engine.now - self.t0

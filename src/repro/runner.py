@@ -54,6 +54,13 @@ class RunnerConfig:
     #: the epoch is compressed proportionally (time-scale compression --
     #: documented in EXPERIMENTS.md).  None keeps the MindConfig default.
     epoch_us: Optional[float] = 5_000.0
+    #: enable observability: event tracing + gauge sampling.  The tracer is
+    #: attached to the returned RunResult as ``result.trace``.
+    trace: bool = False
+    #: tracer ring-buffer capacity when tracing is enabled.
+    trace_capacity: int = 1 << 16
+    #: gauge sampling period (simulated us) when tracing is enabled.
+    sample_interval_us: float = 100.0
 
 
 def _base_mind(cfg: RunnerConfig) -> MindConfig:
@@ -90,6 +97,9 @@ def run_on_mind(
         store_data=cfg.store_data,
         mind=mind,
         network=cfg.network or NetworkConfig(),
+        trace=cfg.trace,
+        trace_capacity=cfg.trace_capacity,
+        sample_interval_us=cfg.sample_interval_us,
     )
     cluster = MindCluster(cluster_config)
     controller = cluster.controller
@@ -108,12 +118,8 @@ def run_on_mind(
         )
     cluster.run_all(gens)
     total = sum(len(t) for t in traces)
-    # Stash switch-resource telemetry the figures need.
-    cluster.stats.counters["directory_peak"] = cluster.mmu.directory_sram.peak_used
-    cluster.stats.counters["directory_final"] = len(cluster.mmu.directory)
-    cluster.stats.counters["match_action_rules"] = cluster.mmu.match_action_rules()[
-        "total"
-    ]
+    # Stash switch-resource and queueing telemetry the figures/reports need.
+    cluster.capture_telemetry()
     return RunResult(
         system=system_name,
         workload=workload.name,
@@ -122,6 +128,7 @@ def run_on_mind(
         runtime_us=cluster.engine.now,
         total_accesses=total,
         stats=cluster.stats,
+        trace=cluster.tracer if cfg.trace else None,
     )
 
 

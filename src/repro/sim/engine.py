@@ -20,7 +20,10 @@ inputs and seeds.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from ..obs.tracer import NULL_TRACER
 
 
 class SimulationError(RuntimeError):
@@ -94,12 +97,13 @@ class Process(Event):
     yielding them.
     """
 
-    __slots__ = ("_gen", "name")
+    __slots__ = ("_gen", "name", "_t_start")
 
     def __init__(self, engine: "Engine", gen: Generator, name: str = "proc"):
         super().__init__(engine)
         self._gen = gen
         self.name = name
+        self._t_start = engine.now if engine.tracer.enabled else None
         engine.schedule(0.0, self._resume, None)
 
     def _resume(self, _wake: Any) -> None:
@@ -107,6 +111,15 @@ class Process(Event):
         try:
             target = self._gen.send(value)
         except StopIteration as stop:
+            tracer = self.engine.tracer
+            if tracer.enabled and self._t_start is not None:
+                tracer.complete(
+                    self._t_start,
+                    self.engine.now - self._t_start,
+                    "engine",
+                    self.name,
+                    track=tracer.track("processes"),
+                )
             self.succeed(stop.value)
             return
         self._wait_on(target)
@@ -129,11 +142,22 @@ class Engine:
     scheduled callbacks, which are executed in (time, insertion order).
     """
 
+    #: emit a scheduler-activity trace counter once per this many executed
+    #: events (only when tracing is enabled).
+    TRACE_EVERY = 1024
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: List = []
         self._counter = 0
         self._processes_started = 0
+        self.events_executed = 0
+        #: the observability sink; NULL_TRACER unless a cluster installs one.
+        self.tracer = NULL_TRACER
+        #: named resources register here so run reports can rank queueing
+        #: hotspots; anonymous resources (e.g. transient region locks) do
+        #: not, keeping the registry bounded and deterministic.
+        self.resources: List["Resource"] = []
 
     # -- scheduling ----------------------------------------------------
 
@@ -168,6 +192,7 @@ class Engine:
 
         Returns the final simulated time.
         """
+        tracer = self.tracer
         while self._queue:
             t, _seq, fn, args = self._queue[0]
             if until is not None and t > until:
@@ -176,6 +201,11 @@ class Engine:
             heapq.heappop(self._queue)
             self.now = t
             fn(*args)
+            self.events_executed += 1
+            if tracer.enabled and self.events_executed % self.TRACE_EVERY == 0:
+                tracer.counter(
+                    self.now, "engine", "event_queue_depth", len(self._queue)
+                )
         return self.now
 
     def run_until_complete(self, ev: Event) -> Any:
@@ -186,10 +216,16 @@ class Engine:
         scheduled.  Raises if the queue drains without the event firing
         (a deadlock).
         """
+        tracer = self.tracer
         while self._queue and not ev.triggered:
             t, _seq, fn, args = heapq.heappop(self._queue)
             self.now = t
             fn(*args)
+            self.events_executed += 1
+            if tracer.enabled and self.events_executed % self.TRACE_EVERY == 0:
+                tracer.counter(
+                    self.now, "engine", "event_queue_depth", len(self._queue)
+                )
         if not ev.triggered:
             raise SimulationError("event never fired: simulation deadlocked")
         return ev.value
@@ -214,19 +250,42 @@ class Resource:
 
     The acquire event's value is the queueing delay experienced, which the
     caller may record (e.g. invalidation queueing in Fig. 7 right).
+
+    Naming a resource registers it with the engine so run reports can rank
+    queueing hotspots by accumulated wait time; anonymous resources stay
+    unregistered (transient locks would bloat the registry).
     """
 
-    __slots__ = ("engine", "capacity", "_in_use", "_waiters", "busy_time", "_last_change")
+    __slots__ = (
+        "engine",
+        "capacity",
+        "name",
+        "_in_use",
+        "_waiters",
+        "busy_time",
+        "_last_change",
+        "total_wait_us",
+        "waits",
+        "grants",
+    )
 
-    def __init__(self, engine: Engine, capacity: int = 1):
+    def __init__(self, engine: Engine, capacity: int = 1, name: Optional[str] = None):
         if capacity < 1:
             raise SimulationError("resource capacity must be >= 1")
         self.engine = engine
         self.capacity = capacity
+        self.name = name
         self._in_use = 0
-        self._waiters: List = []
+        self._waiters: deque = deque()
         self.busy_time = 0.0
         self._last_change = 0.0
+        #: accumulated queueing delay across all granted acquisitions.
+        self.total_wait_us = 0.0
+        #: acquisitions that had to queue / total acquisitions granted.
+        self.waits = 0
+        self.grants = 0
+        if name is not None:
+            engine.resources.append(self)
 
     @property
     def queue_length(self) -> int:
@@ -246,9 +305,19 @@ class Resource:
         self._account()
         if self._in_use < self.capacity:
             self._in_use += 1
+            self.grants += 1
             ev.succeed(0.0)
         else:
             self._waiters.append((self.engine.now, ev))
+            tracer = self.engine.tracer
+            if tracer.enabled and self.name is not None:
+                tracer.counter(
+                    self.engine.now,
+                    "resource",
+                    f"{self.name}.queue",
+                    len(self._waiters),
+                    track=tracer.track("resources"),
+                )
         return ev
 
     def release(self) -> None:
@@ -256,8 +325,21 @@ class Resource:
             raise SimulationError("release without acquire")
         self._account()
         if self._waiters:
-            arrived, ev = self._waiters.pop(0)
-            ev.succeed(self.engine.now - arrived)
+            arrived, ev = self._waiters.popleft()
+            wait = self.engine.now - arrived
+            self.total_wait_us += wait
+            self.waits += 1
+            self.grants += 1
+            tracer = self.engine.tracer
+            if tracer.enabled and self.name is not None:
+                tracer.complete(
+                    arrived,
+                    wait,
+                    "resource",
+                    f"{self.name}.wait",
+                    track=tracer.track("resources"),
+                )
+            ev.succeed(wait)
         else:
             self._in_use -= 1
 

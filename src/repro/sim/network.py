@@ -70,7 +70,7 @@ class Link:
         self.engine = engine
         self.config = config
         self.name = name
-        self._resource = Resource(engine, capacity=1)
+        self._resource = Resource(engine, capacity=1, name=f"link:{name}")
         self.bytes_carried = 0
 
     def transfer(self, size_bytes: int) -> Generator:

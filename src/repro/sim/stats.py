@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,7 +47,12 @@ class StatsCollector:
         self.counters: Dict[str, int] = defaultdict(int)
         self.latencies: Dict[str, List[float]] = defaultdict(list)
         self.timeseries: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
-        self.breakdowns: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+        # Plain nested dicts, not defaultdict(lambda: ...): the lambda is
+        # unpicklable, and RunResult must pickle for multiprocessing sweeps.
+        self.breakdowns: Dict[str, Dict[str, float]] = {}
+        #: point-in-time scalars captured at end of run (resource waits,
+        #: utilizations); assignment semantics, unlike additive counters.
+        self.gauges: Dict[str, float] = {}
 
     # -- recording (hot path) -------------------------------------------
 
@@ -61,7 +66,13 @@ class StatsCollector:
         self.timeseries[series].append((t, value))
 
     def add_breakdown(self, category: str, component: str, value: float) -> None:
-        self.breakdowns[category][component] += value
+        cat = self.breakdowns.get(category)
+        if cat is None:
+            cat = self.breakdowns[category] = {}
+        cat[component] = cat.get(component, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
 
     # -- reading ---------------------------------------------------------
 
@@ -90,7 +101,8 @@ class StatsCollector:
             self.timeseries[k].extend(pts)
         for cat, comps in other.breakdowns.items():
             for comp, v in comps.items():
-                self.breakdowns[cat][comp] += v
+                self.add_breakdown(cat, comp, v)
+        self.gauges.update(other.gauges)
 
 
 @dataclass
@@ -108,6 +120,9 @@ class RunResult:
     runtime_us: float
     total_accesses: int
     stats: StatsCollector = field(repr=False, default_factory=StatsCollector)
+    #: the run's event trace (a :class:`repro.obs.Tracer`) when tracing was
+    #: enabled; None otherwise.
+    trace: Optional[object] = field(repr=False, default=None)
 
     @property
     def throughput_iops(self) -> float:
@@ -133,3 +148,10 @@ class RunResult:
         if self.total_accesses == 0:
             return 0.0
         return self.stats.counter(counter) / self.total_accesses
+
+    def report(self):
+        """Digest this run as a :class:`repro.obs.report.RunReport`."""
+        # Imported lazily: repro.obs.report imports this module.
+        from ..obs.report import RunReport
+
+        return RunReport.from_result(self)

@@ -29,7 +29,7 @@ class ControlCpu:
 
     def __init__(self, engine: Engine):
         self.engine = engine
-        self._cpu = Resource(engine, capacity=1)
+        self._cpu = Resource(engine, capacity=1, name="switch.control_cpu")
         self.rule_updates = 0
         self.syscalls_handled = 0
         self.busy_us = 0.0

@@ -61,24 +61,42 @@ class PacketPass:
             )
         self._ops[mau.name] = used + 1
         mau.total_ops += 1
+        tracer = self._pipeline.engine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                self._pipeline.engine.now,
+                "switch",
+                f"mau:{mau.name}",
+                track=tracer.track("switch"),
+            )
         return op()
+
+    def _pass(self, name: str, dur: float) -> Generator:
+        self.passes += 1
+        self._ops.clear()
+        self._pipeline.passes += 1
+        tracer = self._pipeline.engine.tracer
+        if tracer.enabled:
+            tracer.complete(
+                self._pipeline.engine.now,
+                dur,
+                "switch",
+                name,
+                track=tracer.track("switch"),
+            )
+        yield dur
 
     def traverse(self) -> Generator:
         """One full pipeline pass for this packet."""
-        self.passes += 1
-        self._ops.clear()
-        self._pipeline.passes += 1
-        yield self._pipeline.config.switch_pipeline_us
+        return self._pass("pipeline_pass", self._pipeline.config.switch_pipeline_us)
 
     def recirculate(self) -> Generator:
         """Send this packet around for another pass (extra latency)."""
-        self.passes += 1
-        self._ops.clear()
-        self._pipeline.passes += 1
         self._pipeline.recirculations += 1
-        yield (
+        return self._pass(
+            "recirculate",
             self._pipeline.config.recirculation_us
-            + self._pipeline.config.switch_pipeline_us
+            + self._pipeline.config.switch_pipeline_us,
         )
 
 

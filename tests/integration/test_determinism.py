@@ -1,0 +1,47 @@
+"""Determinism regression: identical runs produce identical telemetry.
+
+The engine never consults wall clock and breaks event-queue ties by
+insertion order, so a run is a pure function of (workload, seed, config).
+These tests pin that property at the observability layer: two identical
+runs must agree on runtime, every counter, and the *byte-identical* trace
+export -- any nondeterminism smuggled into instrumentation (dict ordering,
+id()-keyed tracks, wall-clock timestamps) fails here.
+"""
+
+from repro.runner import RunnerConfig, run_system
+from repro.workloads import UniformSharingWorkload
+
+
+def _run(trace: bool):
+    workload = UniformSharingWorkload(
+        4,
+        accesses_per_thread=300,
+        read_ratio=0.3,
+        sharing_ratio=0.7,
+        shared_pages=200,
+        private_pages_per_thread=64,
+        seed=42,
+        burst=4,
+    )
+    return run_system("mind", workload, 2, RunnerConfig(trace=trace))
+
+
+def test_same_seed_yields_identical_run_and_trace():
+    a = _run(trace=True)
+    b = _run(trace=True)
+    assert a.runtime_us == b.runtime_us
+    assert a.total_accesses == b.total_accesses
+    assert dict(a.stats.counters) == dict(b.stats.counters)
+    assert a.stats.breakdowns == b.stats.breakdowns
+    # Byte-identical trace output, both raw JSONL and the Chrome export.
+    assert a.trace.to_jsonl() == b.trace.to_jsonl()
+    assert len(a.trace) == len(b.trace)
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    traced = _run(trace=True)
+    untraced = _run(trace=False)
+    assert traced.runtime_us == untraced.runtime_us
+    # Telemetry-free counters agree; tracing must be observation-only.
+    for key in ("remote_accesses", "invalidations_sent", "evictions"):
+        assert traced.stats.counter(key) == untraced.stats.counter(key)

@@ -1,0 +1,110 @@
+"""End-to-end observability: traces span subsystems, CLI report works."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.api import MindSystem
+from repro.runner import RunnerConfig, run_system
+from repro.workloads import UniformSharingWorkload
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    workload = UniformSharingWorkload(
+        4,
+        accesses_per_thread=400,
+        read_ratio=0.4,
+        sharing_ratio=0.6,
+        shared_pages=300,
+        private_pages_per_thread=64,
+        seed=11,
+        burst=4,
+    )
+    return run_system("mind", workload, 2, RunnerConfig(trace=True))
+
+
+def test_trace_covers_at_least_three_subsystems(traced_result):
+    cats = set(traced_result.trace.categories())
+    assert {"blade", "switch", "coherence"} <= cats
+
+
+def test_chrome_trace_export_loads(tmp_path, traced_result):
+    path = tmp_path / "trace.json"
+    traced_result.trace.write_chrome_trace(str(path))
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    assert len(events) > 100
+    cats = {e["cat"] for e in events if "cat" in e}
+    assert {"blade", "switch", "coherence"} <= cats
+    # Every event carries the fields chrome://tracing requires
+    # (metadata "M" events legitimately have no timestamp).
+    for ev in events:
+        assert {"name", "ph", "pid", "tid"} <= set(ev)
+        if ev["ph"] != "M":
+            assert "ts" in ev
+        if ev["ph"] == "X":
+            assert "dur" in ev
+
+
+def test_span_components_sum_to_fault_latency(traced_result):
+    stats = traced_result.stats
+    span_sum = sum(stats.breakdown("fault_path").values())
+    e2e = sum(stats.latencies["fault"])
+    assert e2e > 0
+    assert abs(span_sum - e2e) / e2e < 0.05
+
+
+def test_timestamps_are_simulated_not_wall_clock(traced_result):
+    # All record timestamps lie within the simulated run window.
+    for ts, dur, _ph, _cat, _name, _tid, _args in traced_result.trace.records():
+        assert 0.0 <= ts <= traced_result.runtime_us + 1e-9
+        assert ts + dur <= traced_result.runtime_us + 1e-9
+
+
+def test_api_tracing_and_telemetry():
+    system = MindSystem(num_compute_blades=2, num_memory_blades=1, trace=True)
+    proc = system.spawn_process("obs")
+    buf = proc.mmap(1 << 16)
+    t0, t1 = proc.spawn_thread(), proc.spawn_thread()
+    t0.write(buf, b"x")
+    t1.read(buf, 1)
+    system.capture_telemetry()
+    assert len(system.tracer) > 0
+    assert system.stats.counter("pipeline_passes") > 0
+    assert any(k.startswith("utilization:") for k in system.stats.gauges)
+
+
+def test_report_cli_text_and_exports(tmp_path, capsys):
+    trace_path = tmp_path / "chrome.json"
+    jsonl_path = tmp_path / "trace.jsonl"
+    rc = main(
+        [
+            "report",
+            "--blades",
+            "2",
+            "--accesses",
+            "200",
+            "--shared-pages",
+            "100",
+            "--trace-out",
+            str(trace_path),
+            "--jsonl-out",
+            str(jsonl_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fault-path breakdown" in out
+    assert json.loads(trace_path.read_text())["traceEvents"]
+    lines = jsonl_path.read_text().strip().splitlines()
+    assert lines and all(json.loads(line) for line in lines)
+
+
+def test_report_cli_json(capsys):
+    rc = main(["report", "--blades", "2", "--accesses", "150", "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["fault_breakdown_error"] < 0.05
+    assert doc["meta"]["num_blades"] == 2

@@ -1,0 +1,82 @@
+"""Unit tests for run reports built from RunResults."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.runner import RunnerConfig, run_system
+from repro.workloads import UniformSharingWorkload
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    workload = UniformSharingWorkload(
+        4,
+        accesses_per_thread=300,
+        read_ratio=0.5,
+        sharing_ratio=0.5,
+        shared_pages=200,
+        private_pages_per_thread=64,
+        seed=7,
+        burst=4,
+    )
+    return run_system("mind", workload, 2, RunnerConfig(trace=True))
+
+
+def test_report_meta_matches_result(traced_result):
+    report = traced_result.report()
+    assert report.meta["system"] == "MIND"
+    assert report.meta["num_blades"] == 2
+    assert report.meta["runtime_us"] == traced_result.runtime_us
+
+
+def test_fault_breakdown_sums_to_end_to_end_latency(traced_result):
+    report = traced_result.report()
+    assert report.fault_breakdown, "span instrumentation produced no components"
+    # The SpanCursor marks partition each fault's wall time, so the
+    # components must sum to the measured total (the Fig. 7 consistency).
+    assert report.fault_breakdown_error < 0.05
+
+
+def test_report_surfaces_hotspots_and_peaks(traced_result):
+    report = traced_result.report()
+    assert any("kernel_lock" in name or "link:" in name for name, _ in report.hotspots)
+    assert report.switch_peaks["directory_peak"] > 0
+    assert report.switch_peaks["pipeline_passes"] > 0
+    assert "directory_sram.used" in report.timeseries_peaks
+
+
+def test_report_render_and_json(traced_result):
+    report = traced_result.report()
+    text = report.render()
+    assert "fault-path breakdown" in text
+    assert "top queueing hotspots" in text
+    doc = json.loads(json.dumps(report.to_json()))
+    assert doc["meta"]["workload"] == traced_result.workload
+    assert doc["fault_breakdown"]
+
+
+def test_traced_run_result_pickles(traced_result):
+    # The multiprocessing-sweep requirement: results (including the trace
+    # ring buffer and nested breakdowns) must round-trip through pickle.
+    clone = pickle.loads(pickle.dumps(traced_result))
+    assert clone.runtime_us == traced_result.runtime_us
+    assert clone.stats.breakdowns == traced_result.stats.breakdowns
+    assert clone.trace.records() == traced_result.trace.records()
+    assert clone.report().fault_breakdown == traced_result.report().fault_breakdown
+
+
+def test_untraced_result_still_reports():
+    workload = UniformSharingWorkload(
+        2,
+        accesses_per_thread=100,
+        shared_pages=64,
+        private_pages_per_thread=32,
+        seed=3,
+    )
+    result = run_system("mind", workload, 2, RunnerConfig())
+    assert result.trace is None
+    report = result.report()
+    assert report.fault_breakdown_error < 0.05
+    assert "run report" in report.render()

@@ -1,0 +1,74 @@
+"""Unit tests for span cursors (component-wise latency partitioning)."""
+
+from repro.obs.spans import SpanCursor
+from repro.obs.tracer import Tracer
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsCollector
+
+
+def run_marked_process(engine, stats):
+    def proc():
+        cursor = SpanCursor(engine, stats, "txn", trace_cat="test")
+        yield 3.0
+        cursor.mark("first")
+        yield 7.0
+        cursor.mark("second")
+        cursor.mark("empty")  # zero elapsed: must not be recorded
+        yield 2.0
+        cursor.mark("third")
+        return cursor.total()
+
+    return engine.run_process(proc())
+
+
+def test_marks_partition_the_transaction():
+    engine = Engine()
+    stats = StatsCollector()
+    total = run_marked_process(engine, stats)
+    breakdown = stats.breakdown("txn")
+    assert breakdown == {"first": 3.0, "second": 7.0, "third": 2.0}
+    assert sum(breakdown.values()) == total == 12.0
+
+
+def test_zero_segments_are_skipped():
+    engine = Engine()
+    stats = StatsCollector()
+    run_marked_process(engine, stats)
+    assert "empty" not in stats.breakdown("txn")
+
+
+def test_spans_emit_trace_records_when_enabled():
+    engine = Engine()
+    engine.tracer = Tracer()
+    stats = StatsCollector()
+    run_marked_process(engine, stats)
+    spans = [r for r in engine.tracer.records() if r[3] == "test"]
+    assert [(r[4], r[0], r[1]) for r in spans] == [
+        ("first", 0.0, 3.0),
+        ("second", 3.0, 7.0),
+        ("third", 10.0, 2.0),
+    ]
+
+
+def test_no_trace_records_when_disabled():
+    engine = Engine()  # NULL_TRACER by default
+    stats = StatsCollector()
+    run_marked_process(engine, stats)
+    assert len(engine.tracer) == 0
+    # ...but the stats breakdown is still recorded.
+    assert stats.breakdown("txn")["first"] == 3.0
+
+
+def test_skip_advances_without_attribution():
+    engine = Engine()
+    stats = StatsCollector()
+
+    def proc():
+        cursor = SpanCursor(engine, stats, "txn")
+        yield 5.0
+        cursor.skip()
+        yield 1.0
+        cursor.mark("tail")
+
+    engine.run_process(proc())
+    assert stats.breakdown("txn") == {"tail": 1.0}

@@ -1,0 +1,92 @@
+"""Unit tests for the ring-buffered event tracer."""
+
+import json
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+def test_records_are_kept_in_emission_order():
+    tracer = Tracer()
+    tracer.instant(1.0, "a", "one")
+    tracer.complete(2.0, 3.0, "b", "two")
+    tracer.counter(4.0, "c", "three", 7.0)
+    recs = tracer.records()
+    assert [r[4] for r in recs] == ["one", "two", "three"]
+    assert [r[2] for r in recs] == ["i", "X", "C"]
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        tracer.instant(float(i), "cat", f"e{i}")
+    assert len(tracer) == 3
+    assert tracer.dropped == 2
+    assert [r[4] for r in tracer.records()] == ["e2", "e3", "e4"]
+
+
+def test_null_tracer_is_disabled_and_stores_nothing():
+    assert NULL_TRACER.enabled is False
+    NULL_TRACER.instant(0.0, "cat", "x")
+    assert len(NULL_TRACER) == 0
+    NULL_TRACER.clear()  # keep the shared instance pristine
+
+
+def test_track_ids_are_stable_and_dense():
+    tracer = Tracer()
+    a = tracer.track("alpha")
+    b = tracer.track("beta")
+    assert tracer.track("alpha") == a
+    assert sorted({a, b}) == [0, 1]
+
+
+def test_categories_in_first_seen_order():
+    tracer = Tracer()
+    tracer.instant(0.0, "blade", "x")
+    tracer.instant(1.0, "switch", "y")
+    tracer.instant(2.0, "blade", "z")
+    assert tracer.categories() == ["blade", "switch"]
+
+
+def test_jsonl_round_trips():
+    tracer = Tracer()
+    tracer.complete(1.0, 2.5, "coherence", "fetch", track=3, args={"n": 1})
+    lines = tracer.to_jsonl().strip().splitlines()
+    assert len(lines) == 1
+    obj = json.loads(lines[0])
+    assert obj == {
+        "ts": 1.0,
+        "dur": 2.5,
+        "ph": "X",
+        "cat": "coherence",
+        "name": "fetch",
+        "tid": 3,
+        "args": {"n": 1},
+    }
+
+
+def test_chrome_trace_document_shape(tmp_path):
+    tracer = Tracer()
+    lane = tracer.track("lane")
+    tracer.complete(1.0, 2.0, "coherence", "span", track=lane)
+    tracer.instant(3.0, "blade", "marker", track=lane)
+    tracer.counter(4.0, "gauge", "depth", 5.0, track=lane)
+    doc = tracer.chrome_trace()
+    events = doc["traceEvents"]
+    # one thread_name metadata event plus the three records.
+    assert [e["ph"] for e in events] == ["M", "X", "i", "C"]
+    assert events[0]["args"]["name"] == "lane"
+    assert events[1]["dur"] == 2.0
+    assert events[3]["args"]["value"] == 5.0
+    path = tmp_path / "trace.json"
+    tracer.write_chrome_trace(str(path))
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+def test_clear_resets_buffer():
+    tracer = Tracer(capacity=2)
+    tracer.instant(0.0, "c", "a")
+    tracer.instant(0.0, "c", "b")
+    tracer.instant(0.0, "c", "c")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.dropped == 0

@@ -358,3 +358,123 @@ class TestResource:
         assert res.in_use == 1
         res.acquire()
         assert res.queue_length == 1
+
+
+def test_run_until_leaves_future_events_queued():
+    engine = Engine()
+    fired = []
+    engine.schedule(2.0, fired.append, "early")
+    engine.schedule(8.0, fired.append, "late")
+    assert engine.run(until=5.0) == 5.0
+    assert fired == ["early"]
+    assert len(engine._queue) == 1  # the t=8 event survives the pause
+    # Resuming picks the queued event back up and drains it.
+    assert engine.run() == 8.0
+    assert fired == ["early", "late"]
+
+
+def test_run_until_exactly_at_event_time_runs_it():
+    engine = Engine()
+    fired = []
+    engine.schedule(5.0, fired.append, "on-time")
+    engine.run(until=5.0)
+    assert fired == ["on-time"]
+
+
+class TestResourceAccounting:
+    def test_multi_server_utilization_is_fraction_of_capacity(self):
+        engine = Engine()
+        res = Resource(engine, capacity=2)
+
+        def user(hold):
+            def gen():
+                yield res.acquire()
+                yield hold
+                res.release()
+
+            return gen()
+
+        engine.process(user(10.0))
+        engine.process(user(5.0))
+        engine.run()
+        # busy integral = 2 servers * 5us + 1 server * 5us = 15 server-us
+        # over 10us * 2 capacity = 20 server-us.
+        assert res.utilization() == pytest.approx(0.75)
+
+    def test_utilization_before_time_advances_is_zero(self):
+        engine = Engine()
+        res = Resource(engine, capacity=1)
+        res.acquire()
+        assert res.utilization() == 0.0
+
+    def test_queue_length_tracks_full_lifecycle(self):
+        engine = Engine()
+        res = Resource(engine, capacity=1)
+        depths = []
+
+        def holder():
+            yield res.acquire()
+            yield 4.0
+            res.release()
+
+        def waiter():
+            yield 1.0
+            depths.append(res.queue_length)  # before queueing
+            ev = res.acquire()
+            depths.append(res.queue_length)  # queued
+            yield ev
+            depths.append(res.queue_length)  # granted
+            res.release()
+
+        engine.process(holder())
+        engine.process(waiter())
+        engine.run()
+        assert depths == [0, 1, 0]
+        assert res.in_use == 0
+
+    def test_wait_accounting_accumulates_queueing_delay(self):
+        engine = Engine()
+        res = Resource(engine, capacity=1, name="lock")
+
+        def holder():
+            yield res.acquire()
+            yield 6.0
+            res.release()
+
+        def waiter():
+            yield 2.0
+            ev = res.acquire()
+            yield ev
+            res.release()
+
+        engine.process(holder())
+        engine.process(waiter())
+        engine.run()
+        assert res.total_wait_us == pytest.approx(4.0)
+        assert res.waits == 1
+        assert res.grants == 2
+
+    def test_named_resources_register_with_engine(self):
+        engine = Engine()
+        named = Resource(engine, capacity=1, name="kernel")
+        Resource(engine, capacity=1)  # anonymous: not registered
+        assert engine.resources == [named]
+
+    def test_contended_fifo_grant_order_with_many_waiters(self):
+        engine = Engine()
+        res = Resource(engine, capacity=1)
+        order = []
+
+        def user(tag):
+            def gen():
+                yield res.acquire()
+                order.append(tag)
+                yield 1.0
+                res.release()
+
+            return gen()
+
+        for tag in range(20):
+            engine.process(user(tag))
+        engine.run()
+        assert order == list(range(20))

@@ -104,3 +104,28 @@ def test_fraction_of_accesses():
     r.stats.incr("invalidations_sent", 50)
     assert r.fraction_of_accesses("invalidations_sent") == pytest.approx(0.25)
     assert _result(total=0).fraction_of_accesses("x") == 0.0
+
+
+def test_breakdowns_and_gauges_pickle():
+    import pickle
+
+    stats = StatsCollector()
+    stats.add_breakdown("fault_path", "fetch", 4.5)
+    stats.add_breakdown("fault_path", "fetch", 0.5)
+    stats.set_gauge("utilization:link:up0", 0.25)
+    clone = pickle.loads(pickle.dumps(stats))
+    assert clone.breakdowns == {"fault_path": {"fetch": 5.0}}
+    assert clone.gauges == {"utilization:link:up0": 0.25}
+
+
+def test_merge_combines_breakdowns_and_gauges():
+    a = StatsCollector()
+    a.add_breakdown("txn", "x", 1.0)
+    a.set_gauge("g", 1.0)
+    b = StatsCollector()
+    b.add_breakdown("txn", "x", 2.0)
+    b.add_breakdown("txn", "y", 3.0)
+    b.set_gauge("g", 9.0)
+    a.merge(b)
+    assert a.breakdown("txn") == {"x": 3.0, "y": 3.0}
+    assert a.gauges["g"] == 9.0  # gauges are last-writer-wins
