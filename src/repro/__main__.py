@@ -22,6 +22,7 @@ import sys
 from typing import List, Optional
 
 from .api import MindSystem
+from .faults import FaultPlan
 from .runner import SYSTEMS, RunnerConfig, run_system
 from .workloads import UniformSharingWorkload
 
@@ -55,12 +56,73 @@ def tour(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_window(spec: str, what: str, parts_min: int, parts_max: int) -> List[str]:
+    parts = spec.split(":")
+    if not parts_min <= len(parts) <= parts_max:
+        raise SystemExit(
+            f"bad --{what} {spec!r}: expected {parts_min}-{parts_max} "
+            "colon-separated fields"
+        )
+    return parts
+
+
+def build_fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """Assemble a FaultPlan from the report subcommand's fault flags.
+
+    Window syntaxes (times in simulated microseconds):
+
+    - ``--packet-loss START:END:PROB[:PORT]``
+    - ``--delay-spike START:END:EXTRA_US[:PORT]``
+    - ``--blade-slow BLADE:START:END[:FACTOR]``
+    - ``--blade-crash BLADE:START:END``
+    - ``--cpu-stall AT:DURATION``
+    - ``--switch-crash-at AT``
+    """
+    plan = FaultPlan(seed=args.fault_seed)
+    if args.switch_crash_at is not None:
+        plan.switch_crash(args.switch_crash_at)
+    for spec in args.packet_loss or ():
+        parts = _parse_window(spec, "packet-loss", 3, 4)
+        plan.packet_loss(
+            float(parts[0]), float(parts[1]), float(parts[2]),
+            port=parts[3] if len(parts) > 3 else None,
+        )
+    for spec in args.delay_spike or ():
+        parts = _parse_window(spec, "delay-spike", 3, 4)
+        plan.delay_spike(
+            float(parts[0]), float(parts[1]), float(parts[2]),
+            port=parts[3] if len(parts) > 3 else None,
+        )
+    for spec in args.blade_slow or ():
+        parts = _parse_window(spec, "blade-slow", 3, 4)
+        plan.blade_slow(
+            int(parts[0]), float(parts[1]), float(parts[2]),
+            factor=float(parts[3]) if len(parts) > 3 else 4.0,
+        )
+    for spec in args.blade_crash or ():
+        parts = _parse_window(spec, "blade-crash", 3, 3)
+        plan.blade_crash(int(parts[0]), float(parts[1]), float(parts[2]))
+    for spec in args.cpu_stall or ():
+        parts = _parse_window(spec, "cpu-stall", 2, 2)
+        plan.cpu_stall(float(parts[0]), float(parts[1]))
+    if not plan.events:
+        return None
+    return plan.validate()
+
+
 def report(args: argparse.Namespace) -> int:
+    fault_plan = build_fault_plan(args)
     config = RunnerConfig(
         trace=True,
         trace_capacity=args.trace_capacity,
         sample_interval_us=args.sample_us,
+        fault_plan=fault_plan,
     )
+    if fault_plan is not None:
+        print("fault plan (seed %d):" % fault_plan.seed)
+        for line in fault_plan.describe():
+            print(f"  {line}")
+        print()
     workload = UniformSharingWorkload(
         args.blades * args.threads_per_blade,
         accesses_per_thread=args.accesses,
@@ -123,6 +185,37 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--json", action="store_true", help="emit the report as JSON")
     rep.add_argument("--trace-out", help="write a Chrome trace-event JSON file")
     rep.add_argument("--jsonl-out", help="write raw trace records as JSONL")
+    fault = rep.add_argument_group(
+        "fault injection", "deterministic fault schedule (times in simulated us)"
+    )
+    fault.add_argument(
+        "--switch-crash-at", type=float, metavar="AT",
+        help="crash the primary switch at AT (arms fail-over)",
+    )
+    fault.add_argument(
+        "--packet-loss", action="append", metavar="START:END:PROB[:PORT]",
+        help="drop packets with probability PROB during [START, END)",
+    )
+    fault.add_argument(
+        "--delay-spike", action="append", metavar="START:END:EXTRA[:PORT]",
+        help="add EXTRA us propagation delay during [START, END)",
+    )
+    fault.add_argument(
+        "--blade-slow", action="append", metavar="BLADE:START:END[:FACTOR]",
+        help="memory blade serves FACTORx slower during [START, END)",
+    )
+    fault.add_argument(
+        "--blade-crash", action="append", metavar="BLADE:START:END",
+        help="memory blade answers nothing during [START, END)",
+    )
+    fault.add_argument(
+        "--cpu-stall", action="append", metavar="AT:DURATION",
+        help="wedge the switch control CPU for DURATION us at AT",
+    )
+    fault.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for per-packet fault randomness (default 0)",
+    )
     rep.set_defaults(fn=report)
 
     parser.set_defaults(fn=tour)

@@ -209,3 +209,15 @@ class MindSystem:
     def run_concurrently(self, gens: List[Generator]) -> List:
         """Run several thread generators concurrently; returns their values."""
         return self.cluster.run_all(gens)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def enable_failover(self, config=None):
+        """Arm the switch fail-over path (control-plane replication plus a
+        standby backup switch).  Returns the orchestrator so callers can
+        schedule crashes (``crash_at``) or inspect outage windows."""
+        return self.cluster.enable_failover(config)
+
+    def inject_faults(self, plan):
+        """Arm a :class:`repro.faults.FaultPlan` on the running rack."""
+        return self.cluster.inject_faults(plan)

@@ -205,6 +205,15 @@ class ComputeBlade:
             result: FaultResult = yield self.engine.process(
                 self.datapath.handle_fault(req)
             )
+            while result.stale:
+                # A switch fail-over landed while this transaction was in
+                # flight: its directory effects may be gone.  Discard the
+                # result (never insert a stale page) and re-issue against
+                # the rebuilt data plane.
+                self.stats.incr("faults_reissued")
+                result = yield self.engine.process(
+                    self.datapath.handle_fault(req)
+                )
             if result.verdict is not PacketVerdict.ALLOW:
                 raise SegmentationFault(
                     f"pdid={pdid} va={page_va:#x} "

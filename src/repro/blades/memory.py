@@ -41,6 +41,34 @@ class MemoryBlade:
         self.registered = False
         self.reads_served = 0
         self.writes_served = 0
+        #: fault injection: NIC/DRAM service-time multiplier (a "slow blade"
+        #: interval sets it > 1) and a hard pause (a crashed/stalled blade
+        #: answers nothing; requests are lost and the switch retransmits).
+        self.slow_factor = 1.0
+        self._paused = False
+        self.requests_refused = 0
+
+    # -- fault injection ---------------------------------------------------
+
+    @property
+    def available(self) -> bool:
+        return not self._paused
+
+    def pause(self) -> None:
+        """Stop serving requests (crash/stall interval); in-flight and new
+        requests are dropped, to be recovered by retransmission."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+
+    def service_us(self, base_us: float) -> float:
+        """NIC/DRAM service time under the current slowdown factor."""
+        return base_us * self.slow_factor
+
+    def refuse(self) -> None:
+        """Account one request lost to an unavailable blade."""
+        self.requests_refused += 1
 
     def register(self) -> None:
         """Boot-time: register physical memory with the RDMA NIC."""

@@ -98,6 +98,10 @@ class MindCluster:
         self.mmu.controller.set_drop_cached_range(self._drop_cached_range)
         self.mmu.controller.set_flush_cached_range(self._flush_cached_range)
         self.mmu.controller.set_revoke_domain_range(self._revoke_domain_range)
+        #: fault-injection machinery, created lazily by enable_failover /
+        #: inject_faults so fault-free runs pay nothing.
+        self._failover = None
+        self._injectors: List = []
         self.sampler = self._build_sampler()
         self.mmu.start()
         if self.config.trace:
@@ -163,6 +167,35 @@ class MindCluster:
         for blade in self.compute_blades:
             blade.ptes.unmap_domain_range(pdid, base, length)
 
+    # -- fault injection -------------------------------------------------------
+
+    def enable_failover(self, config=None):
+        """Arm the Section 4.4 fail-over path: replicate the control plane
+        on the metadata path and stand a backup switch by.  Idempotent;
+        returns the :class:`~repro.faults.failover.FailoverOrchestrator`."""
+        if self._failover is None:
+            from .faults.failover import FailoverOrchestrator
+
+            self._failover = FailoverOrchestrator(self, config)
+        return self._failover
+
+    @property
+    def failover(self):
+        return self._failover
+
+    def inject_faults(self, plan):
+        """Arm a :class:`~repro.faults.plan.FaultPlan` on this cluster.
+
+        Link-loss windows are installed immediately; timed events (blade
+        faults, CPU stalls, switch crashes) are scheduled as simulation
+        processes.  Returns the armed injector."""
+        from .faults.injector import FaultInjector as PlanInjector
+
+        injector = PlanInjector(self, plan)
+        injector.start()
+        self._injectors.append(injector)
+        return injector
+
     # -- observability ---------------------------------------------------------
 
     def capture_telemetry(self) -> None:
@@ -176,6 +209,16 @@ class MindCluster:
         stats.counters["match_action_rules"] = self.mmu.match_action_rules()["total"]
         stats.counters["pipeline_passes"] = self.mmu.pipeline.passes
         stats.counters["recirculations"] = self.mmu.pipeline.recirculations
+        dropped = self.network.total_packets_dropped()
+        if dropped:
+            stats.counters["link_packets_dropped"] = dropped
+            stats.counters["link_bytes_dropped"] = self.network.total_bytes_dropped()
+        refused = sum(b.requests_refused for b in self.memory_blades)
+        if refused:
+            stats.counters["blade_requests_refused"] = refused
+        if self.mmu.control_cpu.stalls:
+            stats.counters["control_cpu_stalls"] = self.mmu.control_cpu.stalls
+            stats.set_gauge("control_cpu_stall_us", self.mmu.control_cpu.stall_us)
         for resource in self.engine.resources:
             if resource.total_wait_us:
                 stats.set_gauge(f"wait_us:{resource.name}", resource.total_wait_us)

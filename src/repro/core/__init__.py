@@ -25,6 +25,7 @@ from .coherence import (
     FaultInjector,
     FaultResult,
     LockTable,
+    MessageLossInjector,
 )
 from .controller import SwitchController, SyscallError, TaskStruct, ThreadInfo
 from .directory import (
@@ -69,6 +70,7 @@ __all__ = [
     "GlobalAllocator",
     "InNetworkMmu",
     "LockTable",
+    "MessageLossInjector",
     "MindConfig",
     "OutOfMemoryError",
     "PDID_WIDTH",

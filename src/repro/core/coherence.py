@@ -38,6 +38,7 @@ from typing import Callable, Dict, Generator, List, Optional
 from ..obs.spans import SpanCursor
 from ..sim.engine import Engine, Event, Resource
 from ..sim.network import CONTROL_MSG_BYTES, Network, NetworkConfig, PAGE_SIZE, Port
+from ..sim.rdma import BackoffPolicy
 from ..sim.stats import StatsCollector
 from ..switchsim.multicast import MulticastEngine
 from ..switchsim.packets import (
@@ -71,6 +72,10 @@ class FaultResult:
     granted_write: bool = False
     invalidations_sent: int = 0
     was_reset: bool = False
+    #: a switch fail-over happened while this transaction was in flight:
+    #: its directory effects may be lost, so the blade must discard the
+    #: result and re-issue the fault against the rebuilt data plane.
+    stale: bool = False
 
 
 class LockTable:
@@ -94,11 +99,15 @@ class LockTable:
             del self._locks[key]
 
 
-class FaultInjector:
+class MessageLossInjector:
     """Deterministic message-loss injection for Section 4.4 testing.
 
     ``drop_invalidations``/``drop_acks`` give per-message drop probabilities
     drawn from a seeded generator, so failure tests are reproducible.
+
+    This is the protocol-level injector (it drops whole coherence messages
+    regardless of route); scheduled, link-level fault windows live in
+    :mod:`repro.faults`.
     """
 
     def __init__(
@@ -128,6 +137,11 @@ class FaultInjector:
 
     def should_drop_fetch(self) -> bool:
         return self._roll(self.drop_fetches)
+
+
+#: Backward-compatible name: this class predates the repro.faults subsystem
+#: and was exported as FaultInjector.
+FaultInjector = MessageLossInjector
 
 
 #: A compute blade's invalidation handler: a generator-producing callable
@@ -177,6 +191,23 @@ class CoherenceProtocol:
         self.invalidation_mode = invalidation_mode
         self.control_cpu = control_cpu
         self.locks = LockTable(engine)
+        #: retransmission backoff (Section 4.4: timeouts detect losses on
+        #: every message class); exponential so repeated losses back off.
+        self.backoff = BackoffPolicy(
+            base_timeout_us=self.ACK_TIMEOUT_US,
+            multiplier=2.0,
+            max_retries=self.MAX_RETRIES,
+            max_timeout_us=8 * self.ACK_TIMEOUT_US,
+        )
+        #: fail-over state: the epoch counts adopted data planes; while an
+        #: outage event is pending, new fault transactions wait at the gate.
+        self.epoch = 0
+        self._outage: Optional[Event] = None
+        self.outage_started_at: Optional[float] = None
+        #: service phase for latency attribution ("pre" / "degraded" /
+        #: "post"); only recorded when an orchestrator enables tracking.
+        self.phase = "pre"
+        self.phase_tracking = False
         #: switch-side RDMA connection virtualization (Section 6.3).
         self.rdma_virt = RdmaVirtualizer()
         #: page va -> in-flight write-back; fetches of that page must wait
@@ -211,6 +242,87 @@ class CoherenceProtocol:
     def register_memory_blade(self, blade_id: int, blade: "MemoryBladeLike") -> None:
         self._memory_blades[blade_id] = blade
 
+    # -- fail-over lifecycle (Section 4.4) ----------------------------------
+
+    def begin_outage(self) -> Event:
+        """Primary-switch crash: new fault transactions block at the gate
+        until :meth:`end_outage`.  Idempotent; returns the gate event.
+
+        The epoch bumps *now*, not at adoption: a transaction in flight at
+        the crash instant had its directory effects on the dying switch, so
+        it must come back stale even though it keeps executing in the model.
+        """
+        if self._outage is None:
+            self._outage = self.engine.event()
+            self.outage_started_at = self.engine.now
+            self.epoch += 1
+        return self._outage
+
+    def end_outage(self) -> None:
+        """Backup switch is serving: release every transaction at the gate."""
+        gate = self._outage
+        if gate is not None:
+            self._outage = None
+            if not gate.triggered:
+                gate.succeed()
+
+    def set_phase(self, phase: str) -> None:
+        self.phase = phase
+
+    def adopt_plane(
+        self,
+        directory: RegionDirectory,
+        address_space: AddressSpace,
+        protection: ProtectionTable,
+    ) -> None:
+        """Point the coherence engine at a rebuilt data plane (backup
+        switch take-over).  Bumps the epoch so transactions that were in
+        flight on the old plane come back ``stale`` and get re-issued.
+        The lock table and pending-flush map are deliberately kept: old
+        transactions must still serialize against new ones while they
+        drain, and in-flight write-backs still gate fetch ordering.
+        """
+        self.directory = directory
+        self.address_space = address_space
+        self.protection = protection
+        self.epoch += 1
+
+    # -- reliable delivery helpers ------------------------------------------
+
+    def _deliver(self, make_transfer: Callable[[], Generator]) -> Generator:
+        """Land one transfer leg, retransmitting on an injected link drop
+        with capped exponential backoff.  Data-movement legs use this (a
+        lost payload is simply re-sent); invalidation/ACK legs instead
+        surface the loss so the ACK-timeout machinery drives the retry.
+        Returns the number of retransmissions used.
+        """
+        attempt = 0
+        while True:
+            delivered = yield self.engine.process(make_transfer())
+            if delivered:
+                return attempt
+            self.stats.incr("retransmissions")
+            self.stats.incr("link_retransmissions")
+            yield self.backoff.timeout_us(min(attempt, self.MAX_RETRIES))
+            attempt += 1
+
+    def _blade_ready(self, blade) -> Generator:
+        """Wait out a paused (crashed/stalled) memory blade: each probe
+        that goes unanswered costs one backoff timeout."""
+        attempt = 0
+        while not getattr(blade, "available", True):
+            if hasattr(blade, "refuse"):
+                blade.refuse()
+            self.stats.incr("blade_timeouts")
+            yield self.backoff.timeout_us(min(attempt, self.MAX_RETRIES))
+            attempt += 1
+
+    def _blade_service_us(self, blade) -> float:
+        """NIC+DRAM service time at ``blade`` under any injected slowdown."""
+        base = self.config.memory_service_us + self.config.dram_access_us
+        scale = getattr(blade, "slow_factor", 1.0)
+        return base * scale
+
     # -- the fault transaction ---------------------------------------------
 
     def handle_fault(self, req: MemRequest) -> Generator:
@@ -221,6 +333,13 @@ class CoherenceProtocol:
         run report shows sums exactly to the end-to-end fault latency.
         """
         t0 = self.engine.now
+        # Fail-over gate: while the primary switch is down, new fault
+        # transactions wait for the backup to take over.  The wait is part
+        # of the fault's latency -- it *is* the unavailability window as
+        # the blades experience it.
+        while self._outage is not None:
+            yield self._outage
+        epoch = self.epoch
         requester = self._blade_ports[req.src_port]
         page_va = align_down(req.va, PAGE_SIZE)
         pkt = self.pipeline.packet()
@@ -232,9 +351,11 @@ class CoherenceProtocol:
             self.engine, self.stats, "fault_path", trace_cat="coherence", track=lane
         )
 
-        # Requester -> switch.
+        # Requester -> switch (retransmitted if the uplink drops it).
         yield self.config.rdma_verb_overhead_us
-        yield self.engine.process(requester.to_switch.transfer(CONTROL_MSG_BYTES))
+        yield from self._deliver(
+            lambda: requester.to_switch.transfer(CONTROL_MSG_BYTES)
+        )
         spans.mark("request")
 
         # Pipeline pass 1: protection check, directory lookup, STT match.
@@ -246,11 +367,15 @@ class CoherenceProtocol:
         spans.mark("pipeline")
         if verdict is not PacketVerdict.ALLOW:
             self.stats.incr("protection_rejections")
-            yield self.engine.process(
-                requester.from_switch.transfer(CONTROL_MSG_BYTES)
+            yield from self._deliver(
+                lambda: requester.from_switch.transfer(CONTROL_MSG_BYTES)
             )
             spans.mark("reply")
-            return FaultResult(verdict, latency_us=self.engine.now - t0)
+            return FaultResult(
+                verdict,
+                latency_us=self.engine.now - t0,
+                stale=self.epoch != epoch,
+            )
 
         # Directory entry lookup/creation, with capacity fallbacks; then
         # serialize on the region.
@@ -307,8 +432,8 @@ class CoherenceProtocol:
                 inval = self._make_inval(region, req, targets, downgrade=False)
                 was_reset = yield from self._invalidate_all(inval, targets, region)
                 spans.mark("invalidation")
-                yield self.engine.process(
-                    requester.from_switch.transfer(CONTROL_MSG_BYTES)
+                yield from self._deliver(
+                    lambda: requester.from_switch.transfer(CONTROL_MSG_BYTES)
                 )
                 spans.mark("reply")
                 data = None
@@ -346,10 +471,17 @@ class CoherenceProtocol:
             latency = self.engine.now - t0
             self.stats.record_latency(f"fault:{transition.label}", latency)
             self.stats.record_latency("fault", latency)
+            if self.phase_tracking:
+                # Attribute the fault to the current service phase so the
+                # availability report can compare pre/degraded/post tails.
+                self.stats.record_latency(f"fault:phase:{self.phase}", latency)
             if tracer.enabled:
                 tracer.complete(
                     t0, latency, "coherence", f"fault:{transition.label}", track=lane
                 )
+            stale = self.epoch != epoch
+            if stale:
+                self.stats.incr("stale_transactions")
             return FaultResult(
                 verdict=PacketVerdict.ALLOW,
                 label=transition.label,
@@ -359,6 +491,7 @@ class CoherenceProtocol:
                 granted_write=req.access.is_write,
                 invalidations_sent=invalidations,
                 was_reset=was_reset,
+                stale=stale,
             )
         finally:
             self.locks.release(region.base)
@@ -540,9 +673,9 @@ class CoherenceProtocol:
     def _invalidate_with_retry(
         self, inval: InvalidationRequest, port_id: int, region: Region
     ) -> Generator:
-        """One target: deliver, await ACK, retransmit on loss, reset after
-        MAX_RETRIES (Section 4.4)."""
-        for _attempt in range(self.MAX_RETRIES + 1):
+        """One target: deliver, await ACK, retransmit on loss with
+        exponential backoff, reset after MAX_RETRIES (Section 4.4)."""
+        for attempt in range(self.MAX_RETRIES + 1):
             dropped_out = (
                 self.fault_injector is not None
                 and self.fault_injector.should_drop_invalidation()
@@ -553,25 +686,40 @@ class CoherenceProtocol:
                     self.fault_injector is not None
                     and self.fault_injector.should_drop_ack()
                 )
-                if not dropped_back:
+                # ``ack is None``: a link-level fault window ate one of the
+                # legs -- indistinguishable, to the switch, from the
+                # protocol-level drops the injector models.
+                if ack is not None and not dropped_back:
                     return ack
-            # Lost somewhere: wait out the timeout and retransmit.
+            # Lost somewhere: wait out the (growing) timeout, retransmit.
             self.stats.incr("retransmissions")
-            yield self.ACK_TIMEOUT_US
+            yield self.backoff.timeout_us(attempt)
         yield from self._reset_region(region)
         return None
 
     def _invalidate_at(
         self, inval: InvalidationRequest, port_id: int, region: Region
     ) -> Generator:
-        """Deliver to one blade, run its handler, carry the ACK back."""
+        """Deliver to one blade, run its handler, carry the ACK back.
+
+        Returns None when a link-level fault drops either leg: a dropped
+        outbound leg means the blade never saw the request; a dropped ACK
+        leg means the blade *did* the work (accounting still happens -- the
+        retry is idempotent) but the switch cannot know, and must resend.
+        """
         port = self._blade_ports[port_id]
         self.stats.incr("invalidations_sent")
-        yield self.engine.process(port.from_switch.transfer(CONTROL_MSG_BYTES))
+        delivered = yield self.engine.process(
+            port.from_switch.transfer(CONTROL_MSG_BYTES)
+        )
+        if not delivered:
+            return None
         ack: InvalidationAck = yield self.engine.process(
             self._inval_handlers[port_id](inval)
         )
-        yield self.engine.process(port.to_switch.transfer(CONTROL_MSG_BYTES))
+        acked = yield self.engine.process(
+            port.to_switch.transfer(CONTROL_MSG_BYTES)
+        )
         # Fold the blade's report into directory + stats accounting.  The
         # "invalidation" breakdown (queue/tlb of Fig. 7 right) is recorded
         # by the blade's own span instrumentation, not here.
@@ -581,6 +729,8 @@ class CoherenceProtocol:
         self.stats.incr("false_invalidations", ack.false_invalidations)
         if not inval.downgrade_to_shared:
             region.sharers.discard(port_id)
+        if not acked:
+            return None
         return ack
 
     def _reset_region(self, region: Region) -> Generator:
@@ -598,10 +748,16 @@ class CoherenceProtocol:
         for port_id, handler in self._inval_handlers.items():
             port = self._blade_ports[port_id]
 
+            # Reset messages must land (a lost reset would leave a wedged
+            # region wedged), so each leg is delivered reliably.
             def deliver(h=handler, p=port):
-                yield self.engine.process(p.from_switch.transfer(CONTROL_MSG_BYTES))
+                yield from self._deliver(
+                    lambda: p.from_switch.transfer(CONTROL_MSG_BYTES)
+                )
                 yield self.engine.process(h(reset_inval))
-                yield self.engine.process(p.to_switch.transfer(CONTROL_MSG_BYTES))
+                yield from self._deliver(
+                    lambda: p.to_switch.transfer(CONTROL_MSG_BYTES)
+                )
 
             procs.append(self.engine.process(deliver()))
         yield self.engine.all_of(procs)
@@ -616,7 +772,7 @@ class CoherenceProtocol:
     def _fetch(self, req: MemRequest, requester: Port, page_va: int) -> Generator:
         """One-sided RDMA fetch, retransmitted on loss (Section 4.4: ACKs
         and timeouts detect packet losses on every message class)."""
-        for _attempt in range(self.MAX_RETRIES + 1):
+        for attempt in range(self.MAX_RETRIES + 1):
             lost = (
                 self.fault_injector is not None
                 and self.fault_injector.should_drop_fetch()
@@ -625,7 +781,7 @@ class CoherenceProtocol:
                 data = yield from self._fetch_once(req, requester, page_va)
                 return data
             self.stats.incr("retransmissions")
-            yield self.ACK_TIMEOUT_US
+            yield self.backoff.timeout_us(attempt)
         # Persistent loss: serve the final attempt unconditionally (the
         # reset machinery above handles wedged *coherence* state; a fetch
         # has no state to wedge).
@@ -637,21 +793,22 @@ class CoherenceProtocol:
         blade = self._memory_blades[xlate.blade_id]
         # Stitch the requester's virtual connection to the real one.
         self.rdma_virt.rewrite(req.src_port, xlate.blade_id)
-        yield self.engine.process(
-            blade.port.from_switch.transfer(CONTROL_MSG_BYTES)
+        yield from self._deliver(
+            lambda: blade.port.from_switch.transfer(CONTROL_MSG_BYTES)
         )
+        yield from self._blade_ready(blade)
         pending = self._pending_flushes.get(page_va)
         if pending is not None and not pending.triggered:
             # An asynchronous write-back of this very page has not landed
             # yet; the NIC must serve the read after it (flush/fetch order).
             yield pending
-        yield self.config.memory_service_us + self.config.dram_access_us
+        yield self._blade_service_us(blade)
         data = blade.read_page(xlate.pa)
-        yield self.engine.process(blade.port.to_switch.transfer(PAGE_SIZE))
+        yield from self._deliver(lambda: blade.port.to_switch.transfer(PAGE_SIZE))
         # Response pass through the pipeline, then down to the requester.
         resp = self.pipeline.packet()
         yield self.engine.process(resp.traverse())
-        yield self.engine.process(requester.from_switch.transfer(PAGE_SIZE))
+        yield from self._deliver(lambda: requester.from_switch.transfer(PAGE_SIZE))
         yield self.config.rdma_verb_overhead_us
         return data
 
@@ -691,8 +848,8 @@ class CoherenceProtocol:
             )
         else:
             # Just the read request leg to the owner.
-            yield self.engine.process(
-                owner_port.from_switch.transfer(CONTROL_MSG_BYTES)
+            yield from self._deliver(
+                lambda: owner_port.from_switch.transfer(CONTROL_MSG_BYTES)
             )
         # The owner's kernel serves the page out of its DRAM cache.
         yield self.config.memory_service_us + self.config.dram_access_us
@@ -704,10 +861,10 @@ class CoherenceProtocol:
         if data == b"":
             data = None  # resident, but payload storage is disabled
         self.stats.incr("cache_to_cache_transfers")
-        yield self.engine.process(owner_port.to_switch.transfer(PAGE_SIZE))
+        yield from self._deliver(lambda: owner_port.to_switch.transfer(PAGE_SIZE))
         resp = self.pipeline.packet()
         yield self.engine.process(resp.traverse())
-        yield self.engine.process(requester.from_switch.transfer(PAGE_SIZE))
+        yield from self._deliver(lambda: requester.from_switch.transfer(PAGE_SIZE))
         yield self.config.rdma_verb_overhead_us
         return data, was_reset
 
@@ -728,16 +885,21 @@ class CoherenceProtocol:
         xlate = self.address_space.translate(page_va)
         blade = self._memory_blades[xlate.blade_id]
         self.rdma_virt.rewrite(src_port.port_id, xlate.blade_id)
-        yield self.engine.process(src_port.to_switch.transfer(PAGE_SIZE))
+        # Every leg is delivered reliably: a silently lost write-back would
+        # leave memory stale behind an Invalid directory -- incoherence.
+        yield from self._deliver(lambda: src_port.to_switch.transfer(PAGE_SIZE))
         pkt = self.pipeline.packet()
         yield self.engine.process(pkt.traverse())
-        yield self.engine.process(blade.port.from_switch.transfer(PAGE_SIZE))
-        yield self.config.memory_service_us + self.config.dram_access_us
+        yield from self._deliver(lambda: blade.port.from_switch.transfer(PAGE_SIZE))
+        yield from self._blade_ready(blade)
+        yield self._blade_service_us(blade)
         blade.write_page(xlate.pa, data)
         self.stats.incr("pages_written_back")
         if landed is not None and not landed.triggered:
             landed.succeed()
-        yield self.engine.process(blade.port.to_switch.transfer(CONTROL_MSG_BYTES))
+        yield from self._deliver(
+            lambda: blade.port.to_switch.transfer(CONTROL_MSG_BYTES)
+        )
 
     def flush_page_async(
         self, src_port: Port, page_va: int, data: Optional[bytes]

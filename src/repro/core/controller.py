@@ -86,6 +86,19 @@ class SwitchController:
         self._rr_cursor = 0
         #: bumped on every metadata mutation; the replication layer uses it.
         self.version = 0
+        #: MIND replicates control-plane state on the metadata path
+        #: (Section 4.4): the listener fires after every metadata mutation
+        #: so a backup switch can recapture synchronously.
+        self._on_metadata_change = None
+
+    def set_metadata_listener(self, fn: Optional[Callable[[], None]]) -> None:
+        """Install the replication hook invoked after metadata mutations."""
+        self._on_metadata_change = fn
+
+    def _bump_version(self) -> None:
+        self.version += 1
+        if self._on_metadata_change is not None:
+            self._on_metadata_change()
 
     # -- cluster membership ---------------------------------------------------
 
@@ -121,7 +134,7 @@ class SwitchController:
         self._next_pid += 1
         task = TaskStruct(pid=pid, name=name)
         self._tasks[pid] = task
-        self.version += 1
+        self._bump_version()
         return task
 
     def sys_exit(self, pid: int) -> None:
@@ -132,7 +145,7 @@ class SwitchController:
         task.alive = False
         task.threads.clear()
         del self._tasks[pid]
-        self.version += 1
+        self._bump_version()
         self.control_cpu.syscalls_handled += 1
 
     def place_thread(self, pid: int) -> ThreadInfo:
@@ -145,7 +158,7 @@ class SwitchController:
         thread = ThreadInfo(tid=self._next_tid, blade_id=blade_id)
         self._next_tid += 1
         task.threads.append(thread)
-        self.version += 1
+        self._bump_version()
         return thread
 
     def task(self, pid: int) -> TaskStruct:
@@ -185,7 +198,7 @@ class SwitchController:
         vma = Vma(placement.va_base, placement.length, pdid or pid, perm)
         self.protection.grant(vma.pdid, vma, perm)
         task.vmas[vma.base] = (vma, placement.blade_id)
-        self.version += 1
+        self._bump_version()
         return vma.base
 
     def sys_munmap(self, pid: int, va_base: int) -> None:
@@ -209,7 +222,7 @@ class SwitchController:
             # The vma's original home blade was retired after migration;
             # its physical range went away with the blade.
             pass
-        self.version += 1
+        self._bump_version()
 
     def sys_brk(self, pid: int, increment: int) -> int:
         """Grow the heap; modelled as an mmap-backed growable segment."""
@@ -238,7 +251,7 @@ class SwitchController:
         if self._flush_cached_range is not None:
             self._flush_cached_range(vma.base, vma.length)
         self._drop_directory_range(vma.base, vma.length)
-        self.version += 1
+        self._bump_version()
 
     def grant_domain(
         self, pid: int, va_base: int, pdid: int, perm: PermissionClass
@@ -251,7 +264,7 @@ class SwitchController:
             raise SyscallError(errno.EINVAL, f"no vma at {va_base:#x}")
         vma, _blade = entry
         self.protection.grant(pdid, Vma(vma.base, vma.length, pdid, perm), perm)
-        self.version += 1
+        self._bump_version()
 
     def revoke_domain(self, pid: int, va_base: int, pdid: int) -> None:
         task = self._task(pid)
@@ -262,7 +275,7 @@ class SwitchController:
         if entry is not None and self._revoke_domain_range is not None:
             vma, _blade = entry
             self._revoke_domain_range(pdid, vma.base, vma.length)
-        self.version += 1
+        self._bump_version()
 
     # -- helpers -----------------------------------------------------------------
 

@@ -18,7 +18,7 @@ fault-tolerance to prior work.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..switchsim.sram import RegisterArray
 from ..switchsim.tcam import Tcam
@@ -42,6 +42,11 @@ class ControlPlaneSnapshot:
     #: memory blade ids in VA-partition order.
     blade_order: List[int]
     blade_capacity: int
+    #: Bounded Splitting policy state: the backup's directory must keep the
+    #: primary's region-size bounds, or a fail-over silently changes
+    #: splitting behaviour (region granularity, merge ceilings).
+    initial_region_size: int = 16 * 1024
+    max_region_size: int = 2 * 1024 * 1024
 
 
 class ControlPlaneReplicator:
@@ -70,6 +75,8 @@ class ControlPlaneReplicator:
             vmas=sorted(vmas),
             blade_order=ctl.allocator.blade_ids,
             blade_capacity=ctl.address_space.blade_capacity,
+            initial_region_size=ctl.directory.initial_region_size,
+            max_region_size=ctl.directory.max_region_size,
         )
         self._snapshot = snapshot
         return snapshot
@@ -97,15 +104,22 @@ def rebuild_data_plane(
     xlate_tcam: Tcam,
     protection_tcam: Tcam,
     directory_sram: RegisterArray,
-    initial_region_size: int = 16 * 1024,
-    max_region_size: int = 2 * 1024 * 1024,
+    initial_region_size: Optional[int] = None,
+    max_region_size: Optional[int] = None,
 ) -> RebuiltDataPlane:
     """Program a backup switch's tables from a control-plane snapshot.
 
     Translation entries and protection entries are reinstalled exactly;
     allocator occupancy is replayed so future allocations stay balanced;
     the directory starts empty (all-Invalid), to be re-populated by faults.
+    Region-size bounds default to the *snapshot's* (the primary's policy);
+    explicit overrides are for tests only -- a real fail-over must not
+    change bounded-splitting behaviour.
     """
+    if initial_region_size is None:
+        initial_region_size = snapshot.initial_region_size
+    if max_region_size is None:
+        max_region_size = snapshot.max_region_size
     address_space = AddressSpace(xlate_tcam, snapshot.blade_capacity)
     allocator = GlobalAllocator()
     for blade_id in snapshot.blade_order:

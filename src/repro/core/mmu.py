@@ -174,6 +174,44 @@ class InNetworkMmu:
             self.splitter.start()
             self._splitter_started = True
 
+    # -- fail-over ---------------------------------------------------------------
+
+    def adopt_data_plane(
+        self,
+        plane,
+        translation_tcam: Tcam,
+        protection_tcam: Tcam,
+        directory_sram: RegisterArray,
+    ) -> None:
+        """Switch every control/data-path component over to a rebuilt data
+        plane (Section 4.4: the backup switch takes over with tables
+        reprogrammed from the replicated control-plane state).
+
+        ``plane`` is a :class:`~repro.core.failures.RebuiltDataPlane`; the
+        TCAM/SRAM arguments are the backup switch's physical tables it was
+        programmed into.  The directory arrives all-Invalid -- re-faults
+        re-warm it -- while translation, protection and allocator occupancy
+        are exact replicas.
+        """
+        self.translation_tcam = translation_tcam
+        self.protection_tcam = protection_tcam
+        self.directory_sram = directory_sram
+        self.address_space = plane.address_space
+        self.protection = plane.protection
+        self.directory = plane.directory
+        self.allocator = plane.allocator
+        self.coherence.adopt_plane(
+            plane.directory, plane.address_space, plane.protection
+        )
+        ctl = self.controller
+        ctl.allocator = plane.allocator
+        ctl.address_space = plane.address_space
+        ctl.protection = plane.protection
+        ctl.directory = plane.directory
+        self.splitter.directory = plane.directory
+        self.migration.address_space = plane.address_space
+        self.migration.allocator = plane.allocator
+
     # -- observability -------------------------------------------------------------
 
     def match_action_rules(self) -> Dict[str, int]:

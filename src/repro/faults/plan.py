@@ -1,0 +1,231 @@
+"""Deterministic fault plans: *what* goes wrong, *when*.
+
+A :class:`FaultPlan` is a declarative schedule of fault events against a
+running cluster -- switch crashes, per-link loss/delay windows, memory-blade
+slowdowns and outages, control-CPU stalls.  Plans are plain data: building
+one touches no simulator state, so the same plan can be validated, printed,
+or replayed against many clusters.  All randomness (per-packet drop rolls)
+derives from the plan's single ``seed``, so two runs of the same plan on the
+same workload produce byte-identical traces.
+
+Scope note (paper Section 4.4): MIND's fail-over story covers *switch*
+failures -- compute/memory blade fault-tolerance is deferred to prior work.
+Blade faults here are therefore transient (slow/paused intervals recovered
+by retransmission), never permanent data loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+#: link directions a loss/delay window may cover.
+DIRECTIONS = ("to_switch", "from_switch", "both")
+
+
+@dataclass(frozen=True)
+class SwitchCrash:
+    """Primary-switch failure at ``at_us``; triggers the fail-over path."""
+
+    at_us: float
+
+
+@dataclass(frozen=True)
+class LinkLossWindow:
+    """Packet loss and/or delay inflation on links during a time window.
+
+    ``port`` selects one attached endpoint's links by name (``compute0``,
+    ``mem1``); None means every link in the network.  ``direction``
+    restricts to the uplink or downlink half.
+    """
+
+    start_us: float
+    end_us: float
+    drop_prob: float = 0.0
+    extra_delay_us: float = 0.0
+    port: Optional[str] = None
+    direction: str = "both"
+
+
+@dataclass(frozen=True)
+class BladeSlowdown:
+    """Memory blade serves NIC/DRAM requests ``factor``x slower."""
+
+    blade_id: int
+    start_us: float
+    end_us: float
+    factor: float = 4.0
+
+
+@dataclass(frozen=True)
+class BladeOutage:
+    """Memory blade answers nothing during the window; the switch's
+    timeout/retry machinery rides it out."""
+
+    blade_id: int
+    start_us: float
+    end_us: float
+
+
+@dataclass(frozen=True)
+class ControlCpuStall:
+    """The switch control CPU wedges for ``duration_us`` starting at
+    ``at_us``: queued rule updates and syscalls wait it out."""
+
+    at_us: float
+    duration_us: float
+
+
+FaultEvent = Union[
+    SwitchCrash, LinkLossWindow, BladeSlowdown, BladeOutage, ControlCpuStall
+]
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, seeded schedule of fault events.
+
+    Builder methods chain::
+
+        plan = (
+            FaultPlan(seed=7)
+            .switch_crash(at_us=5_000)
+            .packet_loss(2_000, 8_000, prob=0.01)
+            .blade_slow(0, 3_000, 6_000, factor=4.0)
+        )
+    """
+
+    seed: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+
+    # -- builders ----------------------------------------------------------
+
+    def switch_crash(self, at_us: float) -> "FaultPlan":
+        self.events.append(SwitchCrash(float(at_us)))
+        return self
+
+    def packet_loss(
+        self,
+        start_us: float,
+        end_us: float,
+        prob: float,
+        port: Optional[str] = None,
+        direction: str = "both",
+    ) -> "FaultPlan":
+        self.events.append(
+            LinkLossWindow(
+                float(start_us), float(end_us), drop_prob=float(prob),
+                port=port, direction=direction,
+            )
+        )
+        return self
+
+    def delay_spike(
+        self,
+        start_us: float,
+        end_us: float,
+        extra_delay_us: float,
+        port: Optional[str] = None,
+        direction: str = "both",
+    ) -> "FaultPlan":
+        self.events.append(
+            LinkLossWindow(
+                float(start_us), float(end_us),
+                extra_delay_us=float(extra_delay_us),
+                port=port, direction=direction,
+            )
+        )
+        return self
+
+    def blade_slow(
+        self, blade_id: int, start_us: float, end_us: float, factor: float = 4.0
+    ) -> "FaultPlan":
+        self.events.append(
+            BladeSlowdown(int(blade_id), float(start_us), float(end_us), float(factor))
+        )
+        return self
+
+    def blade_crash(
+        self, blade_id: int, start_us: float, end_us: float
+    ) -> "FaultPlan":
+        self.events.append(BladeOutage(int(blade_id), float(start_us), float(end_us)))
+        return self
+
+    def cpu_stall(self, at_us: float, duration_us: float) -> "FaultPlan":
+        self.events.append(ControlCpuStall(float(at_us), float(duration_us)))
+        return self
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def needs_failover(self) -> bool:
+        return any(isinstance(e, SwitchCrash) for e in self.events)
+
+    def validate(self) -> "FaultPlan":
+        """Reject malformed plans before they touch a cluster.
+
+        Every interval must be finite and non-empty (an open-ended outage
+        would hang retransmission loops forever -- blade faults are
+        transient by the paper's scope), probabilities must be in [0, 1),
+        and delays/durations non-negative.
+        """
+        for ev in self.events:
+            if isinstance(ev, SwitchCrash):
+                if ev.at_us < 0:
+                    raise ValueError(f"switch crash at negative time {ev.at_us}")
+            elif isinstance(ev, LinkLossWindow):
+                if not 0 <= ev.start_us < ev.end_us:
+                    raise ValueError(f"bad loss window [{ev.start_us}, {ev.end_us})")
+                if not 0.0 <= ev.drop_prob < 1.0:
+                    raise ValueError(f"drop probability {ev.drop_prob} not in [0, 1)")
+                if ev.extra_delay_us < 0:
+                    raise ValueError(f"negative delay spike {ev.extra_delay_us}")
+                if ev.direction not in DIRECTIONS:
+                    raise ValueError(f"unknown direction {ev.direction!r}")
+            elif isinstance(ev, (BladeSlowdown, BladeOutage)):
+                if not 0 <= ev.start_us < ev.end_us:
+                    raise ValueError(
+                        f"bad blade fault window [{ev.start_us}, {ev.end_us})"
+                    )
+                if isinstance(ev, BladeSlowdown) and ev.factor < 1.0:
+                    raise ValueError(f"slowdown factor {ev.factor} < 1")
+            elif isinstance(ev, ControlCpuStall):
+                if ev.at_us < 0 or ev.duration_us <= 0:
+                    raise ValueError("cpu stall needs at_us >= 0, duration > 0")
+        return self
+
+    def describe(self) -> List[str]:
+        """One human-readable line per event, in schedule order."""
+        lines = []
+        for ev in sorted(self.events, key=_event_time):
+            if isinstance(ev, SwitchCrash):
+                lines.append(f"t={ev.at_us:g}us switch crash (fail-over)")
+            elif isinstance(ev, LinkLossWindow):
+                where = ev.port or "all links"
+                parts = []
+                if ev.drop_prob:
+                    parts.append(f"loss {ev.drop_prob:.2%}")
+                if ev.extra_delay_us:
+                    parts.append(f"+{ev.extra_delay_us:g}us delay")
+                lines.append(
+                    f"t=[{ev.start_us:g}, {ev.end_us:g})us {where} "
+                    f"({ev.direction}): {', '.join(parts) or 'no-op'}"
+                )
+            elif isinstance(ev, BladeSlowdown):
+                lines.append(
+                    f"t=[{ev.start_us:g}, {ev.end_us:g})us mem{ev.blade_id} "
+                    f"slow x{ev.factor:g}"
+                )
+            elif isinstance(ev, BladeOutage):
+                lines.append(
+                    f"t=[{ev.start_us:g}, {ev.end_us:g})us mem{ev.blade_id} paused"
+                )
+            elif isinstance(ev, ControlCpuStall):
+                lines.append(
+                    f"t={ev.at_us:g}us control CPU stall {ev.duration_us:g}us"
+                )
+        return lines
+
+
+def _event_time(ev: FaultEvent) -> float:
+    return getattr(ev, "at_us", getattr(ev, "start_us", 0.0))

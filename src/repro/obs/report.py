@@ -51,6 +51,8 @@ class RunReport:
     switch_peaks: Dict[str, int]
     counters: Dict[str, int]
     timeseries_peaks: Dict[str, float] = field(default_factory=dict)
+    #: fault-injection / fail-over digest; empty for fault-free runs.
+    availability: Dict[str, Any] = field(default_factory=dict)
 
     # -- construction ----------------------------------------------------
 
@@ -93,6 +95,7 @@ class RunReport:
             for name, points in sorted(stats.timeseries.items())
             if points
         }
+        availability = cls._availability_section(stats)
         return cls(
             meta={
                 "system": result.system,
@@ -112,7 +115,76 @@ class RunReport:
             switch_peaks=peaks,
             counters=dict(sorted(stats.counters.items())),
             timeseries_peaks=series_peaks,
+            availability=availability,
         )
+
+    #: counters whose presence marks a run as fault-injected.
+    _FAULT_MARKERS = (
+        "switch_crashes",
+        "link_packets_dropped",
+        "blade_outages",
+        "blade_slowdowns",
+        "blade_requests_refused",
+        "control_cpu_stalls",
+    )
+
+    @classmethod
+    def _availability_section(cls, stats) -> Dict[str, Any]:
+        """Digest the fault/fail-over telemetry, if the run had any.
+
+        Captures the quantities the robustness experiments assert on: the
+        total unavailability window, retry/timeout volume, the re-fault
+        storm depth (faults served while the rebuilt directory re-warms),
+        and the degraded-vs-steady-state p99 comparison.
+        """
+        fault_injected = any(m in stats.counters for m in cls._FAULT_MARKERS)
+        if not fault_injected and "unavailability_us" not in stats.gauges:
+            return {}
+        section: Dict[str, Any] = {}
+        for name in (
+            "switch_crashes",
+            "failovers_completed",
+            "failover_rules_installed",
+            "link_packets_dropped",
+            "link_bytes_dropped",
+            "retransmissions",
+            "link_retransmissions",
+            "resets",
+            "stale_transactions",
+            "faults_reissued",
+            "blade_timeouts",
+            "blade_requests_refused",
+            "blade_outages",
+            "blade_slowdowns",
+            "control_cpu_stalls",
+        ):
+            if name in stats.counters:
+                section[name] = stats.counter(name)
+        if "unavailability_us" in stats.gauges:
+            section["unavailability_us"] = stats.gauges["unavailability_us"]
+        outages = stats.latencies.get("outage_window")
+        if outages:
+            section["outage_windows"] = [float(v) for v in outages]
+        # Re-fault storm depth: faults absorbed while service was degraded
+        # (gate wait + directory re-warm), i.e. the recovery backlog.
+        degraded = stats.latencies.get("fault:phase:degraded")
+        if degraded:
+            section["refault_storm_depth"] = len(degraded)
+        phases = {}
+        for phase in ("pre", "degraded", "post"):
+            cat = f"fault:phase:{phase}"
+            if stats.latencies.get(cat):
+                phases[phase] = stats.latency_summary(cat)
+        if phases:
+            section["phase_p99_us"] = {p: s.p99 for p, s in phases.items()}
+            section["phase_counts"] = {p: s.count for p, s in phases.items()}
+            pre = phases.get("pre")
+            post = phases.get("post")
+            if pre and post and pre.p99 > 0:
+                # Recovery check: post-fail-over steady-state tail vs the
+                # pre-fault baseline (acceptance: within 10%).
+                section["post_vs_pre_p99"] = post.p99 / pre.p99
+        return section
 
     # -- export ----------------------------------------------------------
 
@@ -139,6 +211,7 @@ class RunReport:
             "switch_peaks": self.switch_peaks,
             "counters": self.counters,
             "timeseries_peaks": self.timeseries_peaks,
+            "availability": self.availability,
         }
 
     def render(self, top: int = 8) -> str:
@@ -201,4 +274,41 @@ class RunReport:
             lines.append("sampled series peaks:")
             for name, value in self.timeseries_peaks.items():
                 lines.append(f"  {name:<28s}{value:>12.1f}")
+        if self.availability:
+            a = self.availability
+            lines.append("")
+            lines.append("availability (fault injection / fail-over):")
+            if "unavailability_us" in a:
+                lines.append(
+                    f"  {'unavailability':<28s}{a['unavailability_us']:>12.1f} us"
+                    f"  ({a.get('switch_crashes', 0)} crash(es), "
+                    f"{a.get('failovers_completed', 0)} fail-over(s))"
+                )
+            for name in (
+                "retransmissions",
+                "link_retransmissions",
+                "link_packets_dropped",
+                "resets",
+                "stale_transactions",
+                "faults_reissued",
+                "blade_timeouts",
+                "blade_outages",
+                "blade_slowdowns",
+                "control_cpu_stalls",
+            ):
+                if name in a:
+                    lines.append(f"  {name:<28s}{a[name]:>12d}")
+            if "refault_storm_depth" in a:
+                lines.append(
+                    f"  {'refault_storm_depth':<28s}{a['refault_storm_depth']:>12d}"
+                )
+            if "phase_p99_us" in a:
+                phase_bits = "  ".join(
+                    f"{p}={v:.2f}us" for p, v in a["phase_p99_us"].items()
+                )
+                lines.append(f"  p99 by phase: {phase_bits}")
+            if "post_vs_pre_p99" in a:
+                lines.append(
+                    f"  post/pre p99 ratio: {a['post_vs_pre_p99']:.3f}"
+                )
         return "\n".join(lines)

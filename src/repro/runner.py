@@ -61,6 +61,10 @@ class RunnerConfig:
     trace_capacity: int = 1 << 16
     #: gauge sampling period (simulated us) when tracing is enabled.
     sample_interval_us: float = 100.0
+    #: fault schedule (a :class:`repro.faults.FaultPlan`) armed on the
+    #: cluster before the workload starts.  MIND systems only -- the
+    #: baselines have no switch to fail over.
+    fault_plan: Optional[object] = None
 
 
 def _base_mind(cfg: RunnerConfig) -> MindConfig:
@@ -109,6 +113,9 @@ def run_on_mind(
         for spec in workload.region_specs()
     ]
     traces = workload.all_traces(bases)
+    if cfg.fault_plan is not None:
+        # Arm after mmap so scheduled faults hit a populated control plane.
+        cluster.inject_faults(cfg.fault_plan)
     gens = []
     for trace in traces:
         thread = controller.place_thread(task.pid)
@@ -141,6 +148,11 @@ def run_system(
     """Dispatch a run to one of the evaluated systems by name."""
     cfg = config or RunnerConfig()
     key = system.lower()
+    if cfg.fault_plan is not None and key in ("gam", "fastswap"):
+        raise ValueError(
+            f"fault plans target the MIND switch; {system!r} has no switch "
+            "data plane to fail over"
+        )
     if key == "mind":
         return run_on_mind(workload, num_blades, cfg)
     if key == "mind-pso":

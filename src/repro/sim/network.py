@@ -16,8 +16,8 @@ invalidate + fetch) at ~18 us (Fig. 7 left), with local DRAM under 100 ns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Generator
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
 
 from .engine import Engine, Resource
 
@@ -63,8 +63,36 @@ class NetworkConfig:
 CONTROL_MSG_BYTES = 64
 
 
+@dataclass
+class LinkFault:
+    """A fault window on one link: packet loss and/or a delay spike.
+
+    During ``[start_us, end_us)`` every packet completing serialization is
+    dropped with probability ``drop_prob`` (rolled on ``rng``, a seeded
+    generator, so loss patterns are reproducible) and surviving packets pay
+    ``extra_delay_us`` of additional propagation.
+    """
+
+    start_us: float
+    end_us: float
+    drop_prob: float = 0.0
+    extra_delay_us: float = 0.0
+    rng: object = field(default=None, repr=False)
+
+    def covers(self, now: float) -> bool:
+        return self.start_us <= now < self.end_us
+
+
 class Link:
-    """A unidirectional link: FIFO serialization + fixed propagation."""
+    """A unidirectional link: FIFO serialization + fixed propagation.
+
+    Fault injection: :meth:`install_fault` arms loss/delay windows.  A
+    dropped packet still held the link for its full serialization time and
+    is counted in :attr:`bytes_carried` -- the wire was genuinely occupied
+    -- so :meth:`utilization` and byte totals stay truthful under injected
+    loss; the loss itself is tallied separately in :attr:`packets_dropped`
+    / :attr:`bytes_dropped`.
+    """
 
     def __init__(self, engine: Engine, config: NetworkConfig, name: str):
         self.engine = engine
@@ -72,16 +100,61 @@ class Link:
         self.name = name
         self._resource = Resource(engine, capacity=1, name=f"link:{name}")
         self.bytes_carried = 0
+        self._faults: List[LinkFault] = []
+        self.packets_dropped = 0
+        self.bytes_dropped = 0
+
+    # -- fault injection ------------------------------------------------
+
+    def install_fault(self, fault: LinkFault) -> None:
+        """Arm a loss/delay window; windows self-activate by sim time."""
+        if fault.drop_prob and fault.rng is None:
+            raise ValueError("a lossy LinkFault needs a seeded rng")
+        self._faults.append(fault)
+
+    def clear_faults(self) -> None:
+        self._faults.clear()
+
+    def _active_fault(self, now: float) -> Optional[LinkFault]:
+        for fault in self._faults:
+            if fault.covers(now):
+                return fault
+        return None
+
+    # -- the wire -------------------------------------------------------
 
     def transfer(self, size_bytes: int) -> Generator:
-        """Process generator: completes when the payload has fully arrived."""
+        """Process generator: completes when the payload has fully arrived.
+
+        Returns True if the payload was delivered, False if a fault window
+        swallowed it (the sender cannot tell until a timeout elapses; the
+        serialization time and bytes are accounted either way).
+        """
         yield self._resource.acquire()
         try:
             yield self.config.serialization_us(size_bytes)
             self.bytes_carried += size_bytes
         finally:
             self._resource.release()
-        yield self.config.link_propagation_us
+        delay = self.config.link_propagation_us
+        if self._faults:
+            fault = self._active_fault(self.engine.now)
+            if fault is not None:
+                delay += fault.extra_delay_us
+                if fault.drop_prob and fault.rng.random() < fault.drop_prob:
+                    self.packets_dropped += 1
+                    self.bytes_dropped += size_bytes
+                    tracer = self.engine.tracer
+                    if tracer.enabled:
+                        tracer.instant(
+                            self.engine.now,
+                            "fault",
+                            f"drop:{self.name}",
+                            track=tracer.track("faults"),
+                        )
+                    return False
+        yield delay
+        return True
 
     def utilization(self) -> float:
         return self._resource.utilization()
@@ -95,6 +168,13 @@ class Port:
         self.port_id = port_id
         self.to_switch = Link(engine, config, f"{name}->switch")
         self.from_switch = Link(engine, config, f"switch->{name}")
+
+    @property
+    def links(self) -> Tuple[Link, Link]:
+        return (self.to_switch, self.from_switch)
+
+    def packets_dropped(self) -> int:
+        return self.to_switch.packets_dropped + self.from_switch.packets_dropped
 
 
 class Network:
@@ -134,7 +214,31 @@ class Network:
         yield self.engine.process(port.from_switch.transfer(size_bytes))
 
     def total_bytes(self) -> int:
+        """Bytes that occupied any link, including ones later dropped by an
+        injected fault (they were serialized onto the wire regardless)."""
         return sum(
             p.to_switch.bytes_carried + p.from_switch.bytes_carried
             for p in self.ports.values()
         )
+
+    def total_packets_dropped(self) -> int:
+        return sum(p.packets_dropped() for p in self.ports.values())
+
+    def total_bytes_dropped(self) -> int:
+        return sum(
+            p.to_switch.bytes_dropped + p.from_switch.bytes_dropped
+            for p in self.ports.values()
+        )
+
+    def links(self, port_name: Optional[str] = None, direction: str = "both"):
+        """Iterate links, optionally filtered by port name and direction
+        ("to_switch", "from_switch", or "both").  Deterministic order."""
+        if direction not in ("to_switch", "from_switch", "both"):
+            raise ValueError(f"unknown link direction {direction!r}")
+        for name, port in self.ports.items():
+            if port_name is not None and name != port_name:
+                continue
+            if direction in ("to_switch", "both"):
+                yield port.to_switch
+            if direction in ("from_switch", "both"):
+                yield port.from_switch

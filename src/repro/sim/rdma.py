@@ -10,14 +10,61 @@ code so that the switch pipeline model stays in one place.
 A verb completion here means the payload landed in the registered receive
 buffer and the completion queue was polled -- i.e. the point at which the
 page-fault handler can populate PTEs and return to the user.
+
+Reliability (Section 4.4): RDMA is lossy under injected faults, so the verb
+layer carries timeout/retransmission machinery.  :class:`BackoffPolicy`
+defines a deterministic exponential-backoff schedule (optionally jittered
+from a seeded generator); the reliable verbs retransmit lost transfers on
+that schedule and raise a typed :class:`RdmaTimeoutError` once the retry
+budget is exhausted, so a lost transfer is retried -- never silently hung.
 """
 
 from __future__ import annotations
 
-from typing import Generator
+from dataclasses import dataclass
+from typing import Generator, List, Optional
 
 from .engine import Engine
 from .network import CONTROL_MSG_BYTES, Network, NetworkConfig, Port
+
+
+class RdmaTimeoutError(RuntimeError):
+    """A reliable verb exhausted its retransmission budget."""
+
+    def __init__(self, verb: str, attempts: int):
+        super().__init__(f"rdma {verb} timed out after {attempts} attempts")
+        self.verb = verb
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential-backoff retransmission schedule.
+
+    ``timeout_us(k)`` is the wait after the k-th failed attempt:
+    ``base_timeout_us * multiplier**k`` capped at ``max_timeout_us``, with
+    optional multiplicative jitter drawn from a caller-supplied seeded rng
+    (same seed -> byte-identical schedule).  ``max_retries`` bounds the
+    retransmissions; attempt count is therefore ``max_retries + 1``.
+    """
+
+    base_timeout_us: float = 50.0
+    multiplier: float = 2.0
+    max_retries: int = 5
+    max_timeout_us: float = 1_600.0
+    jitter_frac: float = 0.0
+
+    def timeout_us(self, attempt: int, rng=None) -> float:
+        timeout = min(
+            self.base_timeout_us * self.multiplier ** attempt, self.max_timeout_us
+        )
+        if self.jitter_frac and rng is not None:
+            timeout *= 1.0 + self.jitter_frac * float(rng.random())
+        return timeout
+
+    def schedule(self, rng=None) -> List[float]:
+        """The full wait schedule (one entry per allowed retransmission)."""
+        return [self.timeout_us(k, rng) for k in range(self.max_retries)]
 
 
 class RdmaQp:
@@ -28,13 +75,24 @@ class RdmaQp:
     references the local port; destination resolution happens in-network.
     """
 
-    def __init__(self, engine: Engine, network: Network, local_port: Port):
+    def __init__(
+        self,
+        engine: Engine,
+        network: Network,
+        local_port: Port,
+        backoff: Optional[BackoffPolicy] = None,
+        rng=None,
+    ):
         self.engine = engine
         self.network = network
         self.config: NetworkConfig = network.config
         self.local_port = local_port
+        self.backoff = backoff or BackoffPolicy()
+        self._rng = rng
         self.reads_posted = 0
         self.writes_posted = 0
+        self.retransmissions = 0
+        self.timeouts = 0
 
     # The verbs below are *segments* of a full transaction: the switch-side
     # code stitches request segments, pipeline passes and response segments
@@ -49,6 +107,37 @@ class RdmaQp:
         """Switch -> requester: downlink transfer + completion polling."""
         yield self.engine.process(self.local_port.from_switch.transfer(size_bytes))
         yield self.config.rdma_verb_overhead_us
+
+    # -- reliable verbs (timeout + exponential-backoff retransmission) ----
+
+    def reliable_post(self, size_bytes: int = CONTROL_MSG_BYTES) -> Generator:
+        """Requester -> switch with retransmission.
+
+        Use via ``yield from``.  Returns the number of retransmissions the
+        transfer needed (0 when the first attempt lands).  Raises
+        :class:`RdmaTimeoutError` once the backoff budget is exhausted --
+        the caller sees a typed failure instead of a hung completion queue.
+        """
+        return (yield from self._reliable(self.local_port.to_switch, size_bytes, "post"))
+
+    def reliable_receive(self, size_bytes: int) -> Generator:
+        """Switch -> requester with retransmission (see reliable_post)."""
+        return (
+            yield from self._reliable(self.local_port.from_switch, size_bytes, "receive")
+        )
+
+    def _reliable(self, link, size_bytes: int, verb: str) -> Generator:
+        attempts = self.backoff.max_retries + 1
+        for attempt in range(attempts):
+            yield self.config.rdma_verb_overhead_us
+            delivered = yield self.engine.process(link.transfer(size_bytes))
+            if delivered:
+                return attempt
+            if attempt < self.backoff.max_retries:
+                self.retransmissions += 1
+                yield self.backoff.timeout_us(attempt, self._rng)
+        self.timeouts += 1
+        raise RdmaTimeoutError(verb, attempts)
 
 
 def one_sided_read(

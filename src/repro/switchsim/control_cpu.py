@@ -33,6 +33,8 @@ class ControlCpu:
         self.rule_updates = 0
         self.syscalls_handled = 0
         self.busy_us = 0.0
+        self.stalls = 0
+        self.stall_us = 0.0
 
     def _occupy(self, cost_us: float) -> Generator:
         yield self._cpu.acquire()
@@ -51,6 +53,17 @@ class ControlCpu:
         """Process generator: one intercepted syscall round at the CPU."""
         self.syscalls_handled += 1
         return self._occupy(self.SYSCALL_US)
+
+    def stall(self, duration_us: float) -> Generator:
+        """Process generator: an injected control-CPU stall.
+
+        Occupies the single-server CPU for ``duration_us``, so queued rule
+        updates and syscalls wait it out -- the observable cost of a wedged
+        controller (GC pause, PCIe hiccup, livelocked daemon).
+        """
+        self.stalls += 1
+        self.stall_us += duration_us
+        return self._occupy(duration_us)
 
     def utilization(self) -> float:
         if self.engine.now <= 0:

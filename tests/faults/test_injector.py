@@ -1,0 +1,101 @@
+"""FaultInjector: arming a plan against a live cluster."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+
+from conftest import small_cluster
+
+
+def _sleep(duration_us):
+    yield duration_us
+
+
+def test_link_windows_install_on_matching_links():
+    cluster = small_cluster(num_compute=2, num_memory=2)
+    plan = FaultPlan(seed=3).packet_loss(
+        0, 1_000, 0.5, port="compute0", direction="to_switch"
+    )
+    cluster.inject_faults(plan)
+    for link in cluster.network.links():
+        armed = bool(link._faults)
+        expected = link is cluster.network.port("compute0").to_switch
+        assert armed == expected
+
+
+def test_unfiltered_window_covers_every_link():
+    cluster = small_cluster(num_compute=2, num_memory=1)
+    cluster.inject_faults(FaultPlan(seed=3).delay_spike(0, 1_000, 5.0))
+    assert all(link._faults for link in cluster.network.links())
+
+
+def test_start_is_idempotent():
+    cluster = small_cluster(num_compute=1, num_memory=1)
+    injector = cluster.inject_faults(FaultPlan().delay_spike(0, 10, 1.0))
+    assert injector.events_armed == 1
+    injector.start()
+    assert injector.events_armed == 1
+    link = cluster.network.port("compute0").to_switch
+    assert len(link._faults) == 1
+
+
+def test_injector_validates_the_plan():
+    cluster = small_cluster(num_compute=1, num_memory=1)
+    with pytest.raises(ValueError):
+        FaultInjector(cluster, FaultPlan().packet_loss(0, 10, 1.5))
+
+
+def test_blade_slowdown_window_toggles_and_restores():
+    cluster = small_cluster(num_compute=1, num_memory=2)
+    blade = cluster.memory_blades[1]
+    cluster.inject_faults(FaultPlan().blade_slow(1, 100, 200, factor=3.0))
+    assert blade.slow_factor == 1.0
+    cluster.run_process(_sleep(150))
+    assert blade.slow_factor == 3.0
+    cluster.run_process(_sleep(100))
+    assert blade.slow_factor == 1.0
+    assert cluster.stats.counter("blade_slowdowns") == 1
+
+
+def test_blade_outage_pauses_then_resumes():
+    cluster = small_cluster(num_compute=1, num_memory=1)
+    blade = cluster.memory_blades[0]
+    cluster.inject_faults(FaultPlan().blade_crash(0, 50, 150))
+    cluster.run_process(_sleep(100))
+    assert not blade.available
+    cluster.run_process(_sleep(100))
+    assert blade.available
+    assert cluster.stats.counter("blade_outages") == 1
+
+
+def test_cpu_stall_occupies_control_cpu():
+    cluster = small_cluster(num_compute=1, num_memory=1)
+    cluster.inject_faults(FaultPlan().cpu_stall(at_us=20, duration_us=80))
+    cluster.run_process(_sleep(200))
+    assert cluster.mmu.control_cpu.stalls == 1
+    assert cluster.mmu.control_cpu.stall_us == pytest.approx(80.0)
+    cluster.capture_telemetry()
+    assert cluster.stats.counter("control_cpu_stalls") == 1
+    assert cluster.stats.gauges["control_cpu_stall_us"] == pytest.approx(80.0)
+
+
+def test_switch_crash_event_arms_failover():
+    cluster = small_cluster(num_compute=1, num_memory=1)
+    assert cluster.failover is None
+    cluster.inject_faults(FaultPlan().switch_crash(at_us=1_000))
+    assert cluster.failover is not None
+
+
+def test_same_seed_same_link_drop_decisions():
+    """The per-link child stream depends only on (seed, event, link)."""
+
+    def drops(seed):
+        cluster = small_cluster(num_compute=2, num_memory=1)
+        cluster.inject_faults(FaultPlan(seed=seed).packet_loss(0, 1e9, 0.5))
+        link = cluster.network.port("compute1").to_switch
+        return [
+            cluster.run_process(link.transfer(64)) for _ in range(64)
+        ]
+
+    assert drops(11) == drops(11)
+    assert drops(11) != drops(12)

@@ -1,0 +1,93 @@
+"""FaultPlan construction, validation, and introspection."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.plan import (
+    BladeOutage,
+    BladeSlowdown,
+    ControlCpuStall,
+    LinkLossWindow,
+    SwitchCrash,
+)
+
+
+def test_builders_chain_and_accumulate():
+    plan = (
+        FaultPlan(seed=9)
+        .switch_crash(at_us=5_000)
+        .packet_loss(1_000, 2_000, prob=0.01, port="compute0")
+        .delay_spike(3_000, 4_000, extra_delay_us=10.0)
+        .blade_slow(0, 100, 200, factor=3.0)
+        .blade_crash(1, 500, 600)
+        .cpu_stall(700, 50)
+    )
+    assert plan.seed == 9
+    kinds = [type(e) for e in plan.events]
+    assert kinds == [
+        SwitchCrash,
+        LinkLossWindow,
+        LinkLossWindow,
+        BladeSlowdown,
+        BladeOutage,
+        ControlCpuStall,
+    ]
+    assert plan.validate() is plan
+    assert plan.needs_failover
+
+
+def test_needs_failover_only_for_switch_crash():
+    assert not FaultPlan().packet_loss(0, 10, 0.5).needs_failover
+    assert FaultPlan().switch_crash(5).needs_failover
+
+
+@pytest.mark.parametrize(
+    "bad_plan",
+    [
+        FaultPlan().switch_crash(-1),
+        FaultPlan().packet_loss(10, 10, 0.5),      # empty window
+        FaultPlan().packet_loss(20, 10, 0.5),      # inverted window
+        FaultPlan().packet_loss(0, 10, 1.0),       # prob must be < 1
+        FaultPlan().packet_loss(0, 10, -0.1),      # negative prob
+        FaultPlan().delay_spike(0, 10, -5.0),      # negative delay
+        FaultPlan().blade_slow(0, 5, 5),           # empty window
+        FaultPlan().blade_slow(0, 0, 10, 0.5),     # speedup, not slowdown
+        FaultPlan().blade_crash(0, 10, 5),         # inverted window
+        FaultPlan().cpu_stall(0, 0),               # zero duration
+        FaultPlan().cpu_stall(-1, 10),             # negative start
+    ],
+)
+def test_validate_rejects_malformed_plans(bad_plan):
+    with pytest.raises(ValueError):
+        bad_plan.validate()
+
+
+def test_validate_rejects_unknown_direction():
+    plan = FaultPlan()
+    plan.events.append(LinkLossWindow(0, 10, drop_prob=0.1, direction="up"))
+    with pytest.raises(ValueError):
+        plan.validate()
+
+
+def test_describe_orders_by_time():
+    plan = (
+        FaultPlan()
+        .switch_crash(at_us=500)
+        .packet_loss(100, 900, prob=0.02)
+        .cpu_stall(50, 10)
+    )
+    lines = plan.describe()
+    assert len(lines) == 3
+    assert "cpu" in lines[0].lower()
+    assert "loss" in lines[1].lower()
+    assert "crash" in lines[2].lower()
+
+
+def test_plans_are_plain_data():
+    """Building a plan touches no simulator state (reusable across runs)."""
+    plan = FaultPlan(seed=1).packet_loss(0, 100, 0.5)
+    window = plan.events[0]
+    assert window.drop_prob == 0.5
+    # Frozen event dataclasses: a plan cannot be mutated mid-run.
+    with pytest.raises(Exception):
+        window.drop_prob = 0.9

@@ -1,0 +1,136 @@
+"""Link-level fault windows and truthful accounting under aborted transfers."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.network import LinkFault, Network
+from repro.sim.rng import make_rng
+
+
+class AlwaysDrop:
+    def random(self):
+        return 0.0
+
+
+class NeverDrop:
+    def random(self):
+        return 1.0
+
+
+@pytest.fixture
+def rig():
+    engine = Engine()
+    network = Network(engine)
+    port = network.attach("compute")
+    return engine, network, port
+
+
+def test_transfer_outside_window_is_unaffected(rig):
+    engine, network, port = rig
+    port.to_switch.install_fault(
+        LinkFault(1_000.0, 2_000.0, drop_prob=1.0, rng=AlwaysDrop())
+    )
+    delivered = engine.run_process(port.to_switch.transfer(4096))
+    assert delivered is True
+    assert port.to_switch.packets_dropped == 0
+
+
+def test_drop_inside_window_returns_false(rig):
+    engine, network, port = rig
+    port.to_switch.install_fault(
+        LinkFault(0.0, 1e9, drop_prob=1.0, rng=AlwaysDrop())
+    )
+    delivered = engine.run_process(port.to_switch.transfer(4096))
+    assert delivered is False
+    assert port.to_switch.packets_dropped == 1
+    assert port.to_switch.bytes_dropped == 4096
+
+
+def test_aborted_transfer_still_accounts_bytes_and_busy_time(rig):
+    """Satellite: a dropped packet occupied the wire during serialization,
+    so utilization() and Network.total_bytes() must include it."""
+    engine, network, port = rig
+    link = port.to_switch
+    link.install_fault(LinkFault(0.0, 1e9, drop_prob=1.0, rng=AlwaysDrop()))
+    engine.run_process(link.transfer(1 << 20))
+    assert link.bytes_carried == 1 << 20
+    assert network.total_bytes() == 1 << 20
+    assert network.total_bytes_dropped() == 1 << 20
+    assert link.utilization() > 0.0
+
+
+def test_delay_spike_inflates_propagation(rig):
+    engine, network, port = rig
+    cfg = network.config
+    base = engine.run_process(port.to_switch.transfer(4096))
+    t_clean = engine.now
+    port.to_switch.install_fault(LinkFault(0.0, 1e9, extra_delay_us=25.0))
+    assert base is True
+    delivered = engine.run_process(port.to_switch.transfer(4096))
+    assert delivered is True
+    spike_elapsed = engine.now - t_clean
+    assert spike_elapsed == pytest.approx(
+        cfg.serialization_us(4096) + cfg.link_propagation_us + 25.0
+    )
+
+
+def test_lossy_fault_requires_rng(rig):
+    _engine, _network, port = rig
+    with pytest.raises(ValueError):
+        port.to_switch.install_fault(LinkFault(0.0, 1.0, drop_prob=0.5))
+
+
+def test_delay_only_fault_needs_no_rng(rig):
+    _engine, _network, port = rig
+    port.to_switch.install_fault(LinkFault(0.0, 1.0, extra_delay_us=5.0))
+    assert port.to_switch._faults
+
+
+def test_clear_faults_restores_clean_link(rig):
+    engine, network, port = rig
+    port.to_switch.install_fault(
+        LinkFault(0.0, 1e9, drop_prob=1.0, rng=AlwaysDrop())
+    )
+    assert engine.run_process(port.to_switch.transfer(64)) is False
+    port.to_switch.clear_faults()
+    assert engine.run_process(port.to_switch.transfer(64)) is True
+
+
+def test_network_links_iterator_filters(rig):
+    engine, network, port = rig
+    network.attach("mem0")
+    both = list(network.links())
+    assert len(both) == 4
+    up = list(network.links(direction="to_switch"))
+    assert len(up) == 2
+    assert all(l.name.endswith("->switch") for l in up)
+    one = list(network.links(port_name="compute", direction="from_switch"))
+    assert len(one) == 1
+    with pytest.raises(ValueError):
+        list(network.links(direction="sideways"))
+
+
+def test_port_packets_dropped_sums_both_directions(rig):
+    engine, network, port = rig
+    for link in port.links:
+        link.install_fault(LinkFault(0.0, 1e9, drop_prob=1.0, rng=AlwaysDrop()))
+    engine.run_process(port.to_switch.transfer(64))
+    engine.run_process(port.from_switch.transfer(64))
+    assert port.packets_dropped() == 2
+    assert network.total_packets_dropped() == 2
+
+
+def test_seeded_drop_sequence_is_reproducible(rig):
+    def run(seed):
+        engine = Engine()
+        network = Network(engine)
+        port = network.attach("compute")
+        port.to_switch.install_fault(
+            LinkFault(0.0, 1e9, drop_prob=0.5, rng=make_rng(seed))
+        )
+        return [
+            engine.run_process(port.to_switch.transfer(64)) for _ in range(32)
+        ]
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)
