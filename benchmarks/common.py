@@ -7,6 +7,12 @@ compressed proportionally (see EXPERIMENTS.md, "time-scale compression").
 Absolute numbers therefore differ from the paper; the *shapes* -- who
 wins, by what factor, where the crossovers are -- are asserted.
 
+The sweep-shaped figures (Fig. 5 scaling, Fig. 7 throughput) run through
+:mod:`repro.sweep`: the driver declares a grid, :func:`run_grid` executes
+it (fanning out across worker processes when ``REPRO_SWEEP_JOBS`` > 1),
+and assertions read the per-point metrics back.  The same grids are
+runnable standalone via ``python -m repro sweep --preset fig5-intra``.
+
 Each benchmark prints the rows/series the paper's figure plots, so running
 ``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation as
 text tables.
@@ -14,16 +20,16 @@ text tables.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import os
+from typing import Dict, List, Optional, Sequence
 
-from repro.runner import RunnerConfig, run_system, scaling_sweep
+from repro.runner import RunnerConfig
 from repro.sim.stats import RunResult
+from repro.sweep import PointRecord, SweepResults, SweepSpec, run_sweep
 from repro.workloads import (
     GraphLikeWorkload,
     MemcachedYcsbWorkload,
-    NativeKvsWorkload,
     TensorFlowLikeWorkload,
-    UniformSharingWorkload,
 )
 
 #: threads per compute blade in the inter-blade experiments (paper: 10).
@@ -36,11 +42,30 @@ BLADE_COUNTS = [1, 2, 4, 8]
 #: compressed Bounded Splitting epoch for replays (paper: 100 ms).
 EPOCH_US = 2_000.0
 
+#: worker processes for sweep-backed benchmarks; 1 replays serially and
+#: any value produces byte-identical results (deterministic simulation).
+SWEEP_JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "1"))
+
 
 def runner_config(**overrides) -> RunnerConfig:
     defaults = dict(num_memory_blades=4, epoch_us=EPOCH_US)
     defaults.update(overrides)
     return RunnerConfig(**defaults)
+
+
+def run_grid(
+    *grids: str,
+    seeds: Sequence[int] = (1,),
+    jobs: Optional[int] = None,
+) -> SweepResults:
+    """Execute grid strings through the sweep engine (no output file)."""
+    spec = SweepSpec.from_grids(list(grids), seeds=list(seeds))
+    return run_sweep(spec, jobs=SWEEP_JOBS if jobs is None else jobs)
+
+
+def point_perf(record: PointRecord) -> float:
+    """The scaling metric for a sweep point: accesses per simulated us."""
+    return record.metrics["total_accesses"] / record.metrics["runtime_us"]
 
 
 # -- the paper's four application workloads ---------------------------------
@@ -62,6 +87,9 @@ def make_mc(num_threads: int, accesses: int = ACCESSES) -> MemcachedYcsbWorkload
 
 
 WORKLOADS = {"TF": make_tf, "GC": make_gc, "M_A": make_ma, "M_C": make_mc}
+
+#: figure label -> sweep-registry workload key (same generators).
+WORKLOAD_KEYS = {"TF": "tf", "GC": "gc", "M_A": "ycsb_a", "M_C": "ycsb_c"}
 
 
 def perf(result: RunResult) -> float:

@@ -10,37 +10,39 @@ Paper results, 10 threads per blade, 1-8 blades:
 - **MIND-PSO / MIND-PSO+** (simulated weaker consistency / infinite
   directory) recover part of the loss; **GAM** keeps scaling because its
   slow software path makes extra remote traffic relatively cheap.
+
+Driven through :mod:`repro.sweep` (the ``fig5-inter`` preset): the
+4 systems x 4 workloads x 4 blade counts product is one declarative grid,
+fanned out across worker processes when ``REPRO_SWEEP_JOBS`` > 1.
 """
 
-import pytest
-
 from common import (
-    ACCESSES,
     BLADE_COUNTS,
-    THREADS_PER_BLADE,
+    WORKLOAD_KEYS,
     WORKLOADS,
-    perf,
+    point_perf,
     print_table,
-    runner_config,
+    run_grid,
 )
-from repro.runner import scaling_sweep
+from repro.sweep.presets import PRESETS
 
 SYSTEMS = ["mind", "mind-pso", "mind-pso+", "gam"]
 
 
 def run_figure():
-    cfg = runner_config()
+    results = run_grid(*PRESETS["fig5-inter"])
     data = {}
-    for wl_name, factory in WORKLOADS.items():
-        mind_base = None
+    for wl_name, wl_key in WORKLOAD_KEYS.items():
+        mind_base = point_perf(
+            results.one(system="mind", workload=wl_key, num_blades=1)
+        )
         for system in SYSTEMS:
-            results = scaling_sweep(
-                system, factory, BLADE_COUNTS, THREADS_PER_BLADE, cfg
-            )
-            if system == "mind":
-                mind_base = perf(results[1])
             data[(wl_name, system)] = {
-                b: perf(r) / mind_base for b, r in results.items()
+                b: point_perf(
+                    results.one(system=system, workload=wl_key, num_blades=b)
+                )
+                / mind_base
+                for b in BLADE_COUNTS
             }
     return data
 

@@ -4,28 +4,28 @@ Paper result: MIND and FastSwap scale almost linearly with thread count up
 to 10 threads (hardware-MMU page-fault path); GAM scales linearly only to
 ~4 threads and sub-linearly after, because its user-level library checks
 permissions on every access under a lock.
+
+Driven through :mod:`repro.sweep`: the grid below is the ``fig5-intra``
+preset, so ``python -m repro sweep --preset fig5-intra`` reproduces the
+same points from the command line.
 """
 
-from common import make_tf, perf, print_table, runner_config
-from repro.runner import run_system
+from common import point_perf, print_table, run_grid
+from repro.sweep.presets import PRESETS
 
 THREAD_COUNTS = [1, 2, 4, 10]
 SYSTEMS = ["mind", "gam", "fastswap"]
 
 
 def run_figure():
-    cfg = runner_config(num_memory_blades=2)
+    results = run_grid(*PRESETS["fig5-intra"])
     curves = {}
     for system in SYSTEMS:
-        base = None
-        curve = {}
-        for threads in THREAD_COUNTS:
-            result = run_system(system, make_tf(threads), 1, cfg)
-            p = perf(result)
-            if base is None:
-                base = p
-            curve[threads] = p / base
-        curves[system] = curve
+        base = point_perf(results.one(system=system, threads_per_blade=1))
+        curves[system] = {
+            t: point_perf(results.one(system=system, threads_per_blade=t)) / base
+            for t in THREAD_COUNTS
+        }
     return curves
 
 

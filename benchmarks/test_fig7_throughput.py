@@ -5,41 +5,27 @@ set.  Read-only or fully-private traffic stays cached and throughput is
 high; increasing both the write proportion and the sharing ratio triggers
 M->S / S->M transitions with invalidations and drops throughput by ~10x
 at sharing-ratio 1, read-ratio 0.
+
+Driven through :mod:`repro.sweep` (the ``fig7-throughput`` preset): the
+read-ratio x sharing-ratio product is a single declarative grid.
 """
 
-import pytest
-
-from common import print_table, runner_config
-from repro.runner import run_system
-from repro.workloads import UniformSharingWorkload
+from common import print_table, run_grid
+from repro.sweep.presets import PRESETS
 
 READ_RATIOS = [1.0, 0.5, 0.0]
 SHARING_RATIOS = [0.0, 0.5, 1.0]
-NUM_BLADES = 8
-#: scaled from the paper's 400 k pages to keep runs fast.
-SHARED_PAGES = 800
-ACCESSES = 8_000
 
 
 def run_figure():
-    # The cache must hold the private working set so the read-only/private
-    # corners are hit-dominated, as in the paper ("most pages accessed
-    # locally"); the shared region still vastly exceeds per-blade cache.
-    cfg = runner_config(cache_capacity_pages=6_144)
+    results = run_grid(*PRESETS["fig7-throughput"])
     data = {}
     for read_ratio in READ_RATIOS:
         for sharing_ratio in SHARING_RATIOS:
-            wl = UniformSharingWorkload(
-                NUM_BLADES,  # one thread per blade, as in the paper
-                accesses_per_thread=ACCESSES,
-                read_ratio=read_ratio,
-                sharing_ratio=sharing_ratio,
-                shared_pages=SHARED_PAGES,
-                private_pages_per_thread=512,
-                burst=4,
+            record = results.one(
+                read_ratio=read_ratio, sharing_ratio=sharing_ratio
             )
-            result = run_system("mind", wl, NUM_BLADES, cfg)
-            data[(read_ratio, sharing_ratio)] = result.throughput_iops
+            data[(read_ratio, sharing_ratio)] = record.metrics["throughput_iops"]
     return data
 
 

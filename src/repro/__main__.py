@@ -10,6 +10,10 @@ Subcommands:
   breakdown, queueing hotspots and switch-resource peaks.  Optionally
   export the event trace as Chrome trace-event JSON (``--trace-out``,
   loadable in ``chrome://tracing`` / Perfetto) or JSONL (``--jsonl-out``).
+- ``sweep`` -- run a declarative experiment grid (systems x blade counts x
+  workload knobs x seeds) across worker processes, aggregate the results
+  into a schema-versioned JSON document, and optionally gate against a
+  baseline (``--compare-to``).  See ``python -m repro sweep --help``.
 
 For the full evaluation, run ``pytest benchmarks/ --benchmark-only -s``.
 """
@@ -24,6 +28,7 @@ from typing import List, Optional
 from .api import MindSystem
 from .faults import FaultPlan
 from .runner import SYSTEMS, RunnerConfig, run_system
+from .sweep.cli import add_sweep_parser
 from .workloads import UniformSharingWorkload
 
 
@@ -217,6 +222,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for per-packet fault randomness (default 0)",
     )
     rep.set_defaults(fn=report)
+
+    add_sweep_parser(sub)
 
     parser.set_defaults(fn=tour)
     return parser

@@ -102,12 +102,20 @@ class MindCluster:
         #: inject_faults so fault-free runs pay nothing.
         self._failover = None
         self._injectors: List = []
-        self.sampler = self._build_sampler()
+        #: built lazily: fault-free untraced runs (the common sweep point)
+        #: never pay for gauge registration.
+        self._sampler: Optional[GaugeSampler] = None
         self.mmu.start()
         if self.config.trace:
             # Perpetual background process, like the epoch loop: drive the
             # cluster with run_until_complete-style helpers, not run().
             self.sampler.start()
+
+    @property
+    def sampler(self) -> GaugeSampler:
+        if self._sampler is None:
+            self._sampler = self._build_sampler()
+        return self._sampler
 
     def _build_sampler(self) -> GaugeSampler:
         """Register the switch-resource and queue-depth gauges Fig. 8 needs."""

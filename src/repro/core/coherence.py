@@ -42,7 +42,6 @@ from ..sim.rdma import BackoffPolicy
 from ..sim.stats import StatsCollector
 from ..switchsim.multicast import MulticastEngine
 from ..switchsim.packets import (
-    AccessType,
     InvalidationAck,
     InvalidationRequest,
     MemRequest,

@@ -11,7 +11,7 @@ the drop sequence of an unrelated link.
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import Generator
 
 from ..sim.network import LinkFault
 from ..sim.rng import derive_rng, make_rng

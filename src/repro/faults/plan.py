@@ -155,6 +155,17 @@ class FaultPlan:
         self.events.append(ControlCpuStall(float(at_us), float(duration_us)))
         return self
 
+    def reseeded(self, seed: int) -> "FaultPlan":
+        """A copy of this plan with a different RNG seed, same events.
+
+        Sweep workers use this to derive every per-point plan from the
+        *point's* seed: child RNG streams (per-packet drop rolls) then
+        depend only on the plan contents and the point identity, never on
+        the parent process's plan instance -- the same point replayed
+        in-process and in a spawned worker is byte-identical.
+        """
+        return FaultPlan(seed=int(seed), events=list(self.events))
+
     # -- introspection -----------------------------------------------------
 
     @property

@@ -29,11 +29,10 @@ racks correspondingly more expensive -- quantified in
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional
 
 from .blades.compute import ComputeBlade
 from .blades.memory import MemoryBlade
-from .cluster import ClusterConfig
 from .core.mmu import InNetworkMmu, MindConfig
 from .core.vma import PermissionClass
 from .sim.engine import Engine

@@ -1,0 +1,172 @@
+"""Baseline comparison: the perf-regression gate over sweep documents.
+
+``compare(baseline, current, tolerance)`` matches aggregation cells by
+identity and classifies each gated metric as *improved*, *regressed* or
+*unchanged* based on the relative change of its across-seed mean.
+Direction matters: ``runtime_us`` and latency metrics regress when they
+grow, ``throughput_iops`` regresses when it shrinks.
+
+Only headline perf metrics gate (runtime, throughput, fault-latency mean
+and p99): counters move legitimately whenever behaviour changes and would
+make the gate permanently red.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping
+
+#: metrics the regression gate inspects, with their "better" direction.
+#: True = higher is better; False = lower is better.
+GATED_METRICS: Dict[str, bool] = {
+    "runtime_us": False,
+    "throughput_iops": True,
+    "latency:fault:mean": False,
+    "latency:fault:p99": False,
+}
+
+IMPROVED = "improved"
+REGRESSED = "regressed"
+UNCHANGED = "unchanged"
+
+
+@dataclass
+class ComparisonEntry:
+    """One (cell, metric) verdict."""
+
+    cell_id: str
+    label: str
+    metric: str
+    baseline: float
+    current: float
+    delta: float  # (current - baseline) / baseline, signed
+    status: str   # improved | regressed | unchanged
+
+    def describe(self) -> str:
+        return (
+            f"{self.status:<9s} {self.label}  {self.metric}: "
+            f"{self.baseline:.6g} -> {self.current:.6g} "
+            f"({self.delta:+.1%})"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """All verdicts plus the cells only one document knows about."""
+
+    tolerance: float
+    entries: List[ComparisonEntry] = field(default_factory=list)
+    #: cell labels present in the baseline but missing from the current
+    #: run (grid shrank or points failed) -- surfaced, never fatal.
+    missing_cells: List[str] = field(default_factory=list)
+    #: cell labels new in the current run (no baseline yet).
+    new_cells: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[ComparisonEntry]:
+        return [e for e in self.entries if e.status == REGRESSED]
+
+    @property
+    def improvements(self) -> List[ComparisonEntry]:
+        return [e for e in self.entries if e.status == IMPROVED]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def render(self) -> str:
+        lines = [
+            f"perf comparison vs baseline (tolerance +/-{self.tolerance:.0%}): "
+            f"{len(self.regressions)} regressed, "
+            f"{len(self.improvements)} improved, "
+            f"{len(self.entries) - len(self.regressions) - len(self.improvements)}"
+            " unchanged"
+        ]
+        for entry in self.entries:
+            if entry.status != UNCHANGED:
+                lines.append(f"  {entry.describe()}")
+        for label in self.missing_cells:
+            lines.append(f"  missing from current run: {label}")
+        for label in self.new_cells:
+            lines.append(f"  new cell (no baseline): {label}")
+        if not self.has_regressions:
+            lines.append("  gate: OK")
+        else:
+            lines.append("  gate: FAILED")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "tolerance": self.tolerance,
+            "regressed": [e.__dict__ for e in self.regressions],
+            "improved": [e.__dict__ for e in self.improvements],
+            "missing_cells": list(self.missing_cells),
+            "new_cells": list(self.new_cells),
+            "gate_ok": not self.has_regressions,
+        }
+
+
+def _cell_label(cell: Mapping[str, Any]) -> str:
+    bits = [
+        str(cell.get("system")),
+        str(cell.get("workload")),
+        f"{cell.get('num_blades')}b x {cell.get('threads_per_blade')}t",
+    ]
+    for key, value in sorted(dict(cell.get("workload_params", {})).items()):
+        bits.append(f"{key}={value}")
+    return " ".join(bits)
+
+
+def compare(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    tolerance: float = 0.15,
+) -> ComparisonReport:
+    """Classify every gated metric of every shared cell.
+
+    ``baseline`` and ``current`` are sweep documents (see
+    :meth:`repro.sweep.engine.SweepResults.to_doc` /
+    :meth:`~repro.sweep.engine.SweepResults.load_doc`).
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    base_cells = {c["cell_id"]: c for c in baseline.get("aggregates", [])}
+    cur_cells = {c["cell_id"]: c for c in current.get("aggregates", [])}
+    report = ComparisonReport(tolerance=tolerance)
+    for cell_id, base in base_cells.items():
+        cur = cur_cells.get(cell_id)
+        if cur is None:
+            report.missing_cells.append(_cell_label(base))
+            continue
+        for metric, higher_is_better in GATED_METRICS.items():
+            base_metric = base["metrics"].get(metric)
+            cur_metric = cur["metrics"].get(metric)
+            if base_metric is None or cur_metric is None:
+                continue
+            base_mean = float(base_metric["mean"])
+            cur_mean = float(cur_metric["mean"])
+            if base_mean == 0.0:
+                delta = 0.0 if cur_mean == 0.0 else float("inf")
+            else:
+                delta = (cur_mean - base_mean) / abs(base_mean)
+            if abs(delta) <= tolerance:
+                status = UNCHANGED
+            elif (delta > 0) == higher_is_better:
+                status = IMPROVED
+            else:
+                status = REGRESSED
+            report.entries.append(
+                ComparisonEntry(
+                    cell_id=cell_id,
+                    label=_cell_label(base),
+                    metric=metric,
+                    baseline=base_mean,
+                    current=cur_mean,
+                    delta=delta,
+                    status=status,
+                )
+            )
+    for cell_id, cur in cur_cells.items():
+        if cell_id not in base_cells:
+            report.new_cells.append(_cell_label(cur))
+    return report

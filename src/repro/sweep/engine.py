@@ -1,0 +1,346 @@
+"""Sweep execution: process fan-out, aggregation, resumable documents.
+
+Every sweep point is an isolated deterministic simulation, so points can
+run in any order on any number of worker processes and the result is a
+pure function of the spec.  The engine exploits that:
+
+- workers are spawned (``multiprocessing`` *spawn* context -- no
+  inherited RNG state, no fork-unsafe locks), receive picklable
+  :class:`~repro.sweep.spec.SweepPoint` handles, and rebuild workloads
+  locally through the per-process cache;
+- results are keyed by point index, so the output document is
+  byte-identical whatever the completion order (``--jobs 4`` equals
+  ``--jobs 1`` exactly);
+- after every completed point the partial document is checkpointed to
+  ``--out``; re-running the same spec resumes from completed points;
+- fault plans are re-seeded *per point* from the point's seed, so a
+  plan-bearing point replayed in a worker process produces the same
+  bytes as the same point replayed in-process (spawn-context
+  determinism).
+
+The document layout (schema ``repro.sweep/v1``)::
+
+    {"schema": ..., "spec_digest": ..., "spec": {...}, "complete": bool,
+     "points": [{point..., "metrics": {...}}, ...],
+     "aggregates": [{cell..., "seeds": [...],
+                     "metrics": {name: {mean,p50,p99,min,max,n}}}, ...]}
+
+No wall-clock data is recorded: documents from different machines and
+worker counts diff clean.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..faults import FaultPlan
+from ..runner import run_system
+from ..sim.stats import RunResult
+from ..workloads import stable_seed
+from .spec import SCHEMA, SweepPoint, SweepSpec, build_workload_cached
+
+#: metric-extraction hook signature (kept simple for mypy's benefit).
+ProgressFn = Callable[[int, int, SweepPoint], None]
+
+
+def reseed_plan_for_point(plan: FaultPlan, point: SweepPoint) -> FaultPlan:
+    """Derive a point-local fault plan from the point's seed.
+
+    The plan's own seed is folded in (two different plans stay
+    distinguishable) but the result depends only on *plan contents and
+    point identity* -- never on parent-process RNG state -- so in-process
+    and spawned-worker executions of the same point are byte-identical.
+    """
+    return plan.reseeded(stable_seed("sweep.fault", plan.seed, point.seed))
+
+
+def extract_metrics(result: RunResult) -> Dict[str, float]:
+    """Flatten a RunResult into the sweep document's metric namespace.
+
+    - top-level: ``runtime_us``, ``throughput_iops``, ``total_accesses``
+    - ``counter:<name>`` for every stats counter
+    - ``latency:<category>:{mean,p50,p99}`` for every latency category
+    - ``gauge:<name>`` for every end-of-run gauge
+    """
+    metrics: Dict[str, float] = {
+        "runtime_us": float(result.runtime_us),
+        "throughput_iops": float(result.throughput_iops),
+        "total_accesses": float(result.total_accesses),
+    }
+    for name in sorted(result.stats.counters):
+        metrics[f"counter:{name}"] = float(result.stats.counters[name])
+    for category in sorted(result.stats.latencies):
+        summary = result.stats.latency_summary(category)
+        metrics[f"latency:{category}:mean"] = summary.mean
+        metrics[f"latency:{category}:p50"] = summary.p50
+        metrics[f"latency:{category}:p99"] = summary.p99
+    for name in sorted(result.stats.gauges):
+        metrics[f"gauge:{name}"] = float(result.stats.gauges[name])
+    return metrics
+
+
+@dataclass
+class PointRecord:
+    """One executed point: its identity plus flattened metrics."""
+
+    point: SweepPoint
+    metrics: Dict[str, float]
+    #: trace JSONL (only when the point ran with tracing; never stored in
+    #: sweep documents -- used by the determinism tests).
+    trace_jsonl: Optional[str] = field(default=None, repr=False)
+
+    def to_json(self) -> Dict[str, Any]:
+        doc = self.point.to_json()
+        doc["metrics"] = {k: self.metrics[k] for k in sorted(self.metrics)}
+        return doc
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "PointRecord":
+        return cls(point=SweepPoint.from_json(data), metrics=dict(data["metrics"]))
+
+
+def execute_point(
+    point: SweepPoint,
+    fault_plan: Optional[FaultPlan] = None,
+    with_trace: bool = False,
+) -> PointRecord:
+    """Run one sweep point to completion in this process."""
+    workload = build_workload_cached(point)
+    extra: Dict[str, Any] = {}
+    if fault_plan is not None:
+        extra["fault_plan"] = reseed_plan_for_point(fault_plan, point)
+    if with_trace:
+        extra["trace"] = True
+    config = point.runner_config(**extra)
+    result = run_system(point.system, workload, point.num_blades, config)
+    record = PointRecord(point=point, metrics=extract_metrics(result))
+    if with_trace and result.trace is not None:
+        record.trace_jsonl = result.trace.to_jsonl()
+    return record
+
+
+def _execute_task(
+    task: Tuple[int, SweepPoint, Optional[FaultPlan]]
+) -> Tuple[int, PointRecord]:
+    """Spawn-safe worker entry point (must be module-level to pickle)."""
+    index, point, plan = task
+    return index, execute_point(point, fault_plan=plan)
+
+
+# -- aggregation -------------------------------------------------------------
+
+
+def _summary(values: Sequence[float]) -> Dict[str, float]:
+    arr = np.asarray(list(values), dtype=np.float64)
+    return {
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "n": float(len(arr)),
+    }
+
+
+def aggregate(records: Sequence[PointRecord]) -> List[Dict[str, Any]]:
+    """Group records by cell (identity minus seed); summarize across seeds."""
+    cells: Dict[str, List[PointRecord]] = {}
+    for record in records:
+        cells.setdefault(record.point.cell_id, []).append(record)
+    out = []
+    for cell_id, members in cells.items():
+        members = sorted(members, key=lambda r: r.point.seed)
+        head = members[0].point
+        names = sorted({name for m in members for name in m.metrics})
+        out.append(
+            {
+                "cell_id": cell_id,
+                "system": head.system,
+                "workload": head.workload,
+                "num_blades": head.num_blades,
+                "threads_per_blade": head.threads_per_blade,
+                "workload_params": dict(head.workload_params),
+                "runner_params": dict(head.runner_params),
+                "seeds": [m.point.seed for m in members],
+                "metrics": {
+                    name: _summary(
+                        [m.metrics[name] for m in members if name in m.metrics]
+                    )
+                    for name in names
+                },
+            }
+        )
+    return out
+
+
+# -- documents ---------------------------------------------------------------
+
+
+class SweepResults:
+    """An executed (possibly partial) sweep plus its JSON document."""
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        records: Sequence[PointRecord],
+        complete: bool = True,
+    ):
+        self.spec = spec
+        self.records = list(records)
+        self.complete = complete
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- querying (used by benchmarks/tests) -----------------------------
+
+    def lookup(self, **criteria: Any) -> List[PointRecord]:
+        """Records whose point fields / params match all ``criteria``."""
+        out = []
+        for record in self.records:
+            point = record.point
+            params = dict(point.workload_params) | dict(point.runner_params)
+            for key, want in criteria.items():
+                have = getattr(point, key, params.get(key, _MISSING))
+                if have is _MISSING or have != want:
+                    break
+            else:
+                out.append(record)
+        return out
+
+    def one(self, **criteria: Any) -> PointRecord:
+        matches = self.lookup(**criteria)
+        if len(matches) != 1:
+            raise KeyError(
+                f"expected exactly one point for {criteria}, got {len(matches)}"
+            )
+        return matches[0]
+
+    # -- serialization ---------------------------------------------------
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "spec_digest": self.spec.digest(),
+            "spec": self.spec.to_json(),
+            "complete": self.complete,
+            "num_points": len(self.records),
+            "points": [r.to_json() for r in self.records],
+            "aggregates": aggregate(self.records),
+        }
+
+    def to_json_text(self) -> str:
+        return json.dumps(self.to_doc(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str) -> None:
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as fh:
+            fh.write(self.to_json_text())
+        os.replace(tmp, path)
+
+    @staticmethod
+    def load_doc(path: str) -> Dict[str, Any]:
+        with open(path) as fh:
+            doc = json.load(fh)
+        if doc.get("schema") != SCHEMA:
+            raise ValueError(
+                f"{path}: schema {doc.get('schema')!r} != {SCHEMA!r}"
+            )
+        return doc
+
+
+_MISSING = object()
+
+
+# -- the sweep driver --------------------------------------------------------
+
+
+def _load_resume_records(
+    out: Optional[str], spec: SweepSpec
+) -> Dict[str, PointRecord]:
+    """Completed records from a previous partial run of the *same* spec."""
+    if not out or not os.path.exists(out):
+        return {}
+    try:
+        doc = SweepResults.load_doc(out)
+    except (ValueError, json.JSONDecodeError, OSError):
+        return {}
+    if doc.get("spec_digest") != spec.digest():
+        return {}
+    records = {}
+    for data in doc.get("points", []):
+        record = PointRecord.from_json(data)
+        records[record.point.point_id] = record
+    return records
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    out: Optional[str] = None,
+    resume: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SweepResults:
+    """Execute every point of ``spec``; return ordered, aggregated results.
+
+    ``jobs > 1`` fans points out across spawned worker processes; the
+    output is byte-identical to a serial run.  When ``out`` is given the
+    document is checkpointed after every completed point, and (with
+    ``resume=True``) a matching previous document seeds the run, so
+    interrupted sweeps continue where they stopped.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    points = spec.points()
+    done: Dict[str, PointRecord] = _load_resume_records(out, spec) if resume else {}
+    records: List[Optional[PointRecord]] = [done.get(p.point_id) for p in points]
+    pending = [
+        (i, point, fault_plan)
+        for i, point in enumerate(points)
+        if records[i] is None
+    ]
+    completed = len(points) - len(pending)
+
+    def checkpoint(final: bool = False) -> None:
+        if out is None:
+            return
+        finished = [r for r in records if r is not None]
+        SweepResults(spec, finished, complete=final and len(finished) == len(points)).save(out)
+
+    def note(index: int) -> None:
+        nonlocal completed
+        completed += 1
+        if progress is not None:
+            progress(completed, len(points), points[index])
+
+    if jobs == 1 or len(pending) <= 1:
+        for index, point, plan in pending:
+            records[index] = execute_point(point, fault_plan=plan)
+            note(index)
+            checkpoint()
+    else:
+        context = multiprocessing.get_context("spawn")
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = {pool.submit(_execute_task, task) for task in pending}
+            while futures:
+                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index, record = future.result()
+                    records[index] = record
+                    note(index)
+                checkpoint()
+
+    final = [r for r in records if r is not None]
+    results = SweepResults(spec, final, complete=len(final) == len(points))
+    if out is not None:
+        results.save(out)
+    return results

@@ -1,0 +1,61 @@
+"""Named sweep grids: the paper's figure sweeps plus the CI quick subset.
+
+Presets are written in the CLI grid syntax (one string per grid) so the
+same text works on the command line, in CI, and in the benchmark
+drivers.  ``python -m repro sweep --preset fig5-intra`` expands a name;
+``--list-presets`` prints this registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .spec import GridSpec, parse_grid
+
+#: name -> list of grid strings (a preset may span several grids).
+PRESETS: Dict[str, List[str]] = {
+    # Fig. 5 (left): thread scaling on a single compute blade.
+    "fig5-intra": [
+        "system=mind,gam,fastswap;workload=tf;blades=1;"
+        "threads_per_blade=1,2,4,10;accesses_per_thread=2000;"
+        "num_memory_blades=2;epoch_us=2000"
+    ],
+    # Fig. 5 (center): scaling across compute blades, 10 threads each.
+    "fig5-inter": [
+        "system=mind,mind-pso,mind-pso+,gam;workload=tf,gc,ycsb_a,ycsb_c;"
+        "blades=1,2,4,8;threads_per_blade=10;accesses_per_thread=2000;"
+        "num_memory_blades=4;epoch_us=2000"
+    ],
+    # Fig. 7 (center): throughput vs read-ratio x sharing-ratio.
+    "fig7-throughput": [
+        "system=mind;workload=uniform;blades=8;threads_per_blade=1;"
+        "read_ratio=1.0,0.5,0.0;sharing_ratio=0.0,0.5,1.0;"
+        "accesses_per_thread=8000;shared_pages=800;"
+        "private_pages_per_thread=512;burst=4;"
+        "cache_capacity_pages=6144;num_memory_blades=4;epoch_us=2000"
+    ],
+    # CI perf gate: compressed fig5-intra + fig7-throughput corners.
+    # Small enough for a PR gate, wide enough to cover the page-fault,
+    # eviction, invalidation and baseline-system hot paths.
+    "ci-quick": [
+        "system=mind,gam,fastswap;workload=tf;blades=1;"
+        "threads_per_blade=1,4;accesses_per_thread=600;"
+        "num_memory_blades=2;epoch_us=2000",
+        "system=mind;workload=uniform;blades=4;threads_per_blade=1;"
+        "read_ratio=1.0,0.0;sharing_ratio=0.0,1.0;"
+        "accesses_per_thread=1500;shared_pages=400;"
+        "private_pages_per_thread=256;burst=4;"
+        "cache_capacity_pages=3072;num_memory_blades=4;epoch_us=2000",
+    ],
+}
+
+
+def preset_grids(name: str) -> List[GridSpec]:
+    """Expand a preset name into parsed grids."""
+    try:
+        texts = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None
+    return [parse_grid(text) for text in texts]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -96,6 +96,11 @@ class TraceWorkload(abc.ABC):
         #: many consecutive accesses (real applications issue many loads/
         #: stores per page visit; PIN traces show the same page repeated).
         self.burst = burst
+        #: memoized region-relative streams per thread.  Generation is a
+        #: pure function of (workload, seed, thread), so caching is safe;
+        #: sweeps replay the same workload on several systems and pay for
+        #: generation once instead of once per point.
+        self._generated: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
     @property
     def num_touches(self) -> int:
@@ -123,8 +128,12 @@ class TraceWorkload(abc.ABC):
             raise ValueError(
                 f"{self.name}: got {len(bases)} bases for {len(specs)} regions"
             )
-        rng = make_rng(stable_seed(self.name, self.seed, thread_id))
-        regions, pages, writes = self._generate(thread_id, rng)
+        cached = self._generated.get(thread_id)
+        if cached is None:
+            rng = make_rng(stable_seed(self.name, self.seed, thread_id))
+            cached = self._generate(thread_id, rng)
+            self._generated[thread_id] = cached
+        regions, pages, writes = cached
         if not (len(regions) == len(pages) == len(writes)):
             raise ValueError("generator returned mismatched arrays")
         if self.burst > 1:

@@ -46,6 +46,45 @@ class TestDispatch:
         }
 
 
+class TestSmokeAllSystems:
+    """One pass over every registered system, checking RunResult invariants.
+
+    This is the cheap line of defense for new systems: anything added to
+    ``SYSTEMS`` is automatically held to the bookkeeping contract that the
+    sweep engine's metric extraction relies on.
+    """
+
+    @pytest.mark.parametrize("system", sorted(SYSTEMS))
+    def test_runresult_invariants(self, system, cfg):
+        num_blades = 1 if system == "fastswap" else 2
+        wl = small_wl()
+        result = run_system(system, wl, num_blades=num_blades, config=cfg)
+
+        assert result.runtime_us > 0
+        assert result.total_accesses == wl.num_threads * 300
+        assert result.throughput_iops == pytest.approx(
+            result.total_accesses / (result.runtime_us * 1e-6)
+        )
+        assert all(v >= 0 for v in result.stats.counters.values())
+
+        if system.startswith("mind"):
+            # Every remote access is one coherence transition and one
+            # recorded fault latency -- the three books must balance.
+            remote = result.stats.counters["remote_accesses"]
+            transitions = sum(
+                count
+                for name, count in result.stats.counters.items()
+                if name.startswith("transition:")
+            )
+            assert remote == transitions
+            assert remote == len(result.stats.latencies["fault"])
+            # The span breakdown must reconstruct end-to-end fault latency.
+            assert result.report().fault_breakdown_error < 1e-6
+        else:
+            # gam/fastswap have no switch fault path: no fault latencies.
+            assert "fault" not in result.stats.latencies
+
+
 class TestDeterminism:
     def test_same_run_same_runtime(self, cfg):
         a = run_system("mind", small_wl(), 2, cfg)

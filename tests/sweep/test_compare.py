@@ -1,0 +1,129 @@
+"""Regression-gate tests: improved / regressed / unchanged classification."""
+
+import copy
+
+import pytest
+
+from repro.sweep import compare
+from repro.sweep.compare import GATED_METRICS, IMPROVED, REGRESSED, UNCHANGED
+
+
+def _doc(cells):
+    return {"schema": "repro.sweep/v1", "aggregates": cells}
+
+
+def _cell(cell_id="c1", **metrics):
+    defaults = {"runtime_us": 1000.0, "throughput_iops": 2.0e6}
+    defaults.update(metrics)
+    return {
+        "cell_id": cell_id,
+        "system": "mind",
+        "workload": "uniform",
+        "num_blades": 2,
+        "threads_per_blade": 2,
+        "workload_params": {"read_ratio": 0.5},
+        "runner_params": {},
+        "seeds": [1, 2],
+        "metrics": {
+            name: {"mean": value, "p50": value, "p99": value,
+                   "min": value, "max": value, "n": 2.0}
+            for name, value in defaults.items()
+        },
+    }
+
+
+def _perturb(doc, metric, factor):
+    out = copy.deepcopy(doc)
+    for cell in out["aggregates"]:
+        if metric in cell["metrics"]:
+            for stat in cell["metrics"][metric]:
+                if stat != "n":
+                    cell["metrics"][metric][stat] *= factor
+    return out
+
+
+class TestClassification:
+    def test_identical_documents_pass(self):
+        doc = _doc([_cell()])
+        report = compare(doc, doc, tolerance=0.15)
+        assert not report.has_regressions
+        assert all(e.status == UNCHANGED for e in report.entries)
+
+    def test_latency_regression_detected(self):
+        """The CI acceptance scenario: +25% latency must go red at 15%."""
+        baseline = _doc([_cell(**{"latency:fault:mean": 8.0,
+                                  "latency:fault:p99": 20.0})])
+        current = _perturb(baseline, "latency:fault:mean", 1.25)
+        report = compare(baseline, current, tolerance=0.15)
+        assert report.has_regressions
+        (entry,) = report.regressions
+        assert entry.metric == "latency:fault:mean"
+        assert entry.delta == pytest.approx(0.25)
+
+    def test_runtime_regression_detected(self):
+        baseline = _doc([_cell()])
+        report = compare(baseline, _perturb(baseline, "runtime_us", 1.25), 0.15)
+        assert [e.metric for e in report.regressions] == ["runtime_us"]
+
+    def test_throughput_direction_is_higher_better(self):
+        baseline = _doc([_cell()])
+        slower = compare(baseline, _perturb(baseline, "throughput_iops", 0.7), 0.15)
+        assert [e.metric for e in slower.regressions] == ["throughput_iops"]
+        faster = compare(baseline, _perturb(baseline, "throughput_iops", 1.3), 0.15)
+        assert not faster.has_regressions
+        assert [e.metric for e in faster.improvements] == ["throughput_iops"]
+
+    def test_runtime_improvement_classified(self):
+        baseline = _doc([_cell()])
+        report = compare(baseline, _perturb(baseline, "runtime_us", 0.7), 0.15)
+        assert [e.metric for e in report.improvements] == ["runtime_us"]
+
+    def test_within_tolerance_is_unchanged(self):
+        baseline = _doc([_cell()])
+        report = compare(baseline, _perturb(baseline, "runtime_us", 1.10), 0.15)
+        assert all(e.status == UNCHANGED for e in report.entries)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare(_doc([]), _doc([]), tolerance=-0.1)
+
+
+class TestCellMatching:
+    def test_missing_and_new_cells_are_not_regressions(self):
+        baseline = _doc([_cell("old")])
+        current = _doc([_cell("new")])
+        report = compare(baseline, current, tolerance=0.15)
+        assert not report.has_regressions
+        assert len(report.missing_cells) == 1
+        assert len(report.new_cells) == 1
+
+    def test_metrics_missing_on_either_side_are_skipped(self):
+        baseline = _doc([_cell(**{"latency:fault:mean": 8.0})])
+        current = _doc([_cell()])  # no latency metric
+        report = compare(baseline, current, tolerance=0.15)
+        assert {e.metric for e in report.entries} == {
+            "runtime_us", "throughput_iops",
+        }
+
+
+class TestRender:
+    def test_render_mentions_gate_status(self):
+        baseline = _doc([_cell()])
+        ok = compare(baseline, baseline, 0.15)
+        assert "gate: OK" in ok.render()
+        bad = compare(baseline, _perturb(baseline, "runtime_us", 2.0), 0.15)
+        assert "gate: FAILED" in bad.render()
+        assert "runtime_us" in bad.render()
+
+    def test_gated_metrics_cover_headline_perf(self):
+        assert "runtime_us" in GATED_METRICS
+        assert GATED_METRICS["throughput_iops"] is True
+        assert GATED_METRICS["latency:fault:p99"] is False
+
+    def test_to_json_shape(self):
+        baseline = _doc([_cell()])
+        data = compare(baseline, _perturb(baseline, "runtime_us", 2.0), 0.15).to_json()
+        assert data["gate_ok"] is False
+        assert data["regressed"][0]["metric"] == "runtime_us"
+        assert data["regressed"][0]["status"] == REGRESSED
+        assert IMPROVED == "improved"

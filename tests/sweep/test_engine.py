@@ -1,0 +1,178 @@
+"""Sweep engine tests: determinism, fan-out, resume, aggregation."""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    SweepResults,
+    SweepSpec,
+    execute_point,
+    run_sweep,
+)
+from repro.sweep.engine import aggregate
+
+#: small but non-trivial: 2 systems x 2 thread counts x 2 seeds = 8 points.
+GRID = (
+    "system=mind,gam;workload=uniform;blades=1;threads_per_blade=1,2;"
+    "accesses_per_thread=150;shared_pages=64;private_pages_per_thread=32;"
+    "num_memory_blades=2;epoch_us=2000"
+)
+
+
+def small_spec(seeds=(1, 2)):
+    return SweepSpec.from_grids([GRID], seeds=list(seeds))
+
+
+class TestSerialExecution:
+    def test_runs_every_point_in_order(self):
+        spec = small_spec()
+        results = run_sweep(spec, jobs=1)
+        assert len(results) == 8
+        assert [r.point.point_id for r in results.records] == [
+            p.point_id for p in spec.points()
+        ]
+        for record in results.records:
+            assert record.metrics["runtime_us"] > 0
+            assert record.metrics["total_accesses"] == (
+                150 * record.point.num_threads
+            )
+
+    def test_rerun_is_identical(self):
+        a = run_sweep(small_spec(), jobs=1).to_json_text()
+        b = run_sweep(small_spec(), jobs=1).to_json_text()
+        assert a == b
+
+
+class TestParallelExecution:
+    def test_jobs2_byte_identical_to_jobs1(self):
+        """The acceptance bar: worker fan-out never changes the document."""
+        serial = run_sweep(small_spec(), jobs=1).to_json_text()
+        parallel = run_sweep(small_spec(), jobs=2).to_json_text()
+        assert parallel == serial
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(small_spec(), jobs=0)
+
+
+class TestResume:
+    def test_partial_document_resumes(self, tmp_path):
+        out = str(tmp_path / "sweep.json")
+        spec = small_spec()
+        run_sweep(spec, jobs=1, out=out)
+        full_text = (tmp_path / "sweep.json").read_text()
+
+        # Truncate to 3 completed points, as if the run was interrupted.
+        doc = json.loads(full_text)
+        doc["points"] = doc["points"][:3]
+        doc["complete"] = False
+        (tmp_path / "sweep.json").write_text(json.dumps(doc))
+
+        executed = []
+        resumed = run_sweep(
+            spec, jobs=1, out=out,
+            progress=lambda done, total, point: executed.append(point.point_id),
+        )
+        # Only the 5 missing points ran; the document is the full one again.
+        assert len(executed) == 5
+        assert resumed.to_json_text() == full_text
+        assert json.loads((tmp_path / "sweep.json").read_text())["complete"]
+
+    def test_resume_ignores_other_specs_document(self, tmp_path):
+        out = str(tmp_path / "sweep.json")
+        other = SweepSpec.from_grids(
+            ["system=mind;workload=uniform;blades=1;threads_per_blade=1;"
+             "accesses_per_thread=50;shared_pages=32;private_pages_per_thread=16"],
+            seeds=[1],
+        )
+        run_sweep(other, jobs=1, out=out)
+        executed = []
+        run_sweep(
+            small_spec(), jobs=1, out=out,
+            progress=lambda done, total, point: executed.append(point.point_id),
+        )
+        assert len(executed) == 8  # nothing reused
+
+    def test_no_resume_flag_reruns(self, tmp_path):
+        out = str(tmp_path / "sweep.json")
+        spec = small_spec(seeds=(1,))
+        run_sweep(spec, jobs=1, out=out)
+        executed = []
+        run_sweep(
+            spec, jobs=1, out=out, resume=False,
+            progress=lambda done, total, point: executed.append(point.point_id),
+        )
+        assert len(executed) == 4
+
+
+class TestDocument:
+    def test_schema_and_shape(self, tmp_path):
+        out = str(tmp_path / "sweep.json")
+        results = run_sweep(small_spec(), jobs=1, out=out)
+        doc = SweepResults.load_doc(out)
+        assert doc["schema"] == "repro.sweep/v1"
+        assert doc["complete"] is True
+        assert doc["num_points"] == 8
+        assert len(doc["aggregates"]) == 4  # 8 points, 2 seeds per cell
+        assert doc == results.to_doc()
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/v9"}))
+        with pytest.raises(ValueError, match="schema"):
+            SweepResults.load_doc(str(path))
+
+    def test_aggregates_summarize_across_seeds(self):
+        results = run_sweep(small_spec(), jobs=1)
+        (cell,) = [
+            c
+            for c in aggregate(results.records)
+            if c["system"] == "mind" and c["threads_per_blade"] == 2
+        ]
+        assert cell["seeds"] == [1, 2]
+        summary = cell["metrics"]["runtime_us"]
+        values = [
+            r.metrics["runtime_us"]
+            for r in results.lookup(system="mind", threads_per_blade=2)
+        ]
+        assert summary["n"] == 2
+        assert summary["mean"] == pytest.approx(sum(values) / 2)
+        assert summary["min"] == min(values)
+        assert summary["max"] == max(values)
+        assert summary["min"] <= summary["p50"] <= summary["max"]
+
+    def test_no_wallclock_in_document(self, tmp_path):
+        out = str(tmp_path / "sweep.json")
+        run_sweep(small_spec(seeds=(1,)), jobs=1, out=out)
+        text = (tmp_path / "sweep.json").read_text()
+        for banned in ("time", "date", "host"):
+            assert f'"{banned}"' not in text
+
+
+class TestLookup:
+    def test_lookup_by_field_and_param(self):
+        results = run_sweep(small_spec(seeds=(1,)), jobs=1)
+        assert len(results.lookup(system="mind")) == 2
+        assert len(results.lookup(threads_per_blade=2)) == 2
+        assert len(results.lookup(num_memory_blades=2)) == 4
+
+    def test_one_requires_unique_match(self):
+        results = run_sweep(small_spec(seeds=(1,)), jobs=1)
+        record = results.one(system="mind", threads_per_blade=1)
+        assert record.point.system == "mind"
+        with pytest.raises(KeyError):
+            results.one(system="mind")
+        with pytest.raises(KeyError):
+            results.one(system="does-not-exist")
+
+
+class TestExecutePoint:
+    def test_tracing_records_jsonl_without_perturbing_metrics(self):
+        spec = small_spec(seeds=(1,))
+        point = spec.points()[0]
+        plain = execute_point(point)
+        traced = execute_point(point, with_trace=True)
+        assert plain.trace_jsonl is None
+        assert traced.trace_jsonl
+        assert traced.metrics["runtime_us"] == plain.metrics["runtime_us"]

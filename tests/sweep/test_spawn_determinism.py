@@ -1,0 +1,101 @@
+"""Spawn-context determinism: worker processes replay points byte-for-byte.
+
+The sweep engine's whole contract rests on one property: executing a
+point in a freshly spawned worker process yields exactly the bytes that
+executing it in the parent process would.  These tests prove it the hard
+way -- full event traces, with a fault plan whose packet-loss rolls
+exercise the RNG streams that fork/spawn differences would corrupt.
+"""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.sweep import SweepSpec, execute_point
+from repro.sweep.engine import reseed_plan_for_point
+
+GRID = (
+    "system=mind;workload=uniform;blades=2;threads_per_blade=2;"
+    "accesses_per_thread=200;shared_pages=64;private_pages_per_thread=32;"
+    "num_memory_blades=2;epoch_us=2000"
+)
+
+
+def lossy_plan(seed=99):
+    # Packet loss makes per-packet RNG rolls part of the trace: any
+    # divergence in child RNG streams changes retransmission timing.
+    return FaultPlan(seed=seed).packet_loss(100.0, 4_000.0, prob=0.05)
+
+
+def the_point():
+    (point,) = SweepSpec.from_grids([GRID], seeds=[1]).points()
+    return point
+
+
+class TestSpawnDeterminism:
+    def test_worker_trace_matches_in_process(self):
+        point = the_point()
+        plan = lossy_plan()
+        local = execute_point(point, fault_plan=plan, with_trace=True)
+        assert local.metrics["counter:link_packets_dropped"] > 0
+
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            remote = pool.submit(
+                execute_point, point, lossy_plan(), True
+            ).result()
+
+        assert remote.trace_jsonl == local.trace_jsonl
+        assert remote.metrics == local.metrics
+
+    def test_in_process_replay_matches_itself(self):
+        point = the_point()
+        a = execute_point(point, fault_plan=lossy_plan(), with_trace=True)
+        b = execute_point(point, fault_plan=lossy_plan(), with_trace=True)
+        assert a.trace_jsonl == b.trace_jsonl
+
+
+class TestReseedDerivation:
+    def test_derived_seed_is_pure(self):
+        point = the_point()
+        a = reseed_plan_for_point(lossy_plan(), point)
+        b = reseed_plan_for_point(lossy_plan(), point)
+        assert a.seed == b.seed
+        assert a.events == b.events
+
+    def test_derived_seed_varies_with_point_and_plan(self):
+        spec = SweepSpec.from_grids([GRID], seeds=[1, 2])
+        p1, p2 = spec.points()
+        plan = lossy_plan()
+        assert (
+            reseed_plan_for_point(plan, p1).seed
+            != reseed_plan_for_point(plan, p2).seed
+        )
+        assert (
+            reseed_plan_for_point(lossy_plan(seed=1), p1).seed
+            != reseed_plan_for_point(lossy_plan(seed=2), p1).seed
+        )
+
+    def test_reseeding_does_not_mutate_parent_plan(self):
+        plan = lossy_plan(seed=42)
+        derived = reseed_plan_for_point(plan, the_point())
+        assert plan.seed == 42
+        assert derived is not plan
+        assert derived.events == plan.events
+
+    def test_faulted_metrics_differ_from_clean_run(self):
+        point = the_point()
+        clean = execute_point(point)
+        faulted = execute_point(point, fault_plan=lossy_plan())
+        assert faulted.metrics["runtime_us"] > clean.metrics["runtime_us"]
+
+
+class TestFaultPlanGuards:
+    def test_gam_rejects_fault_plans_through_sweep(self):
+        (point,) = SweepSpec.from_grids(
+            [GRID.replace("system=mind", "system=gam")], seeds=[1]
+        ).points()
+        with pytest.raises(ValueError):
+            execute_point(point, fault_plan=lossy_plan())
