@@ -214,6 +214,10 @@ class ComputeBlade:
                 result = yield self.engine.process(
                     self.datapath.handle_fault(req)
                 )
+            if result.coalesced:
+                # The switch folded this read onto another blade's in-flight
+                # fetch of the same page (one RDMA, N completions).
+                self.stats.incr("faults_coalesced")
             if result.verdict is not PacketVerdict.ALLOW:
                 raise SegmentationFault(
                     f"pdid={pdid} va={page_va:#x} "

@@ -11,17 +11,19 @@ benchmarks -- builds a cluster and goes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from .blades.compute import ComputeBlade
 from .blades.memory import MemoryBlade
-from .core.coherence import FaultInjector
 from .core.mmu import InNetworkMmu, MindConfig
 from .obs.gauges import GaugeSampler
 from .obs.tracer import Tracer
 from .sim.engine import Engine
 from .sim.network import Network, NetworkConfig, PAGE_SIZE
 from .sim.stats import StatsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults.message_loss import MessageLossInjector
 
 
 @dataclass
@@ -54,7 +56,7 @@ class MindCluster:
     def __init__(
         self,
         config: Optional[ClusterConfig] = None,
-        fault_injector: Optional[FaultInjector] = None,
+        fault_injector: Optional["MessageLossInjector"] = None,
     ):
         self.config = config or ClusterConfig()
         self.engine = Engine()
@@ -126,6 +128,7 @@ class MindCluster:
         sampler.add("tcam.translation", lambda: len(self.mmu.translation_tcam))
         sampler.add("tcam.protection", lambda: len(self.mmu.protection_tcam))
         sampler.add("pipeline.recirculations", lambda: self.mmu.pipeline.recirculations)
+        sampler.add("pending_txns", lambda: self.mmu.coherence.pending.occupancy)
         for blade in self.compute_blades:
             lock = blade.kernel_lock
             sampler.add(
@@ -217,6 +220,7 @@ class MindCluster:
         stats.counters["match_action_rules"] = self.mmu.match_action_rules()["total"]
         stats.counters["pipeline_passes"] = self.mmu.pipeline.passes
         stats.counters["recirculations"] = self.mmu.pipeline.recirculations
+        stats.counters["pending_table_peak"] = self.mmu.coherence.pending.peak
         dropped = self.network.total_packets_dropped()
         if dropped:
             stats.counters["link_packets_dropped"] = dropped

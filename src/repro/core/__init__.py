@@ -19,14 +19,7 @@ from .bounded_splitting import (
     BoundedSplittingController,
     worst_case_subregions,
 )
-from .coherence import (
-    COMPUTE_BLADE_GROUP,
-    CoherenceProtocol,
-    FaultInjector,
-    FaultResult,
-    LockTable,
-    MessageLossInjector,
-)
+from .coherence import COMPUTE_BLADE_GROUP, CoherenceProtocol
 from .controller import SwitchController, SyscallError, TaskStruct, ThreadInfo
 from .directory import (
     CoherenceState,
@@ -40,6 +33,8 @@ from .failures import (
     RebuiltDataPlane,
     rebuild_data_plane,
 )
+from .fetch import DataPath
+from .invalidation import InvalidationEngine
 from .mmu import InNetworkMmu, MindConfig
 from .protection import PDID_WIDTH, ProtectionTable, pack_key
 from .stt import (
@@ -51,10 +46,29 @@ from .stt import (
     build_msi_stt,
     stt_size,
 )
+from .txn import (
+    AdmissionController,
+    FaultResult,
+    PendingTransactionTable,
+    Transaction,
+    TxnPhase,
+)
 from .vma import PermissionClass, Vma, align_down, align_up, round_up_pow2
+
+
+def __getattr__(name: str):
+    # Deprecated re-exports that moved to repro.faults; resolved lazily so
+    # the DeprecationWarning from repro.core.coherence fires on access.
+    if name in ("MessageLossInjector", "FaultInjector"):
+        from . import coherence
+
+        return getattr(coherence, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AddressSpace",
+    "AdmissionController",
     "BladeAllocation",
     "BoundedSplittingConfig",
     "BoundedSplittingController",
@@ -63,17 +77,19 @@ __all__ = [
     "CoherenceState",
     "ControlPlaneReplicator",
     "ControlPlaneSnapshot",
+    "DataPath",
     "DirectoryFullError",
     "FaultInjector",
     "FaultResult",
     "FirstFitAllocator",
     "GlobalAllocator",
     "InNetworkMmu",
-    "LockTable",
+    "InvalidationEngine",
     "MessageLossInjector",
     "MindConfig",
     "OutOfMemoryError",
     "PDID_WIDTH",
+    "PendingTransactionTable",
     "PermissionClass",
     "ProtectionTable",
     "RebuiltDataPlane",
@@ -84,10 +100,12 @@ __all__ = [
     "SyscallError",
     "TaskStruct",
     "ThreadInfo",
+    "Transaction",
     "Transition",
     "TransitionAction",
     "Translation",
     "TranslationFault",
+    "TxnPhase",
     "Vma",
     "align_down",
     "align_up",

@@ -1,155 +1,76 @@
-"""In-network MSI coherence protocol execution (Sections 4.3.2 and 6.3).
+"""In-network coherence protocol orchestration (Sections 4.3.2 and 6.3).
 
-This module orchestrates the full life of a page-fault transaction:
+This module is the thin top of a layered transaction engine:
 
-1. The faulting compute blade posts a one-sided RDMA request carrying only
-   the virtual address, PDID and access type (no endpoint -- the blade does
-   not know where memory lives).
-2. The switch data plane takes one pipeline pass: the protection MAU checks
-   ``<PDID, va>``; the directory MAU looks up the region entry; the STT MAU
-   selects the transition.  The packet then *recirculates* so the directory
-   MAU can apply the update (Fig. 4).
-3. Invalidations, if required, are multicast to the compute-blade group
-   with the sharer list embedded; non-sharers are pruned at egress.  For
-   ``S -> M`` the data fetch proceeds in parallel with invalidation (memory
-   holds clean data); for ``M -> S/M`` the owner must flush first, making
-   the fetch sequential -- the 2x latency the paper measures (Fig. 7 left).
-4. The page is fetched from its memory blade via one-sided RDMA (address
-   translation picks the blade; the switch rewrites headers -- connection
-   virtualization) and returned to the requester.
+- :mod:`repro.core.txn` -- the MSHR-style :class:`PendingTransactionTable`
+  (admission, transient-state queuing, Shared-read fetch coalescing) and
+  the ADMIT-phase :class:`AdmissionController`.
+- :mod:`repro.core.invalidation` -- multicast/unicast invalidation, ACK
+  tracking, timeout/retry, and the Section 4.4 reset protocol.
+- :mod:`repro.core.fetch` -- the data-path legs: memory-blade fetch, MOESI
+  cache-to-cache transfer, write-backs, reliable delivery.
 
-Reliability (Section 4.4): invalidations are ACKed; a lost message is
-retransmitted after a timeout, and after ``max_retries`` the switch control
-plane executes the *reset* protocol: every blade flushes its copies of the
-region and the directory entry is removed, preventing deadlock when a blade
-dies mid-transition.
-
-Concurrency: transactions racing on the same region are serialized with a
-per-region-base lock table, standing in for the transient-state handling a
-hardware directory performs.  The Bounded Splitting controller takes the
-same locks before splitting or merging an entry.
+:class:`CoherenceProtocol` wires STT verdicts to those layers.  One fault
+transaction walks admit -> resolve (pipeline pass + recirculating
+directory update, Fig. 4) -> invalidate/fetch -> complete; its wall time
+is partitioned by a :class:`SpanCursor` whose components (including
+``queue_conflict`` and ``coalesced_wait``) sum exactly to the end-to-end
+fault latency.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Generator, List, Optional
+import warnings
+from typing import TYPE_CHECKING, Callable, Dict, Generator, Optional
 
 from ..obs.spans import SpanCursor
-from ..sim.engine import Engine, Event, Resource
+from ..sim.engine import Engine, Event
 from ..sim.network import CONTROL_MSG_BYTES, Network, NetworkConfig, PAGE_SIZE, Port
 from ..sim.rdma import BackoffPolicy
 from ..sim.stats import StatsCollector
 from ..switchsim.multicast import MulticastEngine
-from ..switchsim.packets import (
-    InvalidationAck,
-    InvalidationRequest,
-    MemRequest,
-    PacketVerdict,
-)
+from ..switchsim.packets import InvalidationRequest, MemRequest, PacketVerdict
 from ..switchsim.pipeline import SwitchPipeline
-from ..switchsim.rdma_virt import RdmaVirtualizer
-from .addressing import AddressSpace, Translation
-from .directory import CoherenceState, DirectoryFullError, Region, RegionDirectory
+from .addressing import AddressSpace
+from .directory import RegionDirectory
+from .fetch import DataPath
+from .invalidation import InvalidationEngine
 from .protection import ProtectionTable
-from .stt import RequesterRole, Transition, TransitionAction
+from .stt import apply_transition
+from .txn import AdmissionController, FaultResult, PendingTransactionTable
 from .vma import align_down
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..blades.memory import MemoryBlade
+    from ..faults.message_loss import MessageLossInjector
 
 #: Multicast group containing every compute blade (invalidation fan-out).
 COMPUTE_BLADE_GROUP = 1
-
-
-@dataclass
-class FaultResult:
-    """What the requesting blade learns when its fault transaction ends."""
-
-    verdict: PacketVerdict
-    label: str = ""
-    latency_us: float = 0.0
-    data: Optional[bytes] = None
-    translation: Optional[Translation] = None
-    granted_write: bool = False
-    invalidations_sent: int = 0
-    was_reset: bool = False
-    #: a switch fail-over happened while this transaction was in flight:
-    #: its directory effects may be lost, so the blade must discard the
-    #: result and re-issue the fault against the rebuilt data plane.
-    stale: bool = False
-
-
-class LockTable:
-    """Keyed FIFO locks serializing transactions per region base."""
-
-    def __init__(self, engine: Engine):
-        self.engine = engine
-        self._locks: Dict[int, Resource] = {}
-
-    def acquire(self, key: int) -> Event:
-        lock = self._locks.get(key)
-        if lock is None:
-            lock = Resource(self.engine, capacity=1)
-            self._locks[key] = lock
-        return lock.acquire()
-
-    def release(self, key: int) -> None:
-        lock = self._locks[key]
-        lock.release()
-        if lock.in_use == 0 and lock.queue_length == 0:
-            del self._locks[key]
-
-
-class MessageLossInjector:
-    """Deterministic message-loss injection for Section 4.4 testing.
-
-    ``drop_invalidations``/``drop_acks`` give per-message drop probabilities
-    drawn from a seeded generator, so failure tests are reproducible.
-
-    This is the protocol-level injector (it drops whole coherence messages
-    regardless of route); scheduled, link-level fault windows live in
-    :mod:`repro.faults`.
-    """
-
-    def __init__(
-        self,
-        rng,
-        drop_invalidations: float = 0.0,
-        drop_acks: float = 0.0,
-        drop_fetches: float = 0.0,
-    ):
-        self._rng = rng
-        self.drop_invalidations = drop_invalidations
-        self.drop_acks = drop_acks
-        self.drop_fetches = drop_fetches
-        self.dropped = 0
-
-    def _roll(self, probability: float) -> bool:
-        if probability and self._rng.random() < probability:
-            self.dropped += 1
-            return True
-        return False
-
-    def should_drop_invalidation(self) -> bool:
-        return self._roll(self.drop_invalidations)
-
-    def should_drop_ack(self) -> bool:
-        return self._roll(self.drop_acks)
-
-    def should_drop_fetch(self) -> bool:
-        return self._roll(self.drop_fetches)
-
-
-#: Backward-compatible name: this class predates the repro.faults subsystem
-#: and was exported as FaultInjector.
-FaultInjector = MessageLossInjector
-
 
 #: A compute blade's invalidation handler: a generator-producing callable
 #: that performs the local invalidation work and returns an InvalidationAck.
 InvalidationHandler = Callable[[InvalidationRequest], Generator]
 
 
+def __getattr__(name: str):
+    # MessageLossInjector moved to repro.faults (it was born here, pre-dating
+    # the faults subsystem, and was first exported as FaultInjector).
+    if name in ("MessageLossInjector", "FaultInjector"):
+        from ..faults.message_loss import MessageLossInjector as _moved
+
+        warnings.warn(
+            f"repro.core.coherence.{name} is deprecated; "
+            "import MessageLossInjector from repro.faults instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _moved
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 class CoherenceProtocol:
-    """The switch-resident coherence engine and its data-path plumbing."""
+    """The switch-resident coherence engine: a thin orchestrator wiring
+    STT verdicts to the admission, invalidation, and data-path layers."""
 
     #: retransmission timeout for invalidation ACKs (us).
     ACK_TIMEOUT_US = 100.0
@@ -167,9 +88,10 @@ class CoherenceProtocol:
         protection: ProtectionTable,
         stt: Dict,
         stats: StatsCollector,
-        fault_injector: Optional[FaultInjector] = None,
+        fault_injector: Optional["MessageLossInjector"] = None,
         invalidation_mode: str = "multicast",
         control_cpu=None,
+        pending_table_capacity: int = 256,
     ):
         self.engine = engine
         self.network = network
@@ -185,44 +107,78 @@ class CoherenceProtocol:
         if invalidation_mode not in ("multicast", "unicast-cpu"):
             raise ValueError(f"unknown invalidation mode {invalidation_mode!r}")
         #: "multicast" (the paper's P3 design: one data-plane pass, egress
-        #: pruning) or "unicast-cpu" (the ablation: the switch CPU
-        #: generates one invalidation packet per sharer, serially).
+        #: pruning) or "unicast-cpu" (the ablation: the switch CPU generates
+        #: one invalidation packet per sharer, serially).
         self.invalidation_mode = invalidation_mode
         self.control_cpu = control_cpu
-        self.locks = LockTable(engine)
-        #: retransmission backoff (Section 4.4: timeouts detect losses on
-        #: every message class); exponential so repeated losses back off.
+        #: Section 4.4 retransmission backoff (exponential, capped).
         self.backoff = BackoffPolicy(
             base_timeout_us=self.ACK_TIMEOUT_US,
             multiplier=2.0,
             max_retries=self.MAX_RETRIES,
             max_timeout_us=8 * self.ACK_TIMEOUT_US,
         )
+        # The layered engine: admission/pending table, invalidation, data path.
+        self.pending = PendingTransactionTable(
+            engine, stats, capacity=pending_table_capacity
+        )
+        self.admission = AdmissionController(self)
+        self.invalidation = InvalidationEngine(self)
+        self.fetch = DataPath(self)
         #: fail-over state: the epoch counts adopted data planes; while an
         #: outage event is pending, new fault transactions wait at the gate.
         self.epoch = 0
         self._outage: Optional[Event] = None
         self.outage_started_at: Optional[float] = None
-        #: service phase for latency attribution ("pre" / "degraded" /
-        #: "post"); only recorded when an orchestrator enables tracking.
+        #: service phase for latency attribution ("pre"/"degraded"/"post");
+        #: recorded only when an orchestrator enables tracking.
         self.phase = "pre"
         self.phase_tracking = False
-        #: switch-side RDMA connection virtualization (Section 6.3).
-        self.rdma_virt = RdmaVirtualizer()
-        #: page va -> in-flight write-back; fetches of that page must wait
-        #: for the flush to land so they never read stale memory.
-        self._pending_flushes: Dict[int, Event] = {}
         self._inval_handlers: Dict[int, InvalidationHandler] = {}
         self._page_servers: Dict[int, Callable[[int], Optional[bytes]]] = {}
         self._blade_ports: Dict[int, Port] = {}
-        self._memory_blades: Dict[int, "MemoryBladeLike"] = {}
+        self._memory_blades: Dict[int, "MemoryBlade"] = {}
         # MAU stages per Fig. 4.
         self.protection_mau = pipeline.add_stage("protection")
         self.directory_mau = pipeline.add_stage("directory")
         self.stt_mau = pipeline.add_stage("stt")
+        self.compute_group = COMPUTE_BLADE_GROUP
         self.multicast.create_group(COMPUTE_BLADE_GROUP, [])
 
-    # -- registration -----------------------------------------------------
+    # -- layer access -------------------------------------------------------
+
+    @property
+    def rdma_virt(self):
+        """Connection-virtualization state (lives on the data path)."""
+        return self.fetch.rdma_virt
+
+    @property
+    def pending_flushes(self) -> Dict[int, Event]:
+        return self.fetch.pending_flushes
+
+    def memory_blade(self, blade_id: int):
+        return self._memory_blades[blade_id]
+
+    def flush_page(self, src_port, page_va, data, landed=None) -> Generator:
+        return self.fetch.flush_page(src_port, page_va, data, landed=landed)
+
+    def flush_page_async(self, src_port, page_va, data) -> Event:
+        return self.fetch.flush_page_async(src_port, page_va, data)
+
+    def drain_writebacks(self, base: int = 0, length: Optional[int] = None) -> Generator:
+        """Wait for every in-flight write-back (optionally range-filtered)
+        to land.  Fail-over and migration quiesce on this instead of
+        reaching into the data path's flush map."""
+        end = None if length is None else base + length
+        pending = [
+            ev
+            for va, ev in self.fetch.pending_flushes.items()
+            if not ev.triggered and (end is None or base <= va < end)
+        ]
+        if pending:
+            yield self.engine.all_of(pending)
+
+    # -- registration -------------------------------------------------------
 
     def register_compute_blade(
         self,
@@ -238,19 +194,17 @@ class CoherenceProtocol:
             self._page_servers[port.port_id] = serve_page
         self.multicast.group(COMPUTE_BLADE_GROUP).add_port(port.port_id)
 
-    def register_memory_blade(self, blade_id: int, blade: "MemoryBladeLike") -> None:
+    def register_memory_blade(self, blade_id: int, blade: "MemoryBlade") -> None:
         self._memory_blades[blade_id] = blade
 
     # -- fail-over lifecycle (Section 4.4) ----------------------------------
 
     def begin_outage(self) -> Event:
         """Primary-switch crash: new fault transactions block at the gate
-        until :meth:`end_outage`.  Idempotent; returns the gate event.
-
-        The epoch bumps *now*, not at adoption: a transaction in flight at
-        the crash instant had its directory effects on the dying switch, so
-        it must come back stale even though it keeps executing in the model.
-        """
+        until :meth:`end_outage`.  Idempotent; returns the gate event.  The
+        epoch bumps *now*, not at adoption: a transaction in flight at the
+        crash instant had its directory effects on the dying switch, so it
+        must come back stale even though it keeps executing in the model."""
         if self._outage is None:
             self._outage = self.engine.event()
             self.outage_started_at = self.engine.now
@@ -274,68 +228,29 @@ class CoherenceProtocol:
         address_space: AddressSpace,
         protection: ProtectionTable,
     ) -> None:
-        """Point the coherence engine at a rebuilt data plane (backup
-        switch take-over).  Bumps the epoch so transactions that were in
-        flight on the old plane come back ``stale`` and get re-issued.
-        The lock table and pending-flush map are deliberately kept: old
-        transactions must still serialize against new ones while they
-        drain, and in-flight write-backs still gate fetch ordering.
-        """
+        """Point the engine at a rebuilt data plane (backup take-over).
+        Bumps the epoch so in-flight transactions come back ``stale``.  The
+        pending table and flush map are deliberately kept: old transactions
+        must still serialize against new ones while they drain, and
+        in-flight write-backs still gate fetch ordering."""
         self.directory = directory
         self.address_space = address_space
         self.protection = protection
         self.epoch += 1
 
-    # -- reliable delivery helpers ------------------------------------------
-
-    def _deliver(self, make_transfer: Callable[[], Generator]) -> Generator:
-        """Land one transfer leg, retransmitting on an injected link drop
-        with capped exponential backoff.  Data-movement legs use this (a
-        lost payload is simply re-sent); invalidation/ACK legs instead
-        surface the loss so the ACK-timeout machinery drives the retry.
-        Returns the number of retransmissions used.
-        """
-        attempt = 0
-        while True:
-            delivered = yield self.engine.process(make_transfer())
-            if delivered:
-                return attempt
-            self.stats.incr("retransmissions")
-            self.stats.incr("link_retransmissions")
-            yield self.backoff.timeout_us(min(attempt, self.MAX_RETRIES))
-            attempt += 1
-
-    def _blade_ready(self, blade) -> Generator:
-        """Wait out a paused (crashed/stalled) memory blade: each probe
-        that goes unanswered costs one backoff timeout."""
-        attempt = 0
-        while not getattr(blade, "available", True):
-            if hasattr(blade, "refuse"):
-                blade.refuse()
-            self.stats.incr("blade_timeouts")
-            yield self.backoff.timeout_us(min(attempt, self.MAX_RETRIES))
-            attempt += 1
-
-    def _blade_service_us(self, blade) -> float:
-        """NIC+DRAM service time at ``blade`` under any injected slowdown."""
-        base = self.config.memory_service_us + self.config.dram_access_us
-        scale = getattr(blade, "slow_factor", 1.0)
-        return base * scale
-
-    # -- the fault transaction ---------------------------------------------
+    # -- the fault transaction ----------------------------------------------
 
     def handle_fault(self, req: MemRequest) -> Generator:
         """Full fault transaction; returns a :class:`FaultResult`.
 
-        The transaction is instrumented with a :class:`SpanCursor` whose
-        marks partition its wall time -- the ``fault_path`` breakdown the
-        run report shows sums exactly to the end-to-end fault latency.
+        Instrumented with a :class:`SpanCursor` whose marks partition its
+        wall time -- the ``fault_path`` breakdown sums exactly to the
+        end-to-end fault latency.
         """
         t0 = self.engine.now
-        # Fail-over gate: while the primary switch is down, new fault
-        # transactions wait for the backup to take over.  The wait is part
-        # of the fault's latency -- it *is* the unavailability window as
-        # the blades experience it.
+        # Fail-over gate: while the primary is down, new transactions wait
+        # for the backup.  The wait is part of the fault's latency -- it
+        # *is* the unavailability window as the blades experience it.
         while self._outage is not None:
             yield self._outage
         epoch = self.epoch
@@ -343,16 +258,14 @@ class CoherenceProtocol:
         page_va = align_down(req.va, PAGE_SIZE)
         pkt = self.pipeline.packet()
         tracer = self.engine.tracer
-        lane = (
-            tracer.track(f"coherence:port{req.src_port}") if tracer.enabled else 0
-        )
+        lane = tracer.track(f"coherence:port{req.src_port}") if tracer.enabled else 0
         spans = SpanCursor(
             self.engine, self.stats, "fault_path", trace_cat="coherence", track=lane
         )
 
         # Requester -> switch (retransmitted if the uplink drops it).
         yield self.config.rdma_verb_overhead_us
-        yield from self._deliver(
+        yield from self.fetch.deliver(
             lambda: requester.to_switch.transfer(CONTROL_MSG_BYTES)
         )
         spans.mark("request")
@@ -366,24 +279,19 @@ class CoherenceProtocol:
         spans.mark("pipeline")
         if verdict is not PacketVerdict.ALLOW:
             self.stats.incr("protection_rejections")
-            yield from self._deliver(
+            yield from self.fetch.deliver(
                 lambda: requester.from_switch.transfer(CONTROL_MSG_BYTES)
             )
             spans.mark("reply")
             return FaultResult(
-                verdict,
-                latency_us=self.engine.now - t0,
-                stale=self.epoch != epoch,
+                verdict, latency_us=self.engine.now - t0, stale=self.epoch != epoch
             )
 
-        # Directory entry lookup/creation, with capacity fallbacks; then
-        # serialize on the region.
-        region = yield from self._locked_region(page_va)
-        spans.mark("directory_lock")
+        # ADMIT + classify (optimistic Shared-read admission lives there).
+        txn = self.pending.transaction(req.src_port, page_va, req.access.is_write)
         try:
-            role = self._role_of(region, req.src_port)
-            transition: Transition = pkt.execute(
-                self.stt_mau, lambda: self.stt[(region.state, req.access, role)]
+            region, transition = yield from self.admission.resolve(
+                txn, pkt, req.access, spans
             )
             region.accesses += 1
             self.stats.incr("remote_accesses")
@@ -395,84 +303,23 @@ class CoherenceProtocol:
             old_sharers = frozenset(region.sharers)
             pkt.execute(
                 self.directory_mau,
-                lambda: self._apply_transition(region, transition, req),
+                lambda: apply_transition(region, transition, req.src_port),
             )
             spans.mark("recirculate")
 
-            invalidations = 0
-            was_reset = False
-            if transition.action is TransitionAction.FETCH_ONLY:
-                data = yield from self._fetch(req, requester, page_va)
-                spans.mark("fetch")
-            elif transition.action is TransitionAction.INVALIDATE_PARALLEL:
-                targets = self.multicast.replicate(
-                    COMPUTE_BLADE_GROUP, old_sharers, req.src_port
+            data, invalidations, was_reset, coalesced = yield from (
+                self.fetch.run_action(
+                    txn, req, requester, page_va, region, transition,
+                    old_owner, old_sharers, spans,
                 )
-                inval = self._make_inval(region, req, targets, downgrade=False)
-                fetch_proc = self.engine.process(
-                    self._fetch(req, requester, page_va)
-                )
-                ack_proc = self.engine.process(
-                    self._invalidate_all(inval, targets, region)
-                )
-                yield self.engine.all_of([fetch_proc, ack_proc])
-                data = fetch_proc.value
-                was_reset = ack_proc.value
-                invalidations = len(targets)
-                # Fetch and invalidation overlap (the S->M parallelism of
-                # Fig. 7); the wall segment is attributed to their union.
-                spans.mark("fetch+invalidation")
-            elif transition.action is TransitionAction.LOCAL_UPGRADE:
-                # MOESI O->M at the owner: no data moves; invalidate the
-                # other sharers in parallel with returning the grant.
-                targets = self.multicast.replicate(
-                    COMPUTE_BLADE_GROUP, old_sharers, req.src_port
-                )
-                inval = self._make_inval(region, req, targets, downgrade=False)
-                was_reset = yield from self._invalidate_all(inval, targets, region)
-                spans.mark("invalidation")
-                yield from self._deliver(
-                    lambda: requester.from_switch.transfer(CONTROL_MSG_BYTES)
-                )
-                spans.mark("reply")
-                data = None
-                invalidations = len(targets)
-            elif transition.action is TransitionAction.FETCH_FROM_OWNER:
-                # Only the first steal (M->O) must write-protect the owner;
-                # for O->O the owner is read-only already.
-                data, was_reset = yield from self._fetch_from_owner(
-                    req,
-                    requester,
-                    page_va,
-                    old_owner,
-                    region,
-                    write_protect_owner=transition.label == "M->O",
-                )
-                invalidations = 1 if old_owner is not None else 0
-                spans.mark("owner_fetch")
-            else:  # INVALIDATE_OWNER_THEN_FETCH
-                target_set = set(old_sharers)
-                if old_owner is not None:
-                    target_set.add(old_owner)
-                target_set.discard(req.src_port)
-                targets = self.multicast.replicate(
-                    COMPUTE_BLADE_GROUP, frozenset(target_set), req.src_port
-                )
-                inval = self._make_inval(
-                    region, req, targets, downgrade=transition.owner_downgrades
-                )
-                was_reset = yield from self._invalidate_all(inval, targets, region)
-                spans.mark("invalidation")
-                data = yield from self._fetch(req, requester, page_va)
-                spans.mark("fetch")
-                invalidations = len(targets)
+            )
 
             latency = self.engine.now - t0
             self.stats.record_latency(f"fault:{transition.label}", latency)
             self.stats.record_latency("fault", latency)
             if self.phase_tracking:
-                # Attribute the fault to the current service phase so the
-                # availability report can compare pre/degraded/post tails.
+                # Attribute to the current service phase so the availability
+                # report can compare pre/degraded/post tails.
                 self.stats.record_latency(f"fault:phase:{self.phase}", latency)
             if tracer.enabled:
                 tracer.complete(
@@ -491,431 +338,7 @@ class CoherenceProtocol:
                 invalidations_sent=invalidations,
                 was_reset=was_reset,
                 stale=stale,
+                coalesced=coalesced,
             )
         finally:
-            self.locks.release(region.base)
-
-    def _locked_region(self, page_va: int) -> Generator:
-        """Find/create the region entry for ``page_va`` and lock it.
-
-        Re-checks after acquiring the lock: the entry may have been split,
-        merged or evicted while we waited.
-        """
-        while True:
-            region = yield from self._ensure_entry(page_va)
-            key = region.base
-            yield self.locks.acquire(key)
-            current = self.directory.find(page_va)
-            if current is not None and current.base == key and current.contains(page_va):
-                return current
-            self.locks.release(key)
-
-    def _ensure_entry(self, page_va: int) -> Generator:
-        """Directory entry creation with the capacity fallback chain:
-        reclaim Invalid entries, then (occasionally) metadata-only merges,
-        then eviction of a victim region, whose collateral drops are false
-        invalidations -- the regime the M_A/M_C workloads live in (Fig. 8
-        left).
-
-        Contended workloads hit this on a large share of faults, so every
-        step is O(probe); the O(entries) merge scan runs only once per
-        ``_MERGE_EVERY`` capacity events.
-        """
-        for _attempt in range(64):
-            try:
-                return self.directory.ensure_region(page_va, reclaim=False)
-            except DirectoryFullError:
-                self.stats.incr("directory_capacity_events")
-                invalid, victim = self.directory.sweep(probe=16)
-                if invalid is not None:
-                    self.directory.release(invalid)
-                    continue
-                self._capacity_events += 1
-                # The merge scan runs on the first event and then once per
-                # _MERGE_EVERY (it is the only O(entries) step here).
-                if (
-                    self._capacity_events % self._MERGE_EVERY == 1
-                    and self.directory.merge_any(limit=8)
-                ):
-                    continue
-                if victim is None:
-                    # Nothing probed was evictable; fall back to a full
-                    # reclaim scan (rare).
-                    if self.directory.reclaim_invalid(limit=8) == 0:
-                        self.directory.merge_any(limit=8)
-                    continue
-                yield from self._evict_entry(victim)
-        raise DirectoryFullError("could not make room in the directory")
-
-    #: run the O(entries) opportunistic-merge scan once per this many
-    #: capacity events.
-    _MERGE_EVERY = 64
-    _capacity_events = 0
-
-    def _evict_entry(self, victim: Region) -> Generator:
-        """Invalidate a region everywhere and free its slot (capacity path)."""
-        yield self.locks.acquire(victim.base)
-        try:
-            if self.directory.find(victim.base) is not victim:
-                return
-            targets = sorted(victim.sharers | ({victim.owner} if victim.owner is not None else set()))
-            if targets:
-                inval = InvalidationRequest(
-                    region_base=victim.base,
-                    region_size=victim.size,
-                    sharers=frozenset(targets),
-                    requester_port=-1,
-                    target_va=-1,  # capacity eviction: every page is collateral
-                )
-                self.stats.incr("capacity_evictions")
-                yield from self._invalidate_all(inval, targets, victim)
-            victim.state = CoherenceState.INVALID
-            victim.sharers.clear()
-            victim.owner = None
-            self.directory.release(victim)
-        finally:
-            self.locks.release(victim.base)
-
-    # -- transition mechanics ----------------------------------------------
-
-    @staticmethod
-    def _role_of(region: Region, port: int) -> RequesterRole:
-        if region.owner == port and region.state in (
-            CoherenceState.MODIFIED,
-            CoherenceState.OWNED,
-        ):
-            return RequesterRole.OWNER
-        if port in region.sharers:
-            return RequesterRole.SHARER
-        return RequesterRole.NONE
-
-    def _apply_transition(
-        self, region: Region, transition: Transition, req: MemRequest
-    ) -> None:
-        """Directory entry update selected by the STT (applied on recirc)."""
-        region.state = transition.next_state
-        if transition.next_state is CoherenceState.MODIFIED:
-            region.owner = req.src_port
-            region.sharers = {req.src_port}
-        elif transition.next_state is CoherenceState.OWNED:
-            # MOESI: the previous owner keeps ownership (and its dirty
-            # data); the requester joins as a reader.
-            new_sharers = set(region.sharers)
-            if region.owner is not None:
-                new_sharers.add(region.owner)
-            new_sharers.add(req.src_port)
-            region.sharers = new_sharers
-        else:  # SHARED
-            new_sharers = set(region.sharers)
-            if transition.owner_downgrades and region.owner is not None:
-                new_sharers.add(region.owner)
-            new_sharers.add(req.src_port)
-            region.owner = None
-            region.sharers = new_sharers
-
-    def _make_inval(
-        self,
-        region: Region,
-        req: MemRequest,
-        targets: List[int],
-        downgrade: bool,
-    ) -> InvalidationRequest:
-        return InvalidationRequest(
-            region_base=region.base,
-            region_size=region.size,
-            sharers=frozenset(targets),
-            requester_port=req.src_port,
-            target_va=align_down(req.va, PAGE_SIZE),
-            downgrade_to_shared=downgrade,
-        )
-
-    # -- invalidation delivery ----------------------------------------------
-
-    #: switch-CPU time to generate one unicast invalidation packet (the
-    #: ablation's cost; the data-plane multicast pays none of this).
-    UNICAST_CPU_US = 8.0
-
-    def _invalidate_all(
-        self, inval: InvalidationRequest, targets: List[int], region: Region
-    ) -> Generator:
-        """Deliver an invalidation to every target; returns True if a reset
-        was required (some target never ACKed).
-
-        Multicast mode replicates in the traffic manager: all targets are
-        in flight after one pipeline pass.  Unicast mode serializes packet
-        generation on the switch CPU (plus PCIe), which is exactly what
-        makes software invalidation fan-out scale poorly with sharers.
-        """
-        if not targets:
-            return False
-        procs = []
-        for port_id in targets:
-            if self.invalidation_mode == "unicast-cpu":
-                self.stats.incr("unicast_invalidations_generated")
-                if self.control_cpu is not None:
-                    yield self.engine.process(self._unicast_generate())
-                else:
-                    yield self.UNICAST_CPU_US
-            procs.append(
-                self.engine.process(
-                    self._invalidate_with_retry(inval, port_id, region)
-                )
-            )
-        results = yield self.engine.all_of(procs)
-        return any(r is None for r in results)
-
-    def _unicast_generate(self) -> Generator:
-        """One unicast invalidation's generation at the switch CPU."""
-        yield self.UNICAST_CPU_US
-        self.control_cpu.busy_us += self.UNICAST_CPU_US
-
-    def _invalidate_with_retry(
-        self, inval: InvalidationRequest, port_id: int, region: Region
-    ) -> Generator:
-        """One target: deliver, await ACK, retransmit on loss with
-        exponential backoff, reset after MAX_RETRIES (Section 4.4)."""
-        for attempt in range(self.MAX_RETRIES + 1):
-            dropped_out = (
-                self.fault_injector is not None
-                and self.fault_injector.should_drop_invalidation()
-            )
-            if not dropped_out:
-                ack = yield from self._invalidate_at(inval, port_id, region)
-                dropped_back = (
-                    self.fault_injector is not None
-                    and self.fault_injector.should_drop_ack()
-                )
-                # ``ack is None``: a link-level fault window ate one of the
-                # legs -- indistinguishable, to the switch, from the
-                # protocol-level drops the injector models.
-                if ack is not None and not dropped_back:
-                    return ack
-            # Lost somewhere: wait out the (growing) timeout, retransmit.
-            self.stats.incr("retransmissions")
-            yield self.backoff.timeout_us(attempt)
-        yield from self._reset_region(region)
-        return None
-
-    def _invalidate_at(
-        self, inval: InvalidationRequest, port_id: int, region: Region
-    ) -> Generator:
-        """Deliver to one blade, run its handler, carry the ACK back.
-
-        Returns None when a link-level fault drops either leg: a dropped
-        outbound leg means the blade never saw the request; a dropped ACK
-        leg means the blade *did* the work (accounting still happens -- the
-        retry is idempotent) but the switch cannot know, and must resend.
-        """
-        port = self._blade_ports[port_id]
-        self.stats.incr("invalidations_sent")
-        delivered = yield self.engine.process(
-            port.from_switch.transfer(CONTROL_MSG_BYTES)
-        )
-        if not delivered:
-            return None
-        ack: InvalidationAck = yield self.engine.process(
-            self._inval_handlers[port_id](inval)
-        )
-        acked = yield self.engine.process(
-            port.to_switch.transfer(CONTROL_MSG_BYTES)
-        )
-        # Fold the blade's report into directory + stats accounting.  The
-        # "invalidation" breakdown (queue/tlb of Fig. 7 right) is recorded
-        # by the blade's own span instrumentation, not here.
-        region.false_invalidations += ack.false_invalidations
-        self.stats.incr("flushed_pages", ack.flushed_pages)
-        self.stats.incr("dropped_pages", ack.dropped_pages)
-        self.stats.incr("false_invalidations", ack.false_invalidations)
-        if not inval.downgrade_to_shared:
-            region.sharers.discard(port_id)
-        if not acked:
-            return None
-        return ack
-
-    def _reset_region(self, region: Region) -> Generator:
-        """The Section 4.4 reset: force every blade to flush the region's
-        data and drop the directory entry, breaking any wedged transition."""
-        self.stats.incr("resets")
-        reset_inval = InvalidationRequest(
-            region_base=region.base,
-            region_size=region.size,
-            sharers=frozenset(self._inval_handlers),
-            requester_port=-1,
-            target_va=-1,
-        )
-        procs = []
-        for port_id, handler in self._inval_handlers.items():
-            port = self._blade_ports[port_id]
-
-            # Reset messages must land (a lost reset would leave a wedged
-            # region wedged), so each leg is delivered reliably.
-            def deliver(h=handler, p=port):
-                yield from self._deliver(
-                    lambda: p.from_switch.transfer(CONTROL_MSG_BYTES)
-                )
-                yield self.engine.process(h(reset_inval))
-                yield from self._deliver(
-                    lambda: p.to_switch.transfer(CONTROL_MSG_BYTES)
-                )
-
-            procs.append(self.engine.process(deliver()))
-        yield self.engine.all_of(procs)
-        region.state = CoherenceState.INVALID
-        region.sharers.clear()
-        region.owner = None
-        if self.directory.find(region.base) is region:
-            self.directory.release(region)
-
-    # -- data movement -------------------------------------------------------
-
-    def _fetch(self, req: MemRequest, requester: Port, page_va: int) -> Generator:
-        """One-sided RDMA fetch, retransmitted on loss (Section 4.4: ACKs
-        and timeouts detect packet losses on every message class)."""
-        for attempt in range(self.MAX_RETRIES + 1):
-            lost = (
-                self.fault_injector is not None
-                and self.fault_injector.should_drop_fetch()
-            )
-            if not lost:
-                data = yield from self._fetch_once(req, requester, page_va)
-                return data
-            self.stats.incr("retransmissions")
-            yield self.backoff.timeout_us(attempt)
-        # Persistent loss: serve the final attempt unconditionally (the
-        # reset machinery above handles wedged *coherence* state; a fetch
-        # has no state to wedge).
-        data = yield from self._fetch_once(req, requester, page_va)
-        return data
-
-    def _fetch_once(self, req: MemRequest, requester: Port, page_va: int) -> Generator:
-        xlate = self.address_space.translate(page_va)
-        blade = self._memory_blades[xlate.blade_id]
-        # Stitch the requester's virtual connection to the real one.
-        self.rdma_virt.rewrite(req.src_port, xlate.blade_id)
-        yield from self._deliver(
-            lambda: blade.port.from_switch.transfer(CONTROL_MSG_BYTES)
-        )
-        yield from self._blade_ready(blade)
-        pending = self._pending_flushes.get(page_va)
-        if pending is not None and not pending.triggered:
-            # An asynchronous write-back of this very page has not landed
-            # yet; the NIC must serve the read after it (flush/fetch order).
-            yield pending
-        yield self._blade_service_us(blade)
-        data = blade.read_page(xlate.pa)
-        yield from self._deliver(lambda: blade.port.to_switch.transfer(PAGE_SIZE))
-        # Response pass through the pipeline, then down to the requester.
-        resp = self.pipeline.packet()
-        yield self.engine.process(resp.traverse())
-        yield from self._deliver(lambda: requester.from_switch.transfer(PAGE_SIZE))
-        yield self.config.rdma_verb_overhead_us
-        return data
-
-    def _fetch_from_owner(
-        self,
-        req: MemRequest,
-        requester: Port,
-        page_va: int,
-        owner_port_id: Optional[int],
-        region: Region,
-        write_protect_owner: bool,
-    ) -> Generator:
-        """MOESI cache-to-cache transfer: one trip to the owner downgrades
-        it (M->O) and carries the page back -- no memory write-back.
-
-        Falls back to the memory blade when the owner no longer caches the
-        page (it was evicted, and the eviction flush made memory current).
-        Returns ``(data, was_reset)``.
-        """
-        if owner_port_id is None or owner_port_id not in self._page_servers:
-            data = yield from self._fetch(req, requester, page_va)
-            return data, False
-        owner_port = self._blade_ports[owner_port_id]
-        was_reset = False
-        if write_protect_owner:
-            inval = InvalidationRequest(
-                region_base=region.base,
-                region_size=region.size,
-                sharers=frozenset({owner_port_id}),
-                requester_port=req.src_port,
-                target_va=page_va,
-                downgrade_to_shared=True,
-                keep_dirty=True,
-            )
-            was_reset = yield from self._invalidate_all(
-                inval, [owner_port_id], region
-            )
-        else:
-            # Just the read request leg to the owner.
-            yield from self._deliver(
-                lambda: owner_port.from_switch.transfer(CONTROL_MSG_BYTES)
-            )
-        # The owner's kernel serves the page out of its DRAM cache.
-        yield self.config.memory_service_us + self.config.dram_access_us
-        data = self._page_servers[owner_port_id](page_va)
-        if data is None:
-            # Owner evicted the page; its flush made memory current.
-            fetched = yield from self._fetch(req, requester, page_va)
-            return fetched, was_reset
-        if data == b"":
-            data = None  # resident, but payload storage is disabled
-        self.stats.incr("cache_to_cache_transfers")
-        yield from self._deliver(lambda: owner_port.to_switch.transfer(PAGE_SIZE))
-        resp = self.pipeline.packet()
-        yield self.engine.process(resp.traverse())
-        yield from self._deliver(lambda: requester.from_switch.transfer(PAGE_SIZE))
-        yield self.config.rdma_verb_overhead_us
-        return data, was_reset
-
-    def flush_page(
-        self,
-        src_port: Port,
-        page_va: int,
-        data: Optional[bytes],
-        landed: Optional[Event] = None,
-    ) -> Generator:
-        """Write a dirty page back to its memory blade (eviction or inval).
-
-        The blade sends the page up; the switch translates and forwards it
-        as a one-sided WRITE.  ``landed`` fires the moment the payload is
-        durable at the memory blade (before the NIC's ACK returns) -- the
-        ordering point fetches synchronize on.
-        """
-        xlate = self.address_space.translate(page_va)
-        blade = self._memory_blades[xlate.blade_id]
-        self.rdma_virt.rewrite(src_port.port_id, xlate.blade_id)
-        # Every leg is delivered reliably: a silently lost write-back would
-        # leave memory stale behind an Invalid directory -- incoherence.
-        yield from self._deliver(lambda: src_port.to_switch.transfer(PAGE_SIZE))
-        pkt = self.pipeline.packet()
-        yield self.engine.process(pkt.traverse())
-        yield from self._deliver(lambda: blade.port.from_switch.transfer(PAGE_SIZE))
-        yield from self._blade_ready(blade)
-        yield self._blade_service_us(blade)
-        blade.write_page(xlate.pa, data)
-        self.stats.incr("pages_written_back")
-        if landed is not None and not landed.triggered:
-            landed.succeed()
-        yield from self._deliver(
-            lambda: blade.port.to_switch.transfer(CONTROL_MSG_BYTES)
-        )
-
-    def flush_page_async(
-        self, src_port: Port, page_va: int, data: Optional[bytes]
-    ) -> Event:
-        """Start a write-back without waiting for it (Section 7.2's overlap:
-        the invalidation ACK returns while the flush drains; correctness is
-        preserved because fetches wait on :attr:`_pending_flushes`)."""
-        landed = self.engine.event()
-        self._pending_flushes[page_va] = landed
-        self.engine.process(
-            self.flush_page(src_port, page_va, data, landed=landed),
-            name=f"flush-{page_va:#x}",
-        )
-
-        def _clear(_ev) -> None:
-            if self._pending_flushes.get(page_va) is landed:
-                del self._pending_flushes[page_va]
-
-        landed.add_callback(_clear)
-        return landed
+            self.pending.complete(txn)

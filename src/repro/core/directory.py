@@ -52,6 +52,10 @@ class Region:
     false_invalidations: int = 0
     #: total accesses routed through this entry in the current epoch.
     accesses: int = 0
+    #: transient-state flag maintained by the pending-transaction table:
+    #: "" (quiescent), "shared" or "exclusive" while transactions are in
+    #: flight.  Split/merge/eviction avoid entries mid-transition.
+    transient: str = ""
 
     def __post_init__(self) -> None:
         if self.size < PAGE_SIZE or self.size & (self.size - 1):
@@ -193,11 +197,12 @@ class RegionDirectory:
         self._remove(region)
 
     def reclaim_invalid(self, limit: int = 1_000_000) -> int:
-        """Free slots held by Invalid regions with no sharers."""
+        """Free slots held by Invalid regions with no sharers (skipping
+        entries with transactions in flight)."""
         victims = [
             r
             for r in self.regions()
-            if r.state is CoherenceState.INVALID and not r.sharers
+            if r.state is CoherenceState.INVALID and not r.sharers and not r.transient
         ]
         count = 0
         for region in victims[:limit]:
@@ -234,19 +239,29 @@ class RegionDirectory:
         self.splits += 1
         return left, right
 
-    def mergeable(self, region: Region) -> Optional[Region]:
+    def mergeable(
+        self, region: Region, ignore_transient: bool = False
+    ) -> Optional[Region]:
         """The buddy of ``region`` if the pair can merge without invalidation.
 
         A metadata-only merge requires compatible states: both Invalid, both
         Shared, or both Modified/Owned by the *same* owner (or one side
         Invalid).  Anything else would leave the merged entry unable to
         describe where dirty data lives, and needs an invalidation first
-        (forced merge).
+        (forced merge).  Entries with transactions in flight (transient
+        state set by the pending table) are never merge candidates --
+        unless the caller already holds both entries' admission gates
+        (``ignore_transient``), in which case its own gate IS the transient
+        flag and there is nothing else in flight.
         """
         if region.size >= self.max_region_size:
             return None
+        if region.transient and not ignore_transient:
+            return None
         buddy = self._regions.get(region.buddy_base())
         if buddy is None or buddy.size != region.size:
+            return None
+        if buddy.transient and not ignore_transient:
             return None
         a, b = region.state, buddy.state
         if a is CoherenceState.INVALID or b is CoherenceState.INVALID:
@@ -303,8 +318,16 @@ class RegionDirectory:
         n = len(self._bases)
         invalid: Optional[Region] = None
         best: Optional[Region] = None
+        fallback: Optional[Region] = None
         for i in range(min(probe, n)):
             region = self._regions[self._bases[(self._clock_hand + i) % n]]
+            if region.transient:
+                # Mid-transition (pending-table entry open): not reclaimable
+                # and only evictable as a last resort -- the eviction path
+                # queues behind the in-flight transactions anyway.
+                if region.state is not CoherenceState.INVALID and fallback is None:
+                    fallback = region
+                continue
             if region.state is CoherenceState.INVALID:
                 if invalid is None:
                     invalid = region
@@ -319,7 +342,7 @@ class RegionDirectory:
             elif region.state is best.state and region.accesses < best.accesses:
                 best = region
         self._clock_hand = (self._clock_hand + min(probe, n)) % max(n, 1)
-        return invalid, best
+        return invalid, best if best is not None else fallback
 
     def merge(self, region: Region, buddy: Region) -> Region:
         """Merge a buddy pair into the parent region (metadata-only)."""

@@ -1,0 +1,367 @@
+"""Data-path legs of a fault transaction (the FETCH phase).
+
+Everything that moves page payloads lives here: the one-sided RDMA fetch
+from a memory blade (with connection virtualization -- the switch rewrites
+headers so blades never learn endpoints), the MOESI cache-to-cache
+``FETCH_FROM_OWNER`` transfer, dirty-page write-backs (synchronous and
+asynchronous), and the reliable-delivery helper every leg uses.
+
+Ordering invariant: a fetch of a page whose asynchronous write-back has
+not landed yet must wait for the flush (``pending_flushes``), so a read
+can never observe stale memory behind an in-flight flush.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Generator, Optional
+
+from ..sim.engine import Event
+from ..sim.network import CONTROL_MSG_BYTES, PAGE_SIZE, Port
+from ..switchsim.packets import InvalidationRequest, MemRequest
+from ..switchsim.rdma_virt import RdmaVirtualizer
+from .directory import CoherenceState, Region
+from .stt import Transition, TransitionAction
+from .txn import Transaction, TxnPhase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.spans import SpanCursor
+    from .coherence import CoherenceProtocol
+
+
+class DataPath:
+    """Owns payload movement between blades, switch, and memory."""
+
+    def __init__(self, ctx: "CoherenceProtocol"):
+        self.ctx = ctx
+        #: switch-side RDMA connection virtualization (Section 6.3).
+        self.rdma_virt = RdmaVirtualizer()
+        #: page va -> in-flight write-back; fetches of that page must wait
+        #: for the flush to land so they never read stale memory.
+        self.pending_flushes: Dict[int, Event] = {}
+
+    # -- reliable delivery --------------------------------------------------
+
+    def deliver(self, make_transfer: Callable[[], Generator]) -> Generator:
+        """Land one transfer leg, retransmitting on an injected link drop
+        with capped exponential backoff.  Data-movement legs use this (a
+        lost payload is simply re-sent); invalidation/ACK legs instead
+        surface the loss so the ACK-timeout machinery drives the retry.
+        Returns the number of retransmissions used.
+        """
+        ctx = self.ctx
+        attempt = 0
+        while True:
+            delivered = yield ctx.engine.process(make_transfer())
+            if delivered:
+                return attempt
+            ctx.stats.incr("retransmissions")
+            ctx.stats.incr("link_retransmissions")
+            yield ctx.backoff.timeout_us(min(attempt, ctx.MAX_RETRIES))
+            attempt += 1
+
+    def blade_ready(self, blade) -> Generator:
+        """Wait out a paused (crashed/stalled) memory blade: each probe
+        that goes unanswered costs one backoff timeout."""
+        ctx = self.ctx
+        attempt = 0
+        while not getattr(blade, "available", True):
+            if hasattr(blade, "refuse"):
+                blade.refuse()
+            ctx.stats.incr("blade_timeouts")
+            yield ctx.backoff.timeout_us(min(attempt, ctx.MAX_RETRIES))
+            attempt += 1
+
+    def blade_service_us(self, blade) -> float:
+        """NIC+DRAM service time at ``blade`` under any injected slowdown."""
+        base = self.ctx.config.memory_service_us + self.ctx.config.dram_access_us
+        scale = getattr(blade, "slow_factor", 1.0)
+        return base * scale
+
+    # -- the INVALIDATE/FETCH phase dispatch ----------------------------------
+
+    def run_action(
+        self,
+        txn: Transaction,
+        req: MemRequest,
+        requester: Port,
+        page_va: int,
+        region: Region,
+        transition: Transition,
+        old_owner: Optional[int],
+        old_sharers: frozenset,
+        spans: "SpanCursor",
+    ) -> Generator:
+        """Drive the data-path phases the STT verdict selected.  Returns
+        ``(data, invalidations, was_reset, coalesced)``."""
+        ctx = self.ctx
+        if transition.action is TransitionAction.FETCH_ONLY:
+            txn.phase = TxnPhase.FETCH
+            if txn.shared:
+                joined = ctx.pending.inflight_fetch(txn, page_va)
+                if joined is not None:
+                    # MSHR merge: ride the in-flight fetch (one RDMA, N
+                    # completions), then take our own downlink leg.
+                    data = yield joined.done
+                    spans.mark("coalesced_wait")
+                    yield from self.deliver(
+                        lambda: requester.from_switch.transfer(PAGE_SIZE)
+                    )
+                    yield ctx.config.rdma_verb_overhead_us
+                    spans.mark("reply")
+                    return data, 0, False, True
+            if (
+                not txn.shared
+                and not txn.is_write
+                and transition.next_state is CoherenceState.SHARED
+            ):
+                # The directory update is applied; the rest is a pure
+                # Shared fetch, so parked readers may now ride along.
+                ctx.pending.downgrade(txn, region)
+            if txn.shared:
+                published = ctx.pending.publish_fetch(txn, page_va)
+                data = None
+                try:
+                    data = yield from self.fetch(req, requester, page_va)
+                finally:
+                    ctx.pending.finish_fetch(txn, published, data)
+            else:
+                data = yield from self.fetch(req, requester, page_va)
+            spans.mark("fetch")
+            return data, 0, False, False
+        if transition.action is TransitionAction.INVALIDATE_PARALLEL:
+            txn.phase = TxnPhase.INVALIDATE
+            targets = ctx.multicast.replicate(
+                ctx.compute_group, old_sharers, req.src_port
+            )
+            inval = ctx.invalidation.make_inval(region, req, targets, downgrade=False)
+            fetch_proc = ctx.engine.process(self.fetch(req, requester, page_va))
+            ack_proc = ctx.engine.process(
+                ctx.invalidation.invalidate_all(inval, targets, region)
+            )
+            yield ctx.engine.all_of([fetch_proc, ack_proc])
+            # Fetch and invalidation overlap (the S->M parallelism of
+            # Fig. 7); the wall segment is attributed to their union.
+            spans.mark("fetch+invalidation")
+            return fetch_proc.value, len(targets), ack_proc.value, False
+        if transition.action is TransitionAction.LOCAL_UPGRADE:
+            # MOESI O->M at the owner: no data moves; invalidate the other
+            # sharers, then return the grant.
+            txn.phase = TxnPhase.INVALIDATE
+            targets = ctx.multicast.replicate(
+                ctx.compute_group, old_sharers, req.src_port
+            )
+            inval = ctx.invalidation.make_inval(region, req, targets, downgrade=False)
+            was_reset = yield from ctx.invalidation.invalidate_all(
+                inval, targets, region
+            )
+            spans.mark("invalidation")
+            yield from self.deliver(
+                lambda: requester.from_switch.transfer(CONTROL_MSG_BYTES)
+            )
+            spans.mark("reply")
+            return None, len(targets), was_reset, False
+        if transition.action is TransitionAction.FETCH_FROM_OWNER:
+            # Only the first steal (M->O) must write-protect the owner; for
+            # O->O the owner is read-only already.
+            txn.phase = TxnPhase.FETCH
+            data, was_reset = yield from self.fetch_from_owner(
+                req,
+                requester,
+                page_va,
+                old_owner,
+                region,
+                write_protect_owner=transition.label == "M->O",
+            )
+            spans.mark("owner_fetch")
+            return data, 1 if old_owner is not None else 0, was_reset, False
+        # INVALIDATE_OWNER_THEN_FETCH: the owner must flush before memory
+        # serves (the sequential M->S/M path, 2x latency of Fig. 7 left).
+        txn.phase = TxnPhase.INVALIDATE
+        target_set = set(old_sharers)
+        if old_owner is not None:
+            target_set.add(old_owner)
+        target_set.discard(req.src_port)
+        targets = ctx.multicast.replicate(
+            ctx.compute_group, frozenset(target_set), req.src_port
+        )
+        inval = ctx.invalidation.make_inval(
+            region, req, targets, downgrade=transition.owner_downgrades
+        )
+        was_reset = yield from ctx.invalidation.invalidate_all(inval, targets, region)
+        spans.mark("invalidation")
+        txn.phase = TxnPhase.FETCH
+        data = yield from self.fetch(req, requester, page_va)
+        spans.mark("fetch")
+        return data, len(targets), was_reset, False
+
+    # -- memory-blade fetch ---------------------------------------------------
+
+    def fetch(self, req: MemRequest, requester: Port, page_va: int) -> Generator:
+        """One-sided RDMA fetch, retransmitted on loss (Section 4.4: ACKs
+        and timeouts detect packet losses on every message class)."""
+        ctx = self.ctx
+        for attempt in range(ctx.MAX_RETRIES + 1):
+            lost = (
+                ctx.fault_injector is not None
+                and ctx.fault_injector.should_drop_fetch()
+            )
+            if not lost:
+                data = yield from self._fetch_once(req, requester, page_va)
+                return data
+            ctx.stats.incr("retransmissions")
+            yield ctx.backoff.timeout_us(attempt)
+        # Persistent loss: serve the final attempt unconditionally (the
+        # reset machinery handles wedged *coherence* state; a fetch has no
+        # state to wedge).
+        data = yield from self._fetch_once(req, requester, page_va)
+        return data
+
+    def _fetch_once(self, req: MemRequest, requester: Port, page_va: int) -> Generator:
+        ctx = self.ctx
+        xlate = ctx.address_space.translate(page_va)
+        blade = ctx._memory_blades[xlate.blade_id]
+        ctx.stats.incr("memory_fetches")
+        # Stitch the requester's virtual connection to the real one.
+        self.rdma_virt.rewrite(req.src_port, xlate.blade_id)
+        yield from self.deliver(
+            lambda: blade.port.from_switch.transfer(CONTROL_MSG_BYTES)
+        )
+        yield from self.blade_ready(blade)
+        pending = self.pending_flushes.get(page_va)
+        if pending is not None and not pending.triggered:
+            # An asynchronous write-back of this very page has not landed
+            # yet; the NIC must serve the read after it (flush/fetch order).
+            yield pending
+        yield self.blade_service_us(blade)
+        data = blade.read_page(xlate.pa)
+        yield from self.deliver(lambda: blade.port.to_switch.transfer(PAGE_SIZE))
+        # Response pass through the pipeline, then down to the requester.
+        resp = ctx.pipeline.packet()
+        yield ctx.engine.process(resp.traverse())
+        yield from self.deliver(lambda: requester.from_switch.transfer(PAGE_SIZE))
+        yield ctx.config.rdma_verb_overhead_us
+        return data
+
+    # -- MOESI cache-to-cache -------------------------------------------------
+
+    def fetch_from_owner(
+        self,
+        req: MemRequest,
+        requester: Port,
+        page_va: int,
+        owner_port_id: Optional[int],
+        region: Region,
+        write_protect_owner: bool,
+    ) -> Generator:
+        """MOESI cache-to-cache transfer: one trip to the owner downgrades
+        it (M->O) and carries the page back -- no memory write-back.
+
+        Falls back to the memory blade when the owner no longer caches the
+        page (it was evicted, and the eviction flush made memory current).
+        Returns ``(data, was_reset)``.
+        """
+        ctx = self.ctx
+        if owner_port_id is None or owner_port_id not in ctx._page_servers:
+            data = yield from self.fetch(req, requester, page_va)
+            return data, False
+        owner_port = ctx._blade_ports[owner_port_id]
+        was_reset = False
+        if write_protect_owner:
+            inval = InvalidationRequest(
+                region_base=region.base,
+                region_size=region.size,
+                sharers=frozenset({owner_port_id}),
+                requester_port=req.src_port,
+                target_va=page_va,
+                downgrade_to_shared=True,
+                keep_dirty=True,
+            )
+            was_reset = yield from ctx.invalidation.invalidate_all(
+                inval, [owner_port_id], region
+            )
+        else:
+            # Just the read request leg to the owner.
+            yield from self.deliver(
+                lambda: owner_port.from_switch.transfer(CONTROL_MSG_BYTES)
+            )
+        # The owner's kernel serves the page out of its DRAM cache.
+        yield ctx.config.memory_service_us + ctx.config.dram_access_us
+        data = ctx._page_servers[owner_port_id](page_va)
+        if data is None:
+            # Owner evicted the page; its flush made memory current.
+            fetched = yield from self.fetch(req, requester, page_va)
+            return fetched, was_reset
+        if data == b"":
+            data = None  # resident, but payload storage is disabled
+        ctx.stats.incr("cache_to_cache_transfers")
+        yield from self.deliver(lambda: owner_port.to_switch.transfer(PAGE_SIZE))
+        resp = ctx.pipeline.packet()
+        yield ctx.engine.process(resp.traverse())
+        yield from self.deliver(lambda: requester.from_switch.transfer(PAGE_SIZE))
+        yield ctx.config.rdma_verb_overhead_us
+        return data, was_reset
+
+    # -- write-backs ----------------------------------------------------------
+
+    def flush_page(
+        self,
+        src_port: Port,
+        page_va: int,
+        data: Optional[bytes],
+        landed: Optional[Event] = None,
+    ) -> Generator:
+        """Write a dirty page back to its memory blade (eviction or inval).
+
+        The blade sends the page up; the switch translates and forwards it
+        as a one-sided WRITE.  ``landed`` fires the moment the payload is
+        durable at the memory blade (before the NIC's ACK returns) -- the
+        ordering point fetches synchronize on.
+        """
+        ctx = self.ctx
+        xlate = ctx.address_space.translate(page_va)
+        blade = ctx._memory_blades[xlate.blade_id]
+        self.rdma_virt.rewrite(src_port.port_id, xlate.blade_id)
+        # Every leg is delivered reliably: a silently lost write-back would
+        # leave memory stale behind an Invalid directory -- incoherence.
+        yield from self.deliver(lambda: src_port.to_switch.transfer(PAGE_SIZE))
+        pkt = ctx.pipeline.packet()
+        yield ctx.engine.process(pkt.traverse())
+        yield from self.deliver(lambda: blade.port.from_switch.transfer(PAGE_SIZE))
+        yield from self.blade_ready(blade)
+        yield self.blade_service_us(blade)
+        blade.write_page(xlate.pa, data)
+        ctx.stats.incr("pages_written_back")
+        if landed is not None and not landed.triggered:
+            landed.succeed()
+        yield from self.deliver(
+            lambda: blade.port.to_switch.transfer(CONTROL_MSG_BYTES)
+        )
+
+    def flush_page_async(
+        self, src_port: Port, page_va: int, data: Optional[bytes]
+    ) -> Event:
+        """Start a write-back without waiting for it (Section 7.2's overlap:
+        the invalidation ACK returns while the flush drains; correctness is
+        preserved because fetches wait on :attr:`pending_flushes`)."""
+        ctx = self.ctx
+        landed = ctx.engine.event()
+        self.pending_flushes[page_va] = landed
+        ctx.engine.process(
+            self.flush_page(src_port, page_va, data, landed=landed),
+            name=f"flush-{page_va:#x}",
+        )
+
+        def _clear(_ev) -> None:
+            # Re-check the fail-over gate: if the primary crashed while this
+            # flush was in flight, the entry must survive the outage -- the
+            # fail-over quiesce re-flushes dirty pages against the rebuilt
+            # plane and synchronizes on this map, so dropping the entry from
+            # a completion that raced the crash would let a re-warmed fetch
+            # order ahead of the (re-issued) write-back.
+            if ctx._outage is not None:
+                return
+            if self.pending_flushes.get(page_va) is landed:
+                del self.pending_flushes[page_va]
+
+        landed.add_callback(_clear)
+        return landed

@@ -108,8 +108,8 @@ class MigrationManager:
         yield from self._quiesce(va_base, length)
 
         # 2. Copy page by page through the switch.
-        src_blade_obj = self.coherence._memory_blades[src.blade_id]
-        dst_blade_obj = self.coherence._memory_blades[dst_blade]
+        src_blade_obj = self.coherence.memory_blade(src.blade_id)
+        dst_blade_obj = self.coherence.memory_blade(dst_blade)
         for offset in range(0, length, PAGE_SIZE):
             yield from self._copy_page(
                 src_blade_obj, src.pa + offset, dst_blade_obj, dst_pa + offset
@@ -163,7 +163,9 @@ class MigrationManager:
         for region in list(directory.regions()):
             if region.base >= va_base + length or region.end <= va_base:
                 continue
-            yield self.coherence.locks.acquire(region.base)
+            gate = yield from self.coherence.pending.admit_control(
+                region.base, region
+            )
             try:
                 if directory.find(region.base) is not region:
                     continue
@@ -179,21 +181,17 @@ class MigrationManager:
                         requester_port=-1,
                         target_va=-1,
                     )
-                    yield from self.coherence._invalidate_all(inval, targets, region)
+                    yield from self.coherence.invalidation.invalidate_all(
+                        inval, targets, region
+                    )
                 region.state = CoherenceState.INVALID
                 region.sharers.clear()
                 region.owner = None
                 directory.release(region)
             finally:
-                self.coherence.locks.release(region.base)
+                self.coherence.pending.release_control(gate)
         # Wait out any still-in-flight asynchronous flushes for the range.
-        pending = [
-            ev
-            for page_va, ev in self.coherence._pending_flushes.items()
-            if va_base <= page_va < va_base + length and not ev.triggered
-        ]
-        if pending:
-            yield self.engine.all_of(pending)
+        yield from self.coherence.drain_writebacks(va_base, length)
 
     def _copy_page(self, src_blade, src_pa, dst_blade, dst_pa) -> Generator:
         """One page: RDMA read from source, RDMA write to destination."""

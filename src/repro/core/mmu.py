@@ -17,7 +17,7 @@ Resource budgets default to the paper's switch: 30 k directory slots and a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..sim.engine import Engine
 from ..sim.network import Network
@@ -30,12 +30,15 @@ from ..switchsim.tcam import Tcam
 from .addressing import AddressSpace
 from .allocator import GlobalAllocator
 from .bounded_splitting import BoundedSplittingConfig, BoundedSplittingController
-from .coherence import CoherenceProtocol, FaultInjector
+from .coherence import CoherenceProtocol
 from .controller import SwitchController
 from .directory import RegionDirectory
 from .migration import MigrationManager
 from .protection import ProtectionTable
 from .stt import build_mesi_stt, build_moesi_stt, build_msi_stt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.message_loss import MessageLossInjector
 
 
 @dataclass
@@ -65,6 +68,9 @@ class MindConfig:
     #: invalidation fan-out: "multicast" (the paper's P3 design) or
     #: "unicast-cpu" (ablation: switch CPU generates per-sharer packets).
     invalidation_mode: str = "multicast"
+    #: cap on concurrently admitted fault transactions at the switch (the
+    #: MSHR-style pending-transaction table's occupancy).
+    pending_table_capacity: int = 256
     #: start the Bounded Splitting epoch loop automatically.
     enable_bounded_splitting: bool = True
     bounded_splitting: BoundedSplittingConfig = field(default=None)
@@ -83,7 +89,7 @@ class InNetworkMmu:
         network: Network,
         config: Optional[MindConfig] = None,
         stats: Optional[StatsCollector] = None,
-        fault_injector: Optional[FaultInjector] = None,
+        fault_injector: Optional["MessageLossInjector"] = None,
     ):
         self.engine = engine
         self.network = network
@@ -130,6 +136,7 @@ class InNetworkMmu:
             fault_injector=fault_injector,
             invalidation_mode=cfg.invalidation_mode,
             control_cpu=self.control_cpu,
+            pending_table_capacity=cfg.pending_table_capacity,
         )
         self.controller = SwitchController(
             control_cpu=self.control_cpu,
@@ -150,7 +157,7 @@ class InNetworkMmu:
         self.splitter = BoundedSplittingController(
             engine=engine,
             directory=self.directory,
-            locks=self.coherence.locks,
+            pending=self.coherence.pending,
             control_cpu=self.control_cpu,
             stats=self.stats,
             config=cfg.bounded_splitting,

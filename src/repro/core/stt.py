@@ -167,3 +167,39 @@ def build_moesi_stt() -> Dict[SttKey, Transition]:
 def stt_size(stt: Dict[SttKey, Transition]) -> int:
     """Number of TCAM entries the materialized table occupies."""
     return len(stt)
+
+
+def role_of(region, port: int) -> RequesterRole:
+    """The requester's relationship to the directory entry (the STT key's
+    third component)."""
+    if region.owner == port and region.state in (
+        CoherenceState.MODIFIED,
+        CoherenceState.OWNED,
+    ):
+        return RequesterRole.OWNER
+    if port in region.sharers:
+        return RequesterRole.SHARER
+    return RequesterRole.NONE
+
+
+def apply_transition(region, transition: Transition, requester_port: int) -> None:
+    """Directory entry update selected by the STT (applied on recirculation)."""
+    region.state = transition.next_state
+    if transition.next_state is CoherenceState.MODIFIED:
+        region.owner = requester_port
+        region.sharers = {requester_port}
+    elif transition.next_state is CoherenceState.OWNED:
+        # MOESI: the previous owner keeps ownership (and its dirty data);
+        # the requester joins as a reader.
+        new_sharers = set(region.sharers)
+        if region.owner is not None:
+            new_sharers.add(region.owner)
+        new_sharers.add(requester_port)
+        region.sharers = new_sharers
+    else:  # SHARED
+        new_sharers = set(region.sharers)
+        if transition.owner_downgrades and region.owner is not None:
+            new_sharers.add(region.owner)
+        new_sharers.add(requester_port)
+        region.owner = None
+        region.sharers = new_sharers

@@ -4,10 +4,13 @@
 - :mod:`repro.faults.injector` -- arms a plan on a running cluster.
 - :mod:`repro.faults.failover` -- the in-simulation switch fail-over
   sequence (detection, rebuild-from-replica, quiesce, re-warm).
+- :mod:`repro.faults.message_loss` -- protocol-level message drops
+  (formerly ``repro.core.coherence.MessageLossInjector``).
 """
 
 from .failover import FailoverConfig, FailoverOrchestrator
 from .injector import FaultInjector
+from .message_loss import MessageLossInjector
 from .plan import (
     BladeOutage,
     BladeSlowdown,
@@ -26,5 +29,6 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "LinkLossWindow",
+    "MessageLossInjector",
     "SwitchCrash",
 ]

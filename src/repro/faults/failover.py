@@ -160,13 +160,7 @@ class FailoverOrchestrator:
         ]
         if procs:
             yield self.engine.all_of(procs)
-        pending = [
-            ev
-            for ev in self.mmu.coherence._pending_flushes.values()
-            if not ev.triggered
-        ]
-        if pending:
-            yield self.engine.all_of(pending)
+        yield from self.mmu.coherence.drain_writebacks()
 
     def _phase_flip(self) -> Generator:
         yield self.config.degraded_window_us

@@ -34,6 +34,17 @@ _PEAK_COUNTERS = (
     "recirculations",
 )
 
+#: transaction-engine counters surfaced as their own report section.
+_TXN_COUNTERS = (
+    "txn_admitted",
+    "pending_table_peak",
+    "txn_conflict_waits",
+    "coalesced_fetches",
+    "faults_coalesced",
+    "memory_fetches",
+    "capacity_evictions",
+)
+
 
 @dataclass
 class RunReport:
@@ -49,6 +60,9 @@ class RunReport:
     hotspots: List[Tuple[str, float]]
     utilizations: List[Tuple[str, float]]
     switch_peaks: Dict[str, int]
+    #: pending-transaction-table digest (admissions, coalescing, conflicts);
+    #: empty when the run recorded no transaction-engine counters.
+    txn_engine: Dict[str, int]
     counters: Dict[str, int]
     timeseries_peaks: Dict[str, float] = field(default_factory=dict)
     #: fault-injection / fail-over digest; empty for fault-free runs.
@@ -90,6 +104,11 @@ class RunReport:
             for name in _PEAK_COUNTERS
             if name in stats.counters
         }
+        txn_engine = {
+            name: stats.counter(name)
+            for name in _TXN_COUNTERS
+            if name in stats.counters
+        }
         series_peaks = {
             name: max(v for _t, v in points)
             for name, points in sorted(stats.timeseries.items())
@@ -113,6 +132,7 @@ class RunReport:
             hotspots=hotspots,
             utilizations=utilizations,
             switch_peaks=peaks,
+            txn_engine=txn_engine,
             counters=dict(sorted(stats.counters.items())),
             timeseries_peaks=series_peaks,
             availability=availability,
@@ -209,6 +229,7 @@ class RunReport:
                 {"name": n, "utilization": u} for n, u in self.utilizations
             ],
             "switch_peaks": self.switch_peaks,
+            "txn_engine": self.txn_engine,
             "counters": self.counters,
             "timeseries_peaks": self.timeseries_peaks,
             "availability": self.availability,
@@ -269,6 +290,12 @@ class RunReport:
             lines.append("switch resources:")
             for name, value in self.switch_peaks.items():
                 lines.append(f"  {name:<28s}{value:>12d}")
+        if self.txn_engine:
+            lines.append("")
+            lines.append("transaction engine (pending-table activity):")
+            for name in _TXN_COUNTERS:
+                if name in self.txn_engine:
+                    lines.append(f"  {name:<28s}{self.txn_engine[name]:>12d}")
         if self.timeseries_peaks:
             lines.append("")
             lines.append("sampled series peaks:")

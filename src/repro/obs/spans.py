@@ -10,6 +10,13 @@ breakdown, and (when tracing is enabled) emits a matching span record.
 Because the marks *partition* ``[t0, now)``, the per-component breakdown
 sums exactly to the measured end-to-end latency -- the consistency the
 run report asserts -- with no hand-maintained accounting to drift.
+
+The transaction engine adds two queueing components to the fault
+breakdown: ``queue_conflict`` (time parked in the pending-transaction
+table behind a conflicting in-flight transaction) and ``coalesced_wait``
+(time a Shared read spent riding another transaction's in-flight fetch
+instead of issuing its own).  Both partition the same timeline, so the
+sum-to-end-to-end invariant holds unchanged.
 """
 
 from __future__ import annotations

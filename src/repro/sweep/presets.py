@@ -34,6 +34,26 @@ PRESETS: Dict[str, List[str]] = {
         "private_pages_per_thread=512;burst=4;"
         "cache_capacity_pages=6144;num_memory_blades=4;epoch_us=2000"
     ],
+    # Protocol ablation: MSI vs MESI vs MOESI across the read mix on a
+    # shared-heavy point -- the regime where MSHR coalescing (read-mostly)
+    # and cache-to-cache transfers (MOESI) separate the protocols.  The
+    # transaction-engine counters (coalesced_fetches, txn_conflict_waits,
+    # pending_table_peak) land in each point's metrics automatically.
+    "protocol-ablation": [
+        "system=mind,mind-mesi,mind-moesi;workload=uniform;blades=4;"
+        "threads_per_blade=2;read_ratio=1.0,0.8,0.5,0.0;sharing_ratio=0.8;"
+        "accesses_per_thread=4000;shared_pages=400;"
+        "private_pages_per_thread=256;burst=4;"
+        "cache_capacity_pages=3072;num_memory_blades=4;epoch_us=2000"
+    ],
+    # CI-sized protocol ablation: uploaded as a bench artifact (not gated).
+    "protocol-ablation-quick": [
+        "system=mind,mind-mesi,mind-moesi;workload=uniform;blades=2;"
+        "threads_per_blade=1;read_ratio=1.0,0.5,0.0;sharing_ratio=0.8;"
+        "accesses_per_thread=800;shared_pages=200;"
+        "private_pages_per_thread=128;burst=4;"
+        "cache_capacity_pages=1536;num_memory_blades=2;epoch_us=2000"
+    ],
     # CI perf gate: compressed fig5-intra + fig7-throughput corners.
     # Small enough for a PR gate, wide enough to cover the page-fault,
     # eviction, invalidation and baseline-system hot paths.

@@ -9,7 +9,7 @@ from repro.core.bounded_splitting import (
     BoundedSplittingController,
     worst_case_subregions,
 )
-from repro.core.coherence import LockTable
+from repro.core.txn import PendingTransactionTable
 from repro.core.directory import CoherenceState, RegionDirectory
 from repro.sim.engine import Engine
 from repro.sim.network import PAGE_SIZE
@@ -23,15 +23,16 @@ MB2 = 2 * 1024 * 1024
 
 def make_controller(capacity=256, initial=KB16, maximum=MB2, **cfg_kwargs):
     engine = Engine()
+    stats = StatsCollector()
     directory = RegionDirectory(
         RegisterArray(capacity), initial_region_size=initial, max_region_size=maximum
     )
     controller = BoundedSplittingController(
         engine=engine,
         directory=directory,
-        locks=LockTable(engine),
+        pending=PendingTransactionTable(engine, stats),
         control_cpu=ControlCpu(engine),
-        stats=StatsCollector(),
+        stats=stats,
         config=BoundedSplittingConfig(**cfg_kwargs),
     )
     return engine, directory, controller

@@ -7,7 +7,7 @@ directory state, invalidation traffic, latency structure and reliability.
 import pytest
 
 from repro.blades.compute import SegmentationFault
-from repro.core.coherence import FaultInjector
+from repro.faults import MessageLossInjector
 from repro.core.directory import CoherenceState
 from repro.core.vma import PermissionClass
 from repro.sim.rng import make_rng
@@ -258,7 +258,7 @@ class TestCapacityEviction:
 
 class TestReliability:
     def test_lost_invalidations_retransmitted(self):
-        injector = FaultInjector(make_rng(7), drop_invalidations=0.5)
+        injector = MessageLossInjector(make_rng(7), drop_invalidations=0.5)
         cluster = small_cluster()
         cluster.mmu.coherence.fault_injector = injector
         pid, base = setup_proc(cluster)
@@ -271,7 +271,7 @@ class TestReliability:
         assert region.state in (M, I)
 
     def test_reset_after_max_retries(self):
-        injector = FaultInjector(make_rng(7), drop_invalidations=1.0)
+        injector = MessageLossInjector(make_rng(7), drop_invalidations=1.0)
         cluster = small_cluster()
         cluster.mmu.coherence.fault_injector = injector
         pid, base = setup_proc(cluster)
@@ -281,7 +281,7 @@ class TestReliability:
         assert cluster.stats.counter("resets") >= 1
 
     def test_lost_fetches_retransmitted(self):
-        injector = FaultInjector(make_rng(3), drop_fetches=0.5)
+        injector = MessageLossInjector(make_rng(3), drop_fetches=0.5)
         cluster = small_cluster()
         cluster.mmu.coherence.fault_injector = injector
         pid, base = setup_proc(cluster)
@@ -295,7 +295,7 @@ class TestReliability:
     def test_fetch_loss_adds_timeout_latency(self):
         from repro.core.coherence import CoherenceProtocol
 
-        injector = FaultInjector(make_rng(3), drop_fetches=1.0)
+        injector = MessageLossInjector(make_rng(3), drop_fetches=1.0)
         cluster = small_cluster()
         cluster.mmu.coherence.fault_injector = injector
         pid, base = setup_proc(cluster)
@@ -368,3 +368,31 @@ class TestSwitchMechanics:
         touch(cluster, 0, pid, base, write=False)
         touch(cluster, 0, pid, base, write=False)  # hit, no fault
         assert cluster.stats.counter("remote_accesses") == 1
+
+
+class TestDeprecatedInjectorAliases:
+    """MessageLossInjector moved to repro.faults; the old names must keep
+    working but warn."""
+
+    def test_coherence_alias_warns_and_resolves(self):
+        from repro.core import coherence
+
+        with pytest.warns(DeprecationWarning, match="repro.faults"):
+            cls = coherence.FaultInjector
+        assert cls is MessageLossInjector
+        with pytest.warns(DeprecationWarning, match="repro.faults"):
+            cls = coherence.MessageLossInjector
+        assert cls is MessageLossInjector
+
+    def test_package_alias_warns_and_resolves(self):
+        import repro.core
+
+        with pytest.warns(DeprecationWarning, match="repro.faults"):
+            cls = repro.core.FaultInjector
+        assert cls is MessageLossInjector
+
+    def test_unknown_attribute_still_raises(self):
+        from repro.core import coherence
+
+        with pytest.raises(AttributeError):
+            coherence.NoSuchThing

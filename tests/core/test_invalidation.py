@@ -1,0 +1,108 @@
+"""InvalidationEngine unit tests: builders, transport retries, reset, and
+the unicast-cpu ablation's serialization cost."""
+
+from repro.cluster import ClusterConfig, MindCluster
+from repro.core.directory import CoherenceState
+from repro.core.mmu import MindConfig
+from repro.faults import MessageLossInjector
+from repro.sim.rng import make_rng
+
+from conftest import small_cluster
+
+I, S, M = CoherenceState.INVALID, CoherenceState.SHARED, CoherenceState.MODIFIED
+
+
+def lossy_cluster(injector, **mind_kwargs):
+    mind = MindConfig(directory_capacity=256, enable_bounded_splitting=False, **mind_kwargs)
+    return MindCluster(
+        ClusterConfig(num_compute_blades=2, cache_capacity_pages=64, mind=mind),
+        fault_injector=injector,
+    )
+
+
+def setup_proc(cluster, length=1 << 16):
+    ctl = cluster.controller
+    task = ctl.sys_exec("t")
+    return task.pid, ctl.sys_mmap(task.pid, length)
+
+
+def touch(cluster, blade_idx, pid, va, write):
+    blade = cluster.compute_blades[blade_idx]
+    return cluster.run_process(blade.ensure_page(pid, va, write))
+
+
+class TestBuilders:
+    def test_make_inval_aligns_target_page(self):
+        cluster = small_cluster()
+        pid, base = setup_proc(cluster)
+        touch(cluster, 0, pid, base, write=False)
+        region = cluster.mmu.directory.find(base)
+
+        class Req:
+            src_port = 5
+            va = base + 123  # unaligned offset into the page
+
+        inval = cluster.mmu.coherence.invalidation.make_inval(
+            region, Req, [1, 2], downgrade=True
+        )
+        assert inval.region_base == region.base
+        assert inval.sharers == frozenset({1, 2})
+        assert inval.target_va == base  # aligned down to the page
+        assert inval.downgrade_to_shared
+
+    def test_make_eviction_inval_marks_collateral(self):
+        cluster = small_cluster()
+        pid, base = setup_proc(cluster)
+        touch(cluster, 0, pid, base, write=False)
+        region = cluster.mmu.directory.find(base)
+        inval = cluster.mmu.coherence.invalidation.make_eviction_inval(region, [1])
+        assert inval.requester_port == -1
+        assert inval.target_va == -1  # every page is collateral
+
+
+class TestRetryAndReset:
+    def test_dropped_invalidation_retried_to_completion(self):
+        injector = MessageLossInjector(make_rng(2), drop_invalidations=0.5)
+        cluster = lossy_cluster(injector)
+        pid, base = setup_proc(cluster)
+        touch(cluster, 0, pid, base, write=False)
+        touch(cluster, 1, pid, base, write=True)
+        assert injector.dropped > 0
+        assert cluster.stats.counter("retransmissions") > 0
+        # Despite the loss, the write completed with a coherent directory.
+        region = cluster.mmu.directory.find(base)
+        assert region.state is M
+        assert region.owner == cluster.compute_blades[1].port.port_id
+
+    def test_dropped_acks_retried_idempotently(self):
+        injector = MessageLossInjector(make_rng(2), drop_acks=0.5)
+        cluster = lossy_cluster(injector)
+        pid, base = setup_proc(cluster)
+        touch(cluster, 0, pid, base, write=False)
+        touch(cluster, 1, pid, base, write=True)
+        assert cluster.stats.counter("retransmissions") > 0
+        region = cluster.mmu.directory.find(base)
+        assert region.state is M
+
+    def test_persistent_loss_triggers_reset(self):
+        injector = MessageLossInjector(make_rng(3), drop_invalidations=1.0)
+        cluster = lossy_cluster(injector)
+        pid, base = setup_proc(cluster)
+        touch(cluster, 0, pid, base, write=False)
+        touch(cluster, 1, pid, base, write=True)
+        assert cluster.stats.counter("resets") >= 1
+
+
+class TestUnicastAblation:
+    def test_unicast_serializes_on_switch_cpu(self):
+        mc = small_cluster(num_compute=3)
+        uc = small_cluster(num_compute=3, invalidation_mode="unicast-cpu")
+        for cluster in (mc, uc):
+            pid, base = setup_proc(cluster)
+            touch(cluster, 0, pid, base, write=False)
+            touch(cluster, 1, pid, base, write=False)
+            touch(cluster, 2, pid, base, write=True)
+        assert uc.stats.counter("unicast_invalidations_generated") == 2
+        assert mc.stats.counter("unicast_invalidations_generated") == 0
+        # Per-packet CPU generation is what makes software fan-out slow.
+        assert uc.mmu.control_cpu.busy_us > mc.mmu.control_cpu.busy_us

@@ -1,0 +1,382 @@
+"""Unit tests for the MSHR-style pending-transaction table.
+
+These drive :class:`~repro.core.txn.PendingTransactionTable` directly with
+a bare engine and hand-built regions -- no cluster -- to pin down the
+admission semantics: shared coalescing, FIFO conflict queueing, the
+occupancy cap, control gates, downgrade, and fetch merging.  End-to-end
+coalescing (one RDMA serving N blades) is covered in
+``test_coherence_coalescing.py``.
+"""
+
+import pytest
+
+from repro.core.directory import CoherenceState, Region
+from repro.core.txn import PendingTransactionTable
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsCollector
+
+KB16 = 16 * 1024
+
+
+def make_table(capacity=256):
+    engine = Engine()
+    stats = StatsCollector()
+    return engine, stats, PendingTransactionTable(engine, stats, capacity=capacity)
+
+
+def shared_region(base=0):
+    return Region(base, KB16, state=CoherenceState.SHARED)
+
+
+def modified_region(base=0, owner=1):
+    return Region(base, KB16, state=CoherenceState.MODIFIED, owner=owner)
+
+
+class TestSharedAdmission:
+    def test_concurrent_shared_reads_all_admitted(self):
+        engine, stats, table = make_table()
+        region = shared_region()
+        admitted = []
+
+        def reader(port):
+            txn = table.transaction(port, region.base, is_write=False)
+            yield from table.admit(txn, region)
+            admitted.append(txn)
+            yield 10.0
+            table.complete(txn)
+
+        for port in range(4):
+            engine.process(reader(port))
+        engine.run(until=5.0)
+        # All four hold the entry concurrently in shared mode.
+        assert len(admitted) == 4
+        assert table.inflight(region.base) == 4
+        assert region.transient == "shared"
+        engine.run()
+        assert table.inflight(region.base) == 0
+        assert region.transient == ""
+        assert stats.counter("txn_conflict_waits") == 0
+
+    def test_write_admitted_exclusively(self):
+        engine, stats, table = make_table()
+        region = shared_region()
+        txn = engine.run_process(self._admit_one(table, region, is_write=True))
+        assert not txn.shared
+        assert region.transient == "exclusive"
+        table.complete(txn)
+
+    @staticmethod
+    def _admit_one(table, region, is_write):
+        txn = table.transaction(0, region.base, is_write=is_write)
+        yield from table.admit(txn, region)
+        return txn
+
+    def test_read_of_modified_region_is_exclusive(self):
+        engine, stats, table = make_table()
+        region = modified_region()
+        txn = engine.run_process(self._admit_one(table, region, is_write=False))
+        assert not txn.shared
+        assert region.transient == "exclusive"
+
+
+class TestConflictQueue:
+    def test_writes_serialize_fifo(self):
+        engine, stats, table = make_table()
+        region = shared_region()
+        order = []
+
+        def writer(port):
+            txn = table.transaction(port, region.base, is_write=True)
+            yield from table.admit(txn, region)
+            order.append(port)
+            yield 10.0
+            table.complete(txn)
+
+        for port in range(3):
+            engine.process(writer(port))
+        engine.run()
+        assert order == [0, 1, 2]
+        assert stats.counter("txn_conflict_waits") == 2
+
+    def test_reader_parks_behind_writer_then_proceeds(self):
+        engine, stats, table = make_table()
+        region = shared_region()
+        events = []
+
+        def writer():
+            txn = table.transaction(0, region.base, is_write=True)
+            yield from table.admit(txn, region)
+            events.append(("w", engine.now))
+            yield 10.0
+            table.complete(txn)
+
+        def reader():
+            yield 1.0  # arrive second
+            txn = table.transaction(1, region.base, is_write=False)
+            yield from table.admit(txn, region)
+            events.append(("r", engine.now))
+            table.complete(txn)
+
+        engine.process(writer())
+        engine.process(reader())
+        engine.run()
+        assert events[0][0] == "w"
+        assert events[1][0] == "r"
+        assert events[1][1] >= 10.0  # parked until the writer retired
+
+    def test_grant_reevaluates_shared_at_wake(self):
+        # A read parked behind a writer re-evaluates at grant time: the
+        # region is Modified by then, so it must be granted exclusively.
+        engine, stats, table = make_table()
+        region = shared_region()
+
+        def writer():
+            txn = table.transaction(0, region.base, is_write=True)
+            yield from table.admit(txn, region)
+            yield 10.0
+            region.state = CoherenceState.MODIFIED
+            region.owner = 0
+            table.complete(txn)
+
+        parked = []
+
+        def reader():
+            yield 1.0
+            txn = table.transaction(1, region.base, is_write=False)
+            yield from table.admit(txn, region)
+            parked.append(txn)
+            table.complete(txn)
+
+        engine.process(writer())
+        engine.process(reader())
+        engine.run()
+        assert len(parked) == 1 and not parked[0].shared
+
+
+class TestOccupancyCap:
+    def test_cap_blocks_admission_until_slot_frees(self):
+        engine, stats, table = make_table(capacity=2)
+        admitted = []
+
+        def txn_proc(port):
+            region = shared_region(base=port * KB16)
+            txn = table.transaction(port, region.base, is_write=False)
+            yield from table.admit(txn, region)
+            admitted.append((port, engine.now))
+            yield 10.0
+            table.complete(txn)
+
+        for port in range(3):
+            engine.process(txn_proc(port))
+        engine.run(until=5.0)
+        # Only two slots: the third (distinct-region!) admission waits.
+        assert len(admitted) == 2
+        assert table.occupancy == 2
+        engine.run()
+        assert len(admitted) == 3
+        assert admitted[2][1] >= 10.0
+        assert table.peak == 2
+
+    def test_control_admissions_exempt_from_cap(self):
+        engine, stats, table = make_table(capacity=1)
+
+        def holder():
+            region = shared_region(0)
+            txn = table.transaction(0, region.base, is_write=False)
+            yield from table.admit(txn, region)
+            yield 10.0
+            table.complete(txn)
+
+        gates = []
+
+        def control():
+            gate = yield from table.admit_control(KB16)
+            gates.append(engine.now)
+            table.release_control(gate)
+
+        engine.process(holder())
+        engine.process(control())
+        engine.run()
+        # The control gate (different key) never queued on the full table.
+        assert gates == [0.0]
+
+
+class TestControlGate:
+    def test_control_waits_out_inflight_txn(self):
+        engine, stats, table = make_table()
+        region = shared_region()
+        times = {}
+
+        def fault():
+            txn = table.transaction(0, region.base, is_write=False)
+            yield from table.admit(txn, region)
+            yield 10.0
+            table.complete(txn)
+
+        def split():
+            yield 1.0
+            gate = yield from table.admit_control(region.base, region)
+            times["granted"] = engine.now
+            table.release_control(gate)
+
+        engine.process(fault())
+        engine.process(split())
+        engine.run()
+        assert times["granted"] >= 10.0
+
+    def test_fault_waits_out_control_gate(self):
+        engine, stats, table = make_table()
+        region = shared_region()
+        times = {}
+
+        def split():
+            gate = yield from table.admit_control(region.base, region)
+            yield 10.0
+            table.release_control(gate)
+
+        def fault():
+            yield 1.0
+            txn = table.transaction(0, region.base, is_write=False)
+            yield from table.admit(txn, region)
+            times["granted"] = engine.now
+            table.complete(txn)
+
+        engine.process(split())
+        engine.process(fault())
+        engine.run()
+        assert times["granted"] >= 10.0
+        assert stats.counter("txn_conflict_waits") == 1
+
+
+class TestDowngrade:
+    def test_downgrade_grants_parked_readers(self):
+        engine, stats, table = make_table()
+        region = modified_region(owner=0)
+        granted = []
+
+        def leader():
+            txn = table.transaction(1, region.base, is_write=False)
+            yield from table.admit(txn, region)
+            assert not txn.shared
+            yield 5.0
+            # Directory update applied: the region is Shared from here on.
+            region.state = CoherenceState.SHARED
+            region.owner = None
+            table.downgrade(txn, region)
+            assert txn.shared
+            yield 5.0
+            table.complete(txn)
+
+        def follower(port):
+            yield 1.0
+            txn = table.transaction(port, region.base, is_write=False)
+            yield from table.admit(txn, region)
+            granted.append(engine.now)
+            table.complete(txn)
+
+        engine.process(leader())
+        for port in (2, 3):
+            engine.process(follower(port))
+        engine.run()
+        # Followers were granted at the downgrade, not at completion.
+        assert granted == [5.0, 5.0]
+
+    def test_control_cannot_downgrade(self):
+        engine, stats, table = make_table()
+        region = shared_region()
+
+        def run():
+            gate = yield from table.admit_control(region.base, region)
+            return gate
+
+        gate = engine.run_process(run())
+        with pytest.raises(ValueError):
+            table.downgrade(gate, region)
+
+
+class TestFetchCoalescing:
+    def test_join_and_finish(self):
+        engine, stats, table = make_table()
+        region = shared_region()
+        results = []
+
+        def leader():
+            txn = table.transaction(0, region.base, is_write=False)
+            yield from table.admit(txn, region)
+            fetch = table.publish_fetch(txn, region.base)
+            yield 10.0  # the RDMA in flight
+            table.finish_fetch(txn, fetch, b"payload")
+            table.complete(txn)
+
+        def joiner(port):
+            yield 1.0
+            txn = table.transaction(port, region.base, is_write=False)
+            yield from table.admit(txn, region)
+            fetch = table.inflight_fetch(txn, region.base)
+            assert fetch is not None
+            data = yield fetch.done
+            results.append((port, data, engine.now))
+            table.complete(txn)
+
+        engine.process(leader())
+        for port in (1, 2):
+            engine.process(joiner(port))
+        engine.run()
+        assert [(p, d) for p, d, _t in results] == [(1, b"payload"), (2, b"payload")]
+        assert all(t >= 10.0 for _p, _d, t in results)
+        assert stats.counter("coalesced_fetches") == 2
+
+    def test_merge_window_closes_at_finish(self):
+        engine, stats, table = make_table()
+        region = shared_region()
+
+        def run():
+            txn = table.transaction(0, region.base, is_write=False)
+            yield from table.admit(txn, region)
+            fetch = table.publish_fetch(txn, region.base)
+            table.finish_fetch(txn, fetch, b"x")
+            # The window is closed: a later reader fetches for itself.
+            late = table.transaction(1, region.base, is_write=False)
+            yield from table.admit(late, region)
+            assert table.inflight_fetch(late, region.base) is None
+            table.complete(late)
+            table.complete(txn)
+
+        engine.run_process(run())
+        assert stats.counter("coalesced_fetches") == 0
+
+    def test_fetch_of_other_page_not_joined(self):
+        engine, stats, table = make_table()
+        region = shared_region()
+
+        def run():
+            txn = table.transaction(0, region.base, is_write=False)
+            yield from table.admit(txn, region)
+            fetch = table.publish_fetch(txn, region.base)
+            other = table.transaction(1, region.base + 4096, is_write=False)
+            yield from table.admit(other, region)
+            assert table.inflight_fetch(other, region.base + 4096) is None
+            table.finish_fetch(txn, fetch, None)
+            table.complete(other)
+            table.complete(txn)
+
+        engine.run_process(run())
+
+
+class TestRebind:
+    def test_rebind_moves_transient_flag(self):
+        engine, stats, table = make_table()
+        old = shared_region()
+        new = shared_region()
+
+        def run():
+            txn = table.transaction(0, old.base, is_write=False)
+            yield from table.admit(txn, old)
+            assert old.transient == "shared"
+            table.rebind(txn, new)
+            assert old.transient == ""
+            assert new.transient == "shared"
+            table.complete(txn)
+            assert new.transient == ""
+
+        engine.run_process(run())
