@@ -14,6 +14,10 @@ Subcommands:
   workload knobs x seeds) across worker processes, aggregate the results
   into a schema-versioned JSON document, and optionally gate against a
   baseline (``--compare-to``).  See ``python -m repro sweep --help``.
+- ``profile`` -- time the simulation *kernel* on a sweep spec: wall
+  seconds, engine events/sec, accesses/sec, optional cProfile hotspots,
+  and an advisory comparison against the checked-in speed baseline
+  (``benchmarks/BENCH_speed.json``).
 
 For the full evaluation, run ``pytest benchmarks/ --benchmark-only -s``.
 """
@@ -28,6 +32,7 @@ from typing import List, Optional
 from .api import MindSystem
 from .faults import FaultPlan
 from .runner import SYSTEMS, RunnerConfig, run_system
+from .perf.cli import add_profile_parser
 from .sweep.cli import add_sweep_parser
 from .workloads import UniformSharingWorkload
 
@@ -224,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.set_defaults(fn=report)
 
     add_sweep_parser(sub)
+    add_profile_parser(sub)
 
     parser.set_defaults(fn=tour)
     return parser

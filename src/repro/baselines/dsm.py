@@ -121,9 +121,9 @@ class TransparentDsm:
         ]
 
     def _rtt(self, src: Port, dst: Port, size: int) -> Generator:
-        yield self.engine.process(src.to_switch.transfer(size))
+        yield from self.engine.subtask(src.to_switch.transfer(size))
         yield self.config.switch_pipeline_us  # plain L2 forwarding
-        yield self.engine.process(dst.from_switch.transfer(size))
+        yield from self.engine.subtask(dst.from_switch.transfer(size))
 
     # -- the access path ------------------------------------------------------
 
@@ -185,11 +185,10 @@ class TransparentDsm:
 
     def _invalidate(self, home_port: Port, targets: List[int], page_va: int) -> Generator:
         """Home sends unicast invalidations and awaits each ACK."""
-        procs = []
-        for target in targets:
-            procs.append(
-                self.engine.process(self._invalidate_one(home_port, target, page_va))
-            )
+        procs = [
+            self.engine.process(self._invalidate_one(home_port, target, page_va))
+            for target in targets
+        ]
         yield self.engine.all_of(procs)
 
     def _invalidate_one(self, home_port: Port, target: int, page_va: int) -> Generator:

@@ -22,7 +22,7 @@ from ..core.vma import align_down
 from ..sim.engine import Engine, Event
 from ..sim.network import CONTROL_MSG_BYTES, Network, NetworkConfig, PAGE_SIZE, Port
 from ..sim.stats import RunResult, StatsCollector
-from ..workloads.trace import TraceWorkload
+from ..workloads.trace import AccessOrStream, AccessStream, TraceWorkload
 
 
 class FastSwapSystem:
@@ -80,13 +80,13 @@ class FastSwapSystem:
             yield self.config.fault_overhead_us
             yield self.config.rdma_verb_overhead_us
             mem = self._memory_blade_for(page_va)
-            yield self.engine.process(self.port.to_switch.transfer(CONTROL_MSG_BYTES))
+            yield from self.engine.subtask(self.port.to_switch.transfer(CONTROL_MSG_BYTES))
             yield self.config.switch_pipeline_us
-            yield self.engine.process(mem.port.from_switch.transfer(CONTROL_MSG_BYTES))
+            yield from self.engine.subtask(mem.port.from_switch.transfer(CONTROL_MSG_BYTES))
             yield self.config.memory_service_us + self.config.dram_access_us
-            yield self.engine.process(mem.port.to_switch.transfer(PAGE_SIZE))
+            yield from self.engine.subtask(mem.port.to_switch.transfer(PAGE_SIZE))
             yield self.config.switch_pipeline_us
-            yield self.engine.process(self.port.from_switch.transfer(PAGE_SIZE))
+            yield from self.engine.subtask(self.port.from_switch.transfer(PAGE_SIZE))
             yield self.config.rdma_verb_overhead_us
             for victim in self.cache.insert(page_va, None, writable=True):
                 if victim.dirty:
@@ -101,22 +101,28 @@ class FastSwapSystem:
     def _swap_out(self, page_va: int) -> Generator:
         """Asynchronous dirty-page write-back to its memory blade."""
         mem = self._memory_blade_for(page_va)
-        yield self.engine.process(self.port.to_switch.transfer(PAGE_SIZE))
+        yield from self.engine.subtask(self.port.to_switch.transfer(PAGE_SIZE))
         yield self.config.switch_pipeline_us
-        yield self.engine.process(mem.port.from_switch.transfer(PAGE_SIZE))
+        yield from self.engine.subtask(mem.port.from_switch.transfer(PAGE_SIZE))
         yield self.config.memory_service_us
         self.stats.incr("pages_written_back")
 
     # -- replay --------------------------------------------------------------------
 
-    def run_thread(self, accesses: Iterable[Tuple[int, bool]]) -> Generator:
+    def run_thread(self, accesses: AccessOrStream) -> Generator:
+        stream = AccessStream.coerce(accesses)
+        vas = stream.vas
+        write_flags = stream.writes
+        dram_access_us = self.config.dram_access_us
+        cache_lookup = self.cache.lookup
         local_debt = 0.0
-        count = 0
-        for va, is_write in accesses:
-            count += 1
-            hit = self.cache.lookup(va, is_write)
+        count = len(vas)
+        for i in range(count):
+            va = vas[i]
+            is_write = write_flags[i]
+            hit = cache_lookup(va, is_write)
             if hit is not None:
-                local_debt += self.config.dram_access_us
+                local_debt += dram_access_us
                 if local_debt >= 25.0:
                     yield local_debt
                     local_debt = 0.0
@@ -124,7 +130,7 @@ class FastSwapSystem:
             if local_debt:
                 yield local_debt
                 local_debt = 0.0
-            yield from self._swap_in(align_down(va, PAGE_SIZE), is_write)
+            yield from self._swap_in(align_down(va, PAGE_SIZE), bool(is_write))
         if local_debt:
             yield local_debt
         return count
@@ -133,7 +139,7 @@ class FastSwapSystem:
         """Replay all threads on the single compute blade."""
         bases = [self.mmap(spec.size_bytes) for spec in workload.region_specs()]
         traces = workload.all_traces(bases)
-        procs = [self.engine.process(self.run_thread(t.accesses())) for t in traces]
+        procs = [self.engine.process(self.run_thread(t.stream())) for t in traces]
         barrier = self.engine.all_of(procs)
         self.engine.run_until_complete(barrier)
         total = sum(len(t) for t in traces)
@@ -145,4 +151,5 @@ class FastSwapSystem:
             runtime_us=self.engine.now,
             total_accesses=total,
             stats=self.stats,
+            kernel_stats=self.engine.kernel_stats(),
         )

@@ -35,7 +35,7 @@ from ..core.vma import align_down
 from ..sim.engine import Engine, Event, Resource
 from ..sim.network import CONTROL_MSG_BYTES, Network, NetworkConfig, PAGE_SIZE, Port
 from ..sim.stats import RunResult, StatsCollector
-from ..workloads.trace import TraceWorkload
+from ..workloads.trace import AccessOrStream, AccessStream, TraceWorkload
 
 #: Software path cost per access outside the lock (us).
 SOFT_ACCESS_US = 0.65
@@ -127,9 +127,9 @@ class GamSystem:
 
     def _rtt(self, src: Port, dst: Port, size_bytes: int) -> Generator:
         """src -> switch -> dst one-way carrying ``size_bytes``."""
-        yield self.engine.process(src.to_switch.transfer(size_bytes))
+        yield from self.engine.subtask(src.to_switch.transfer(size_bytes))
         yield self.config_pipeline_us()
-        yield self.engine.process(dst.from_switch.transfer(size_bytes))
+        yield from self.engine.subtask(dst.from_switch.transfer(size_bytes))
 
     def config_pipeline_us(self) -> float:
         # Plain L2 forwarding through the same switch hardware.
@@ -232,9 +232,10 @@ class GamSystem:
 
     def _invalidate(self, home: GamBlade, targets: List[int], page_va: int) -> Generator:
         """Home sends per-sharer invalidations (no multicast in software)."""
-        procs = []
-        for target in targets:
-            procs.append(self.engine.process(self._invalidate_one(home, target, page_va)))
+        procs = [
+            self.engine.process(self._invalidate_one(home, target, page_va))
+            for target in targets
+        ]
         yield self.engine.all_of(procs)
 
     def _invalidate_one(self, home: GamBlade, target: int, page_va: int) -> Generator:
@@ -265,13 +266,17 @@ class GamSystem:
     # -- workload replay -----------------------------------------------------------
 
     def run_thread(
-        self, blade: GamBlade, accesses: Iterable[Tuple[int, bool]], store_buffer_capacity: int = 32
+        self, blade: GamBlade, accesses: AccessOrStream, store_buffer_capacity: int = 32
     ) -> Generator:
         """Replay a trace under GAM's PSO consistency."""
+        stream = AccessStream.coerce(accesses)
+        vas = stream.vas
+        write_flags = stream.writes
         buffer = StoreBuffer(store_buffer_capacity)
-        count = 0
-        for va, is_write in accesses:
-            count += 1
+        count = len(vas)
+        for i in range(count):
+            va = vas[i]
+            is_write = write_flags[i]
             page_va = align_down(va, PAGE_SIZE)
             if not is_write:
                 pending = buffer.pending_for(page_va)
@@ -310,7 +315,7 @@ class GamSystem:
         gens = []
         for trace in traces:
             blade = self.blades[trace.thread_id % len(self.blades)]
-            gens.append(self.run_thread(blade, trace.accesses()))
+            gens.append(self.run_thread(blade, trace.stream()))
         procs = [self.engine.process(g) for g in gens]
         barrier = self.engine.all_of(procs)
         self.engine.run_until_complete(barrier)
@@ -323,4 +328,5 @@ class GamSystem:
             runtime_us=self.engine.now,
             total_accesses=total,
             stats=self.stats,
+            kernel_stats=self.engine.kernel_stats(),
         )

@@ -69,7 +69,7 @@ class PageCache:
         A write to a resident read-only page is a *permission miss* (counted
         as an upgrade): the caller must fault to run the S->M transition.
         """
-        page_va = align_down(va, PAGE_SIZE)
+        page_va = va - (va % PAGE_SIZE)
         page = self._pages.get(page_va)
         if page is None:
             self.misses += 1

@@ -36,8 +36,10 @@ from ..switchsim.packets import (
     AccessType,
     InvalidationAck,
     InvalidationRequest,
+    MemRequest,
     PacketVerdict,
 )
+from ..workloads.trace import AccessOrStream, AccessStream
 from .cache import PageCache
 from .consistency import ConsistencyModel, StoreBuffer
 from .tlb import PteTable
@@ -107,9 +109,7 @@ class ComputeBlade:
             trace_cat="blade",
             track=tracer.track(f"blade{self.blade_id}") if tracer.enabled else 0,
         )
-        acquire_ev = self.kernel_lock.acquire()
-        yield acquire_ev
-        queue_delay = acquire_ev.value or 0.0
+        queue_delay = (yield self.kernel_lock.acquire()) or 0.0
         spans.mark("queue")
         try:
             self.stats.incr("invalidations_received")
@@ -194,15 +194,13 @@ class ComputeBlade:
                 yield self.config.fault_overhead_us
             finally:
                 self.kernel_lock.release()
-            from ..switchsim.packets import MemRequest
-
             req = MemRequest(
                 va=page_va,
                 pdid=pdid,
                 access=AccessType.WRITE if write else AccessType.READ,
                 src_port=self.port.port_id,
             )
-            result: FaultResult = yield self.engine.process(
+            result: FaultResult = yield from self.engine.subtask(
                 self.datapath.handle_fault(req)
             )
             while result.stale:
@@ -211,7 +209,7 @@ class ComputeBlade:
                 # result (never insert a stale page) and re-issue against
                 # the rebuilt data plane.
                 self.stats.incr("faults_reissued")
-                result = yield self.engine.process(
+                result = yield from self.engine.subtask(
                     self.datapath.handle_fault(req)
                 )
             if result.coalesced:
@@ -313,37 +311,46 @@ class ComputeBlade:
     def run_thread(
         self,
         pdid: int,
-        accesses: Iterable[Tuple[int, bool]],
+        accesses: AccessOrStream,
         consistency: ConsistencyModel = ConsistencyModel.TSO,
         store_buffer_capacity: int = 32,
     ) -> Generator:
-        """Replay ``(va, is_write)`` accesses as one execution thread.
+        """Replay an access stream as one execution thread.
 
+        ``accesses`` is ideally an :class:`AccessStream` (the traces'
+        ``stream()`` form); any ``(va, is_write)`` iterable is coerced.
         Returns the number of accesses performed.  Local hits accumulate
         DRAM time and flush it to the event loop in batches.
         """
+        stream = AccessStream.coerce(accesses)
+        vas = stream.vas
+        write_flags = stream.writes
         pso = consistency is ConsistencyModel.PSO
         store_buffer = StoreBuffer(store_buffer_capacity) if pso else None
+        dram_access_us = self.config.dram_access_us
+        cache_lookup = self.cache.lookup
         local_debt = 0.0
-        count = 0
+        count = len(vas)
         steal_seen = self.steal_time_us
-        for va, is_write in accesses:
-            count += 1
+        for i in range(count):
+            va = vas[i]
+            is_write = write_flags[i]
             if self.steal_time_us != steal_seen:
                 # Pay for TLB-shootdown IPIs that interrupted this core.
                 local_debt += self.steal_time_us - steal_seen
                 steal_seen = self.steal_time_us
-            page_va = align_down(va, PAGE_SIZE)
-            if pso and not is_write:
-                pending = store_buffer.pending_for(page_va)
-                if pending is not None and not pending.triggered:
-                    if local_debt:
-                        yield local_debt
-                        local_debt = 0.0
-                    yield pending
-            hit = self.cache.lookup(va, is_write)
+            if pso:
+                page_va = va - (va % PAGE_SIZE)
+                if not is_write:
+                    pending = store_buffer.pending_for(page_va)
+                    if pending is not None and not pending.triggered:
+                        if local_debt:
+                            yield local_debt
+                            local_debt = 0.0
+                        yield pending
+            hit = cache_lookup(va, is_write)
             if hit is not None:
-                local_debt += self.config.dram_access_us
+                local_debt += dram_access_us
                 if local_debt >= LOCAL_TIME_BATCH_US:
                     yield local_debt
                     local_debt = 0.0
@@ -354,7 +361,9 @@ class ComputeBlade:
             if pso and is_write:
                 yield from self._issue_async_write(pdid, page_va, store_buffer)
             else:
-                page = yield from self._fault(pdid, page_va, is_write)
+                page = yield from self._fault(
+                    pdid, va - (va % PAGE_SIZE), bool(is_write)
+                )
                 if is_write:
                     page.dirty = True
         if pso:

@@ -271,7 +271,7 @@ class CoherenceProtocol:
         spans.mark("request")
 
         # Pipeline pass 1: protection check, directory lookup, STT match.
-        yield self.engine.process(pkt.traverse())
+        yield from self.engine.subtask(pkt.traverse())
         verdict = pkt.execute(
             self.protection_mau,
             lambda: self.protection.check(req.pdid, req.va, req.access),
@@ -298,7 +298,7 @@ class CoherenceProtocol:
             self.stats.incr(f"transition:{transition.label}")
 
             # Recirculate so the directory MAU can apply the update.
-            yield self.engine.process(pkt.recirculate())
+            yield from self.engine.subtask(pkt.recirculate())
             old_owner = region.owner
             old_sharers = frozenset(region.sharers)
             pkt.execute(

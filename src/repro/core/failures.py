@@ -63,12 +63,11 @@ class ControlPlaneReplicator:
     def capture(self) -> ControlPlaneSnapshot:
         ctl = self.controller
         tasks = [(t.pid, t.name) for t in ctl.tasks()]
-        vmas = []
-        for task in ctl.tasks():
-            for vma, blade_id in task.vmas.values():
-                vmas.append(
-                    (task.pid, vma.base, vma.length, vma.pdid, vma.perm, blade_id)
-                )
+        vmas = [
+            (task.pid, vma.base, vma.length, vma.pdid, vma.perm, blade_id)
+            for task in ctl.tasks()
+            for vma, blade_id in task.vmas.values()
+        ]
         snapshot = ControlPlaneSnapshot(
             version=ctl.version,
             tasks=tasks,

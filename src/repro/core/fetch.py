@@ -51,7 +51,7 @@ class DataPath:
         ctx = self.ctx
         attempt = 0
         while True:
-            delivered = yield ctx.engine.process(make_transfer())
+            delivered = yield from ctx.engine.subtask(make_transfer())
             if delivered:
                 return attempt
             ctx.stats.incr("retransmissions")
@@ -237,7 +237,7 @@ class DataPath:
         yield from self.deliver(lambda: blade.port.to_switch.transfer(PAGE_SIZE))
         # Response pass through the pipeline, then down to the requester.
         resp = ctx.pipeline.packet()
-        yield ctx.engine.process(resp.traverse())
+        yield from ctx.engine.subtask(resp.traverse())
         yield from self.deliver(lambda: requester.from_switch.transfer(PAGE_SIZE))
         yield ctx.config.rdma_verb_overhead_us
         return data
@@ -296,7 +296,7 @@ class DataPath:
         ctx.stats.incr("cache_to_cache_transfers")
         yield from self.deliver(lambda: owner_port.to_switch.transfer(PAGE_SIZE))
         resp = ctx.pipeline.packet()
-        yield ctx.engine.process(resp.traverse())
+        yield from ctx.engine.subtask(resp.traverse())
         yield from self.deliver(lambda: requester.from_switch.transfer(PAGE_SIZE))
         yield ctx.config.rdma_verb_overhead_us
         return data, was_reset
@@ -325,7 +325,7 @@ class DataPath:
         # leave memory stale behind an Invalid directory -- incoherence.
         yield from self.deliver(lambda: src_port.to_switch.transfer(PAGE_SIZE))
         pkt = ctx.pipeline.packet()
-        yield ctx.engine.process(pkt.traverse())
+        yield from ctx.engine.subtask(pkt.traverse())
         yield from self.deliver(lambda: blade.port.from_switch.transfer(PAGE_SIZE))
         yield from self.blade_ready(blade)
         yield self.blade_service_us(blade)

@@ -197,17 +197,17 @@ class MigrationManager:
         """One page: RDMA read from source, RDMA write to destination."""
         config = self.coherence.config
         # Switch -> source: read request; source streams the page back.
-        yield self.engine.process(
+        yield from self.engine.subtask(
             src_blade.port.from_switch.transfer(CONTROL_MSG_BYTES)
         )
         yield config.memory_service_us + config.dram_access_us
         data = src_blade.read_page(src_pa)
-        yield self.engine.process(src_blade.port.to_switch.transfer(PAGE_SIZE))
+        yield from self.engine.subtask(src_blade.port.to_switch.transfer(PAGE_SIZE))
         # Switch -> destination: write the page; destination ACKs.
-        yield self.engine.process(dst_blade.port.from_switch.transfer(PAGE_SIZE))
+        yield from self.engine.subtask(dst_blade.port.from_switch.transfer(PAGE_SIZE))
         yield config.memory_service_us + config.dram_access_us
         dst_blade.write_page(dst_pa, data)
-        yield self.engine.process(
+        yield from self.engine.subtask(
             dst_blade.port.to_switch.transfer(CONTROL_MSG_BYTES)
         )
 

@@ -208,9 +208,8 @@ class PendingTransactionTable:
         txn.phase = TxnPhase.ADMIT
         waited = False
         if not txn.control:
-            slot = self._slots.acquire()
-            yield slot
-            if slot.value:
+            slot_wait = yield self._slots.acquire()
+            if slot_wait:
                 waited = True
             self.stats.incr("txn_admitted")
             if self._slots.in_use > self.peak:

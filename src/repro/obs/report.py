@@ -254,11 +254,11 @@ class RunReport:
                 f"  {'category':<24s}{'count':>8s}{'mean':>9s}"
                 f"{'p50':>9s}{'p99':>9s}{'max':>9s}"
             )
-            for cat, s in self.latencies.items():
-                lines.append(
-                    f"  {cat:<24s}{s.count:>8d}{s.mean:>9.2f}"
-                    f"{s.p50:>9.2f}{s.p99:>9.2f}{s.max:>9.2f}"
-                )
+            lines.extend(
+                f"  {cat:<24s}{s.count:>8d}{s.mean:>9.2f}"
+                f"{s.p50:>9.2f}{s.p99:>9.2f}{s.max:>9.2f}"
+                for cat, s in self.latencies.items()
+            )
         if self.fault_breakdown:
             total = sum(self.fault_breakdown.values())
             lines.append("")
@@ -274,10 +274,12 @@ class RunReport:
         if self.invalidation_breakdown:
             lines.append("")
             lines.append("invalidation handling (total us across blades):")
-            for comp, us in sorted(
-                self.invalidation_breakdown.items(), key=lambda kv: -kv[1]
-            ):
-                lines.append(f"  {comp:<24s}{us:>12.1f} us")
+            lines.extend(
+                f"  {comp:<24s}{us:>12.1f} us"
+                for comp, us in sorted(
+                    self.invalidation_breakdown.items(), key=lambda kv: -kv[1]
+                )
+            )
         if self.hotspots:
             lines.append("")
             lines.append(f"top queueing hotspots (accumulated wait, top {top}):")
@@ -288,19 +290,25 @@ class RunReport:
         if self.switch_peaks:
             lines.append("")
             lines.append("switch resources:")
-            for name, value in self.switch_peaks.items():
-                lines.append(f"  {name:<28s}{value:>12d}")
+            lines.extend(
+                f"  {name:<28s}{value:>12d}"
+                for name, value in self.switch_peaks.items()
+            )
         if self.txn_engine:
             lines.append("")
             lines.append("transaction engine (pending-table activity):")
-            for name in _TXN_COUNTERS:
-                if name in self.txn_engine:
-                    lines.append(f"  {name:<28s}{self.txn_engine[name]:>12d}")
+            lines.extend(
+                f"  {name:<28s}{self.txn_engine[name]:>12d}"
+                for name in _TXN_COUNTERS
+                if name in self.txn_engine
+            )
         if self.timeseries_peaks:
             lines.append("")
             lines.append("sampled series peaks:")
-            for name, value in self.timeseries_peaks.items():
-                lines.append(f"  {name:<28s}{value:>12.1f}")
+            lines.extend(
+                f"  {name:<28s}{value:>12.1f}"
+                for name, value in self.timeseries_peaks.items()
+            )
         if self.availability:
             a = self.availability
             lines.append("")

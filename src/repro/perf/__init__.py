@@ -1,0 +1,27 @@
+"""Self-profiling harness for the simulation kernel.
+
+``python -m repro profile`` times a sweep preset/grid point-by-point in
+process, reads the engine's scheduler counters (events executed,
+fast-path hits) from each run, and emits a ``repro.profile/v1`` JSON
+document -- the checked-in speed baseline ``benchmarks/BENCH_speed.json``
+is one of these.  Wall-clock data lives *only* here: sweep documents
+(schema ``repro.sweep/v1``) stay wall-clock-free so they diff clean
+across machines, and the per-point profiles in this document are the
+"side file" for kernel telemetry that must never enter sweep metrics.
+"""
+
+from .harness import (
+    SCHEMA,
+    PointProfile,
+    ProfileReport,
+    compare_wall_seconds,
+    run_profile,
+)
+
+__all__ = [
+    "SCHEMA",
+    "PointProfile",
+    "ProfileReport",
+    "compare_wall_seconds",
+    "run_profile",
+]

@@ -1,0 +1,155 @@
+"""``python -m repro profile``: time the kernel, not the simulation.
+
+Examples::
+
+    # the CI speed check: best-of-3 wall clock for the quick preset
+    python -m repro profile --preset ci-quick --seeds 1,2 \\
+        --json-out benchmarks/BENCH_speed.json
+
+    # where does the time go?  cProfile top-25 by internal time
+    python -m repro profile --preset ci-quick --seeds 1,2 --cprofile 25
+
+    # advisory regression check against the checked-in baseline
+    python -m repro profile --preset ci-quick --seeds 1,2 \\
+        --compare-to benchmarks/BENCH_speed.json
+
+Wall clocks are machine-specific, so ``--compare-to`` only *warns* on a
+slowdown (exit status stays 0); the byte-exact simulation gate is
+``python -m repro sweep --compare-to`` which this command never touches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List
+
+from ..sweep.presets import PRESETS, preset_grids
+from ..sweep.spec import GridSpec, SweepSpec, parse_grid
+from .harness import compare_wall_seconds, run_profile
+
+
+def _parse_seeds(text: str) -> List[int]:
+    try:
+        seeds = [int(part) for part in text.split(",") if part.strip() != ""]
+    except ValueError:
+        raise SystemExit(f"bad --seeds {text!r}: expected comma-separated ints")
+    if not seeds:
+        raise SystemExit(f"bad --seeds {text!r}: no seeds")
+    return seeds
+
+
+def add_profile_parser(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "profile",
+        help="wall-clock profile of the simulation kernel on a sweep spec",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="AXES",
+        help="grid in 'axis=v1,v2;axis2=...' syntax (repeatable)",
+    )
+    parser.add_argument(
+        "--preset",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help=f"named grid from {sorted(PRESETS)} (repeatable)",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="1",
+        metavar="S1,S2,...",
+        help="seed list crossed with every grid (default: 1)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timed repetitions; the best (min wall) is reported (default 3)",
+    )
+    parser.add_argument(
+        "--cprofile",
+        type=int,
+        default=0,
+        metavar="TOP",
+        help="also run one pass under cProfile and print the top TOP entries",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        help="write the repro.profile/v1 document here",
+    )
+    parser.add_argument(
+        "--compare-to",
+        metavar="BASELINE",
+        help="checked-in speed baseline; warn (never fail) on a slowdown",
+    )
+    parser.add_argument(
+        "--warn-frac",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="slowdown fraction that triggers the warning (default 0.25)",
+    )
+    parser.set_defaults(fn=main)
+
+
+def main(args: argparse.Namespace) -> int:
+    grids: List[GridSpec] = []
+    for name in args.preset:
+        grids.extend(preset_grids(name))
+    grids.extend(parse_grid(text) for text in args.grid)
+    if not grids:
+        raise SystemExit("nothing to profile: pass --grid and/or --preset")
+    spec = SweepSpec(grids, _parse_seeds(args.seeds))
+    report = run_profile(spec, reps=args.reps, cprofile_top=args.cprofile)
+    doc = report.to_doc()
+
+    walls = ", ".join(f"{w:.3f}s" for w in report.wall_seconds_per_rep)
+    print(f"profiled {len(report.points)} points x {report.reps} reps: {walls}")
+    print(
+        f"best {report.best_wall_seconds:.3f}s | "
+        f"{report.events_per_second:,.0f} engine events/s | "
+        f"{report.accesses_per_second:,.0f} accesses/s"
+    )
+    totals = report.kernel_totals()
+    print(
+        "kernel: "
+        + ", ".join(f"{name}={totals[name]:,}" for name in sorted(totals))
+    )
+    if report.cprofile_text:
+        print(report.cprofile_text)
+
+    if args.json_out:
+        tmp = f"{args.json_out}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, args.json_out)
+        print(f"wrote {args.json_out}")
+
+    if args.compare_to:
+        try:
+            with open(args.compare_to) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: cannot read {args.compare_to}: {exc}", file=sys.stderr)
+            return 0
+        warning = compare_wall_seconds(doc, baseline, warn_frac=args.warn_frac)
+        if warning:
+            print(f"warning: {warning}", file=sys.stderr)
+        else:
+            base = float(baseline.get("best_wall_seconds", 0.0))
+            print(
+                f"speed vs baseline: {report.best_wall_seconds:.3f}s "
+                f"vs {base:.3f}s (within budget)"
+            )
+    return 0

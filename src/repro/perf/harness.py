@@ -1,0 +1,226 @@
+"""Point-by-point wall-clock profiling of sweep specs.
+
+The harness re-runs each sweep point in this process (same code path as
+``repro.sweep.engine.execute_point``) wrapped in ``perf_counter`` timing,
+and pulls :meth:`repro.sim.engine.Engine.kernel_stats` off every
+:class:`~repro.sim.stats.RunResult`.  Repetitions time the *whole spec*
+and the best (minimum-wall) repetition is reported, which filters most
+scheduler noise without needing long runs.
+
+Determinism guard: simulated metrics are extracted from every repetition
+and must be identical across repetitions -- a cheap tripwire that the
+kernel fast paths being measured did not change simulation results.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+from ..faults import FaultPlan
+from ..runner import run_system
+from ..sim.stats import RunResult
+from ..sweep.engine import extract_metrics, reseed_plan_for_point
+from ..sweep.spec import SweepPoint, SweepSpec, build_workload_cached
+
+#: schema tag for profile documents (BENCH_speed.json is one of these).
+SCHEMA = "repro.profile/v1"
+
+
+@dataclass
+class PointProfile:
+    """One sweep point's wall time and kernel counters (best repetition)."""
+
+    point_id: str
+    cell_id: str
+    wall_seconds: float
+    total_accesses: int
+    kernel_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def events_executed(self) -> int:
+        return int(self.kernel_stats.get("events_executed", 0))
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "point_id": self.point_id,
+            "cell_id": self.cell_id,
+            "wall_seconds": self.wall_seconds,
+            "total_accesses": self.total_accesses,
+            "kernel_stats": {k: self.kernel_stats[k] for k in sorted(self.kernel_stats)},
+        }
+
+
+@dataclass
+class ProfileReport:
+    """A full profiling run: spec identity, wall times, derived rates."""
+
+    spec: SweepSpec
+    reps: int
+    wall_seconds_per_rep: List[float]
+    points: List[PointProfile]
+    cprofile_text: Optional[str] = None
+
+    @property
+    def best_wall_seconds(self) -> float:
+        return min(self.wall_seconds_per_rep)
+
+    @property
+    def events_executed(self) -> int:
+        return sum(p.events_executed for p in self.points)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(p.total_accesses for p in self.points)
+
+    @property
+    def events_per_second(self) -> float:
+        best = self.best_wall_seconds
+        return self.events_executed / best if best > 0 else 0.0
+
+    @property
+    def accesses_per_second(self) -> float:
+        best = self.best_wall_seconds
+        return self.total_accesses / best if best > 0 else 0.0
+
+    def kernel_totals(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for point in self.points:
+            for name, value in point.kernel_stats.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "spec_digest": self.spec.digest(),
+            "num_points": len(self.points),
+            "reps": self.reps,
+            "wall_seconds_per_rep": self.wall_seconds_per_rep,
+            "best_wall_seconds": self.best_wall_seconds,
+            "events_executed": self.events_executed,
+            "events_per_second": self.events_per_second,
+            "total_accesses": self.total_accesses,
+            "accesses_per_second": self.accesses_per_second,
+            "kernel_totals": self.kernel_totals(),
+            "points": [p.to_json() for p in self.points],
+        }
+
+
+def _run_point(
+    point: SweepPoint, fault_plan: Optional[FaultPlan]
+) -> RunResult:
+    """Execute one point exactly as the sweep engine would."""
+    workload = build_workload_cached(point)
+    extra: Dict[str, Any] = {}
+    if fault_plan is not None:
+        extra["fault_plan"] = reseed_plan_for_point(fault_plan, point)
+    config = point.runner_config(**extra)
+    return run_system(point.system, workload, point.num_blades, config)
+
+
+def run_profile(
+    spec: SweepSpec,
+    reps: int = 3,
+    fault_plan: Optional[FaultPlan] = None,
+    cprofile_top: int = 0,
+) -> ProfileReport:
+    """Profile every point of ``spec``; report the best of ``reps`` passes.
+
+    Raises :class:`RuntimeError` if any simulated metric differs between
+    repetitions (the kernel fast paths must not change simulation
+    results, and repeated runs of a point are pure functions of it).
+    """
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    points = spec.points()
+    # Warm the per-process workload cache outside the timed region so the
+    # first repetition is not charged for trace synthesis.
+    for point in points:
+        build_workload_cached(point)
+
+    wall_per_rep: List[float] = []
+    best_points: List[PointProfile] = []
+    reference_metrics: Optional[List[Dict[str, float]]] = None
+    for _ in range(reps):
+        rep_points: List[PointProfile] = []
+        rep_metrics: List[Dict[str, float]] = []
+        rep_wall = 0.0
+        for point in points:
+            t0 = perf_counter()
+            result = _run_point(point, fault_plan)
+            wall = perf_counter() - t0
+            rep_wall += wall
+            rep_metrics.append(extract_metrics(result))
+            rep_points.append(
+                PointProfile(
+                    point_id=point.point_id,
+                    cell_id=point.cell_id,
+                    wall_seconds=wall,
+                    total_accesses=result.total_accesses,
+                    kernel_stats=dict(result.kernel_stats),
+                )
+            )
+        if reference_metrics is None:
+            reference_metrics = rep_metrics
+        elif rep_metrics != reference_metrics:
+            raise RuntimeError(
+                "simulated metrics changed between profiling repetitions; "
+                "the kernel is non-deterministic"
+            )
+        if not wall_per_rep or rep_wall < min(wall_per_rep):
+            best_points = rep_points
+        wall_per_rep.append(rep_wall)
+
+    cprofile_text = None
+    if cprofile_top > 0:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for point in points:
+            _run_point(point, fault_plan)
+        profiler.disable()
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("tottime").print_stats(cprofile_top)
+        cprofile_text = buf.getvalue()
+
+    return ProfileReport(
+        spec=spec,
+        reps=reps,
+        wall_seconds_per_rep=wall_per_rep,
+        points=best_points,
+        cprofile_text=cprofile_text,
+    )
+
+
+def compare_wall_seconds(
+    current: Dict[str, Any], baseline: Dict[str, Any], warn_frac: float = 0.25
+) -> Optional[str]:
+    """Warning text if ``current`` is more than ``warn_frac`` slower.
+
+    Wall clocks differ across machines, so this is advisory (CI prints
+    the warning but does not fail); ``None`` means within budget.  Specs
+    must match -- comparing different workloads is meaningless.
+    """
+    if current.get("spec_digest") != baseline.get("spec_digest"):
+        return (
+            "speed baseline covers a different spec "
+            f"({baseline.get('spec_digest')!r} != {current.get('spec_digest')!r}); "
+            "regenerate it with: python -m repro profile --preset ci-quick "
+            "--json-out benchmarks/BENCH_speed.json"
+        )
+    base = float(baseline.get("best_wall_seconds", 0.0))
+    cur = float(current.get("best_wall_seconds", 0.0))
+    if base <= 0.0:
+        return None
+    if cur > base * (1.0 + warn_frac):
+        return (
+            f"kernel speed regression: ci-quick wall clock {cur:.3f}s is "
+            f"{cur / base:.2f}x the checked-in baseline {base:.3f}s "
+            f"(warn threshold {1.0 + warn_frac:.2f}x)"
+        )
+    return None

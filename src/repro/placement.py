@@ -157,7 +157,7 @@ def run_with_placement(
     gens = []
     for trace in traces:
         blade = cluster.compute_blade(placement[trace.thread_id])
-        gens.append(blade.run_thread(task.pid, trace.accesses()))
+        gens.append(blade.run_thread(task.pid, trace.stream()))
     cluster.run_all(gens)
     total = sum(len(t) for t in traces)
     return RunResult(
@@ -168,4 +168,5 @@ def run_with_placement(
         runtime_us=cluster.engine.now,
         total_accesses=total,
         stats=cluster.stats,
+        kernel_stats=cluster.engine.kernel_stats(),
     )

@@ -121,7 +121,7 @@ def run_on_mind(
         thread = controller.place_thread(task.pid)
         blade = cluster.compute_blade(thread.blade_id)
         gens.append(
-            blade.run_thread(task.pid, trace.accesses(), consistency=consistency)
+            blade.run_thread(task.pid, trace.stream(), consistency=consistency)
         )
     cluster.run_all(gens)
     total = sum(len(t) for t in traces)
@@ -136,6 +136,7 @@ def run_on_mind(
         total_accesses=total,
         stats=cluster.stats,
         trace=cluster.tracer if cfg.trace else None,
+        kernel_stats=cluster.engine.kernel_stats(),
     )
 
 

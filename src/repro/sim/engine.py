@@ -15,15 +15,43 @@ a minimal but complete process-based discrete-event kernel:
 Determinism: ties in the event queue are broken by insertion order, and the
 engine never consults wall-clock time, so a run is a pure function of its
 inputs and seeds.
+
+Fast paths (all order-preserving -- see DESIGN.md "kernel performance
+model" for the argument):
+
+- Zero-delay schedules (event callbacks, process starts) go to a FIFO
+  *ready deque* instead of the heap.  The run loop merges the deque and the
+  heap by the global ``(time, insertion seq)`` key, so execution order is
+  exactly the order a single heap would have produced, while the dominant
+  ``succeed()``-at-now traffic never pays ``heapq``'s log-time push/pop.
+- When a process waits on an *already-triggered* event (uncontended
+  ``Resource.acquire``, joining a completed process) and no other event is
+  due at the current timestamp, it resumes synchronously instead of taking
+  a zero-delay trip through the scheduler.  The guard makes the fast path
+  unobservable: the continuation would have been the very next event to
+  execute anyway.  A bounded continuation depth
+  (:data:`MAX_INLINE_CONTINUATIONS`) keeps pathological always-ready
+  chains from starving the loop.
+- Events created by ``Resource.acquire`` and ``Engine.timeout`` are
+  recycled through a bounded freelist.  Pooled events are single-consumer
+  by contract: exactly one process yields them, and their ``.value`` must
+  be read through the ``yield`` expression, not off the event afterwards.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 from ..obs.tracer import NULL_TRACER
+
+#: consecutive synchronous continuations one process may take before being
+#: bounced through the ready deque (guards against unbounded inline chains).
+MAX_INLINE_CONTINUATIONS = 64
+
+#: recycled events kept per engine; beyond this they fall to the GC.
+EVENT_POOL_CAPACITY = 1024
 
 
 class SimulationError(RuntimeError):
@@ -37,13 +65,19 @@ class Event:
     wait on the same event; all are resumed (in wait order) when it fires.
     """
 
-    __slots__ = ("engine", "_callbacks", "triggered", "value")
+    __slots__ = ("engine", "_callbacks", "triggered", "value", "_pooled")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
-        self._callbacks: List[Callable[["Event"], None]] = []
+        # The callback list materialises on first waiter: most events in a
+        # run (uncontended grants, short-lived completions) never get one.
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = None
         self.triggered = False
         self.value: Any = None
+        #: True while the event is owned by the engine's freelist discipline
+        #: (created by ``Resource.acquire`` / ``Engine.timeout``).  Pooled
+        #: events are single-consumer: one process yields them once.
+        self._pooled = False
 
     def succeed(self, value: Any = None) -> "Event":
         """Fire the event, resuming all waiters at the current sim time."""
@@ -51,14 +85,22 @@ class Event:
             raise SimulationError("event already triggered")
         self.triggered = True
         self.value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            self.engine.schedule(0.0, cb, self)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = None
+            engine = self.engine
+            now = engine.now
+            append = engine._ready.append
+            for cb in callbacks:
+                engine._counter += 1
+                append((now, engine._counter, cb, (self,)))
         return self
 
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         if self.triggered:
-            self.engine.schedule(0.0, cb, self)
+            self.engine._schedule_now(cb, (self,))
+        elif self._callbacks is None:
+            self._callbacks = [cb]
         else:
             self._callbacks.append(cb)
 
@@ -97,42 +139,120 @@ class Process(Event):
     yielding them.
     """
 
-    __slots__ = ("_gen", "name", "_t_start")
+    __slots__ = ("_gen", "_name", "_seq", "_t_start")
 
-    def __init__(self, engine: "Engine", gen: Generator, name: str = "proc"):
+    def __init__(self, engine: "Engine", gen: Generator, name: Optional[str] = None):
         super().__init__(engine)
         self._gen = gen
-        self.name = name
-        self._t_start = engine.now if engine.tracer.enabled else None
-        engine.schedule(0.0, self._resume, None)
+        self._name = name
+        self._seq = engine._processes_started
+        # Cheap unconditional snapshot: the tracer is resolved at completion
+        # time, so processes started before a cluster installs its tracer
+        # still emit completion spans.
+        self._t_start = engine.now
+        engine._schedule_now(self._resume, (None,))
+
+    @property
+    def name(self) -> str:
+        return self._name or f"proc-{self._seq}"
 
     def _resume(self, _wake: Any) -> None:
-        value = _wake.value if isinstance(_wake, Event) else None
-        try:
-            target = self._gen.send(value)
-        except StopIteration as stop:
-            tracer = self.engine.tracer
-            if tracer.enabled and self._t_start is not None:
-                tracer.complete(
-                    self._t_start,
-                    self.engine.now - self._t_start,
-                    "engine",
-                    self.name,
-                    track=tracer.track("processes"),
-                )
-            self.succeed(stop.value)
-            return
-        self._wait_on(target)
-
-    def _wait_on(self, target: Any) -> None:
-        if isinstance(target, Event):
-            target.add_callback(self._resume)
-        elif isinstance(target, (int, float)):
-            if target < 0:
-                raise SimulationError(f"negative timeout: {target!r}")
-            self.engine.schedule(float(target), self._resume, None)
+        engine = self.engine
+        send = self._gen.send
+        ready = engine._ready
+        queue = engine._queue
+        heappush = heapq.heappush
+        limit = engine._until
+        if _wake is None:
+            value = None
         else:
-            raise SimulationError(f"process yielded unsupported value: {target!r}")
+            # Pooled events are single-consumer (the value is read here,
+            # the object is never retained), so a wake-up that arrived via
+            # the scheduler can recycle exactly like the inline path does.
+            value = _wake.value
+            if _wake._pooled:
+                engine._recycle(_wake)
+        inline_budget = MAX_INLINE_CONTINUATIONS
+        while True:
+            try:
+                target = send(value)
+            except StopIteration as stop:
+                tracer = engine.tracer
+                if tracer.enabled:
+                    tracer.complete(
+                        self._t_start,
+                        engine.now - self._t_start,
+                        "engine",
+                        self.name,
+                        track=tracer.track("processes"),
+                    )
+                self.succeed(stop.value)
+                return
+            # The exact-type check dodges isinstance's subclass walk for the
+            # overwhelmingly common plain-float delay; events and the rare
+            # int/numpy delays take the isinstance fallbacks below.
+            if type(target) is not float:
+                if isinstance(target, Event):
+                    if (
+                        target.triggered
+                        and inline_budget > 0
+                        and not ready
+                        and (not queue or queue[0][0] > engine.now)
+                    ):
+                        # Synchronous continuation: the scheduled wake-up
+                        # would have been the next event executed, so running
+                        # it now is unobservable -- and skips a scheduler
+                        # round-trip.
+                        inline_budget -= 1
+                        engine.inline_continuations += 1
+                        value = target.value
+                        if target._pooled:
+                            engine._recycle(target)
+                        continue
+                    target.add_callback(self._resume)
+                    return
+                if not isinstance(target, (int, float)):
+                    raise SimulationError(
+                        f"process yielded unsupported value: {target!r}"
+                    )
+                target = float(target)
+            if target > 0.0:
+                wake = engine.now + target
+                if (
+                    inline_budget > 0
+                    and not ready
+                    and (not queue or queue[0][0] > wake)
+                    and (limit is None or wake <= limit)
+                ):
+                    # Inline clock advance: the wake-up at ``wake`` would be
+                    # the globally next event (the ready deque is empty and
+                    # every heap entry is strictly later), so advancing the
+                    # clock and continuing here is unobservable -- the event
+                    # set and all timestamps are exactly the heap path's.
+                    inline_budget -= 1
+                    engine.inline_clock_advances += 1
+                    engine.now = wake
+                    value = None
+                    continue
+                engine._counter += 1
+                heappush(
+                    queue,
+                    (wake, engine._counter, self._resume, (None,)),
+                )
+                return
+            if target < 0.0:
+                raise SimulationError(f"negative timeout: {target!r}")
+            if (
+                inline_budget > 0
+                and not ready
+                and (not queue or queue[0][0] > engine.now)
+            ):
+                inline_budget -= 1
+                engine.inline_continuations += 1
+                value = None
+                continue
+            engine._schedule_now(self._resume, (None,))
+            return
 
 
 class Engine:
@@ -149,9 +269,28 @@ class Engine:
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: List = []
+        #: zero-delay entries, FIFO in insertion order; merged with the heap
+        #: by (time, seq) so the execution order matches a single queue.
+        self._ready: deque = deque()
         self._counter = 0
+        #: time limit of the innermost ``run(until=...)``; the inline
+        #: clock-advance fast path must never step past it, because the
+        #: slow path leaves later wake-ups parked in the heap.
+        self._until: Optional[float] = None
         self._processes_started = 0
         self.events_executed = 0
+        #: waits short-circuited by the synchronous-continuation fast path
+        #: (each one is a scheduler round-trip that never happened).
+        self.inline_continuations = 0
+        #: positive-delay waits absorbed by advancing the clock in place:
+        #: the wake-up was provably the globally next event, so the heap
+        #: round-trip is skipped and ``now`` is set directly.
+        self.inline_clock_advances = 0
+        #: spawn-and-join children run as plain nested generators because
+        #: nothing else was due at the instant they started (see subtask).
+        self.subtasks_fused = 0
+        #: recycled Events (Resource.acquire / timeout) awaiting reuse.
+        self._event_pool: List[Event] = []
         #: the observability sink; NULL_TRACER unless a cluster installs one.
         self.tracer = NULL_TRACER
         #: named resources register here so run reports can rank queueing
@@ -163,10 +302,55 @@ class Engine:
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` microseconds of simulated time."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if delay <= 0:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule in the past (delay={delay})")
+            self._counter += 1
+            self._ready.append((self.now, self._counter, fn, args))
+            return
         self._counter += 1
         heapq.heappush(self._queue, (self.now + delay, self._counter, fn, args))
+
+    def _schedule_now(self, fn: Callable, args: tuple) -> None:
+        """Zero-delay schedule on the ready deque (internal hot path)."""
+        self._counter += 1
+        self._ready.append((self.now, self._counter, fn, args))
+
+    def _pooled_event(self) -> Event:
+        """A recycled (or fresh) single-consumer event."""
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+        else:
+            ev = Event(self)
+        ev._pooled = True
+        return ev
+
+    def _recycle(self, ev: Event) -> None:
+        """Return a pooled event to the freelist (resets one-shot state)."""
+        ev._pooled = False
+        if len(self._event_pool) < EVENT_POOL_CAPACITY:
+            ev.triggered = False
+            ev.value = None
+            ev._callbacks = None
+            self._event_pool.append(ev)
+
+    def kernel_stats(self) -> Dict[str, int]:
+        """Scheduler-side counters for the profiling harness.
+
+        These describe the *kernel's* work (events dispatched, fast-path
+        hits), not the simulated system, and are deliberately kept out of
+        sweep metrics: fast-path changes shift them without changing any
+        simulated result, and sweep documents must stay byte-comparable
+        across kernel versions.
+        """
+        return {
+            "events_executed": self.events_executed,
+            "processes_started": self._processes_started,
+            "inline_continuations": self.inline_continuations,
+            "inline_clock_advances": self.inline_clock_advances,
+            "subtasks_fused": self.subtasks_fused,
+        }
 
     def event(self) -> Event:
         return Event(self)
@@ -177,36 +361,142 @@ class Engine:
     def process(self, gen: Generator, name: Optional[str] = None) -> Process:
         """Start a new process from a generator."""
         self._processes_started += 1
-        return Process(self, gen, name or f"proc-{self._processes_started}")
+        return Process(self, gen, name)
+
+    def subtask(self, gen: Generator) -> Generator:
+        """Spawn-and-join a child generator: ``result = yield from
+        engine.subtask(gen)`` is semantically ``yield engine.process(gen)``.
+
+        When nothing else is due at the current instant (the same condition
+        that makes synchronous continuations unobservable) and tracing is
+        off, the child generator itself is returned and the caller's
+        ``yield from`` drives it directly -- no Process allocation, no
+        scheduler round-trips, no completion-event machinery, not even a
+        wrapper frame.  The side-effect order is exactly what dispatching
+        the child's start next would have produced.  Any other time -- or
+        whenever the tracer is on, so per-process spans and names stay
+        stable -- it falls back to a real spawn-and-join process.
+        """
+        if (
+            not self._ready
+            and not self.tracer.enabled
+            and (not self._queue or self._queue[0][0] > self.now)
+        ):
+            self.subtasks_fused += 1
+            return gen
+        return self._spawn_join(gen)
+
+    def _spawn_join(self, gen: Generator) -> Generator:
+        return (yield self.process(gen))
 
     def timeout(self, delay: float, value: Any = None) -> Event:
-        """An event that fires after ``delay`` microseconds."""
-        ev = Event(self)
+        """An event that fires after ``delay`` microseconds.
+
+        The event is recycled through the engine's freelist once the single
+        process waiting on it resumes: read its value from the ``yield``
+        expression, not from the event object afterwards, and do not share
+        one timeout event between several waiters.
+        """
+        ev = self._pooled_event()
         self.schedule(delay, ev.succeed, value)
         return ev
 
     # -- execution -----------------------------------------------------
+
+    def _next_entry(self):
+        """Pop the globally next (time, seq) entry from deque + heap."""
+        ready = self._ready
+        queue = self._queue
+        if ready:
+            if queue:
+                head = queue[0]
+                first = ready[0]
+                if head[0] < first[0] or (head[0] == first[0] and head[1] < first[1]):
+                    return heapq.heappop(queue)
+            return ready.popleft()
+        if queue:
+            return heapq.heappop(queue)
+        return None
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or the clock reaches ``until``.
 
         Returns the final simulated time.
         """
+        if self.tracer.enabled:
+            return self._run_traced(until)
+        # Untraced loop: no tracer branches on the hot path.
+        ready = self._ready
+        queue = self._queue
+        pop = heapq.heappop
+        executed = 0
+        self._until = until
+        try:
+            return self._run_loop(ready, queue, pop, executed, until)
+        finally:
+            self._until = None
+
+    def _run_loop(
+        self,
+        ready: deque,
+        queue: List,
+        pop: Any,
+        executed: int,
+        until: Optional[float],
+    ) -> float:
+        while True:
+            if ready:
+                if queue:
+                    head = queue[0]
+                    first = ready[0]
+                    if head[0] < first[0] or (
+                        head[0] == first[0] and head[1] < first[1]
+                    ):
+                        entry = pop(queue)
+                    else:
+                        entry = ready.popleft()
+                else:
+                    entry = ready.popleft()
+            elif queue:
+                if until is not None and queue[0][0] > until:
+                    break
+                entry = pop(queue)
+            else:
+                self.events_executed += executed
+                return self.now
+            self.now = entry[0]
+            entry[2](*entry[3])
+            executed += 1
+        self.events_executed += executed
+        self.now = until
+        return self.now
+
+    def _run_traced(self, until: Optional[float] = None) -> float:
+        self._until = until
+        try:
+            return self._run_traced_loop(until)
+        finally:
+            self._until = None
+
+    def _run_traced_loop(self, until: Optional[float]) -> float:
         tracer = self.tracer
-        while self._queue:
-            t, _seq, fn, args = self._queue[0]
-            if until is not None and t > until:
+        while True:
+            ready = self._ready
+            queue = self._queue
+            if not ready and queue and until is not None and queue[0][0] > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._queue)
-            self.now = t
-            fn(*args)
+            entry = self._next_entry()
+            if entry is None:
+                return self.now
+            self.now = entry[0]
+            entry[2](*entry[3])
             self.events_executed += 1
-            if tracer.enabled and self.events_executed % self.TRACE_EVERY == 0:
+            if self.events_executed % self.TRACE_EVERY == 0:
                 tracer.counter(
-                    self.now, "engine", "event_queue_depth", len(self._queue)
+                    self.now, "engine", "event_queue_depth",
+                    len(self._queue) + len(self._ready),
                 )
-        return self.now
 
     def run_until_complete(self, ev: Event) -> Any:
         """Run until ``ev`` fires; returns its value.
@@ -216,15 +506,50 @@ class Engine:
         scheduled.  Raises if the queue drains without the event firing
         (a deadlock).
         """
+        if self.tracer.enabled:
+            return self._run_until_complete_traced(ev)
+        ready = self._ready
+        queue = self._queue
+        pop = heapq.heappop
+        executed = 0
+        while not ev.triggered:
+            if ready:
+                if queue:
+                    head = queue[0]
+                    first = ready[0]
+                    if head[0] < first[0] or (
+                        head[0] == first[0] and head[1] < first[1]
+                    ):
+                        entry = pop(queue)
+                    else:
+                        entry = ready.popleft()
+                else:
+                    entry = ready.popleft()
+            elif queue:
+                entry = pop(queue)
+            else:
+                break
+            self.now = entry[0]
+            entry[2](*entry[3])
+            executed += 1
+        self.events_executed += executed
+        if not ev.triggered:
+            raise SimulationError("event never fired: simulation deadlocked")
+        return ev.value
+
+    def _run_until_complete_traced(self, ev: Event) -> Any:
         tracer = self.tracer
-        while self._queue and not ev.triggered:
-            t, _seq, fn, args = heapq.heappop(self._queue)
-            self.now = t
-            fn(*args)
+        while not ev.triggered:
+            entry = self._next_entry()
+            if entry is None:
+                break
+            self.now = entry[0]
+            entry[2](*entry[3])
             self.events_executed += 1
-            if tracer.enabled and self.events_executed % self.TRACE_EVERY == 0:
+            if self.events_executed % self.TRACE_EVERY == 0:
                 tracer.counter(
-                    self.now, "engine", "event_queue_depth", len(self._queue)
+                    self.now, "engine", "event_queue_depth",
+                    len(self._queue) + len(self._ready),
                 )
         if not ev.triggered:
             raise SimulationError("event never fired: simulation deadlocked")
@@ -249,7 +574,11 @@ class Resource:
             resource.release()
 
     The acquire event's value is the queueing delay experienced, which the
-    caller may record (e.g. invalidation queueing in Fig. 7 right).
+    caller may record (e.g. invalidation queueing in Fig. 7 right).  Read
+    it from the ``yield`` expression: acquire events are recycled through
+    the engine's freelist once the acquiring process resumes, so the event
+    object must not be consulted (or waited on by a second process) after
+    the grant.
 
     Naming a resource registers it with the engine so run reports can rank
     queueing hotspots by accumulated wait time; anonymous resources stay
@@ -297,22 +626,28 @@ class Resource:
 
     def _account(self) -> None:
         now = self.engine.now
-        self.busy_time += self._in_use * (now - self._last_change)
-        self._last_change = now
+        if now != self._last_change:
+            self.busy_time += self._in_use * (now - self._last_change)
+            self._last_change = now
 
     def acquire(self) -> Event:
-        ev = Event(self.engine)
-        self._account()
+        engine = self.engine
+        ev = engine._pooled_event()
+        now = engine.now
+        if now != self._last_change:  # _account(), inlined on the hot path
+            self.busy_time += self._in_use * (now - self._last_change)
+            self._last_change = now
         if self._in_use < self.capacity:
             self._in_use += 1
             self.grants += 1
-            ev.succeed(0.0)
+            ev.triggered = True
+            ev.value = 0.0
         else:
-            self._waiters.append((self.engine.now, ev))
-            tracer = self.engine.tracer
-            if tracer.enabled and self.name is not None:
+            self._waiters.append((engine.now, ev))
+            if self.name is not None and engine.tracer.enabled:
+                tracer = engine.tracer
                 tracer.counter(
-                    self.engine.now,
+                    engine.now,
                     "resource",
                     f"{self.name}.queue",
                     len(self._waiters),
@@ -323,15 +658,18 @@ class Resource:
     def release(self) -> None:
         if self._in_use <= 0:
             raise SimulationError("release without acquire")
-        self._account()
+        now = self.engine.now
+        if now != self._last_change:  # _account(), inlined on the hot path
+            self.busy_time += self._in_use * (now - self._last_change)
+            self._last_change = now
         if self._waiters:
             arrived, ev = self._waiters.popleft()
             wait = self.engine.now - arrived
             self.total_wait_us += wait
             self.waits += 1
             self.grants += 1
-            tracer = self.engine.tracer
-            if tracer.enabled and self.name is not None:
+            if self.name is not None and self.engine.tracer.enabled:
+                tracer = self.engine.tracer
                 tracer.complete(
                     arrived,
                     wait,

@@ -103,6 +103,9 @@ class Link:
         self._faults: List[LinkFault] = []
         self.packets_dropped = 0
         self.bytes_dropped = 0
+        #: serialization time by payload size; transfers see a handful of
+        #: distinct sizes (page, control message) millions of times.
+        self._ser_us: Dict[int, float] = {}
 
     # -- fault injection ------------------------------------------------
 
@@ -130,9 +133,12 @@ class Link:
         swallowed it (the sender cannot tell until a timeout elapses; the
         serialization time and bytes are accounted either way).
         """
+        ser_us = self._ser_us.get(size_bytes)
+        if ser_us is None:
+            ser_us = self._ser_us[size_bytes] = self.config.serialization_us(size_bytes)
         yield self._resource.acquire()
         try:
-            yield self.config.serialization_us(size_bytes)
+            yield ser_us
             self.bytes_carried += size_bytes
         finally:
             self._resource.release()
@@ -208,10 +214,10 @@ class Network:
     # -- data-path composition helpers ---------------------------------
 
     def host_to_switch(self, port: Port, size_bytes: int) -> Generator:
-        yield self.engine.process(port.to_switch.transfer(size_bytes))
+        yield from self.engine.subtask(port.to_switch.transfer(size_bytes))
 
     def switch_to_host(self, port: Port, size_bytes: int) -> Generator:
-        yield self.engine.process(port.from_switch.transfer(size_bytes))
+        yield from self.engine.subtask(port.from_switch.transfer(size_bytes))
 
     def total_bytes(self) -> int:
         """Bytes that occupied any link, including ones later dropped by an

@@ -9,11 +9,21 @@ hot path (plain dict/list appends).
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, MutableSequence, Optional, Sequence, Tuple
 
 import numpy as np
+
+
+def _latency_samples() -> "array[float]":
+    """Factory for latency sample storage (module-level so the defaultdict
+    pickles: RunResult crosses process boundaries in multiprocessing
+    sweeps).  ``array('d')`` packs samples 8 bytes apiece instead of a
+    PyFloat + list slot each, and feeds ``np.asarray`` without copying
+    through a Python-object intermediate."""
+    return array("d")
 
 
 @dataclass
@@ -27,15 +37,22 @@ class LatencySummary:
     max: float
 
     @staticmethod
-    def of(samples: List[float]) -> "LatencySummary":
+    def of(samples: Sequence[float]) -> "LatencySummary":
         if not samples:
             return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+        if len(samples) == 1:
+            # Every percentile of a single sample is the sample; skip the
+            # numpy round-trip (singleton categories are common and this
+            # runs once per category per sweep point).
+            value = float(samples[0])
+            return LatencySummary(1, value, value, value, value)
         arr = np.asarray(samples, dtype=np.float64)
+        p50, p99 = np.percentile(arr, (50, 99))
         return LatencySummary(
             count=len(samples),
             mean=float(arr.mean()),
-            p50=float(np.percentile(arr, 50)),
-            p99=float(np.percentile(arr, 99)),
+            p50=float(p50),
+            p99=float(p99),
             max=float(arr.max()),
         )
 
@@ -45,7 +62,9 @@ class StatsCollector:
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = defaultdict(int)
-        self.latencies: Dict[str, List[float]] = defaultdict(list)
+        self.latencies: Dict[str, MutableSequence[float]] = defaultdict(
+            _latency_samples
+        )
         self.timeseries: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
         # Plain nested dicts, not defaultdict(lambda: ...): the lambda is
         # unpicklable, and RunResult must pickle for multiprocessing sweeps.
@@ -123,6 +142,10 @@ class RunResult:
     #: the run's event trace (a :class:`repro.obs.Tracer`) when tracing was
     #: enabled; None otherwise.
     trace: Optional[object] = field(repr=False, default=None)
+    #: scheduler-side counters (events executed, fast-path hits) from
+    #: :meth:`repro.sim.engine.Engine.kernel_stats` -- consumed by the
+    #: profiling harness, never folded into sweep metrics.
+    kernel_stats: Dict[str, int] = field(repr=False, compare=False, default_factory=dict)
 
     @property
     def throughput_iops(self) -> float:

@@ -117,8 +117,7 @@ def main(args: argparse.Namespace) -> int:
     grids: List[GridSpec] = []
     for name in args.preset:
         grids.extend(preset_grids(name))
-    for text in args.grid:
-        grids.append(parse_grid(text))
+    grids.extend(parse_grid(text) for text in args.grid)
     if not grids:
         raise SystemExit("nothing to run: pass --grid and/or --preset")
     spec = SweepSpec(grids, _parse_seeds(args.seeds))

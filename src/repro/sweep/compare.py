@@ -82,13 +82,13 @@ class ComparisonReport:
             f"{len(self.entries) - len(self.regressions) - len(self.improvements)}"
             " unchanged"
         ]
-        for entry in self.entries:
-            if entry.status != UNCHANGED:
-                lines.append(f"  {entry.describe()}")
-        for label in self.missing_cells:
-            lines.append(f"  missing from current run: {label}")
-        for label in self.new_cells:
-            lines.append(f"  new cell (no baseline): {label}")
+        lines.extend(
+            f"  {entry.describe()}"
+            for entry in self.entries
+            if entry.status != UNCHANGED
+        )
+        lines.extend(f"  missing from current run: {label}" for label in self.missing_cells)
+        lines.extend(f"  new cell (no baseline): {label}" for label in self.new_cells)
         if not self.has_regressions:
             lines.append("  gate: OK")
         else:
@@ -112,8 +112,10 @@ def _cell_label(cell: Mapping[str, Any]) -> str:
         str(cell.get("workload")),
         f"{cell.get('num_blades')}b x {cell.get('threads_per_blade')}t",
     ]
-    for key, value in sorted(dict(cell.get("workload_params", {})).items()):
-        bits.append(f"{key}={value}")
+    bits.extend(
+        f"{key}={value}"
+        for key, value in sorted(dict(cell.get("workload_params", {})).items())
+    )
     return " ".join(bits)
 
 
@@ -166,7 +168,9 @@ def compare(
                     status=status,
                 )
             )
-    for cell_id, cur in cur_cells.items():
-        if cell_id not in base_cells:
-            report.new_cells.append(_cell_label(cur))
+    report.new_cells.extend(
+        _cell_label(cur)
+        for cell_id, cur in cur_cells.items()
+        if cell_id not in base_cells
+    )
     return report

@@ -138,45 +138,72 @@ def _execute_task(
 
 
 def _summary(values: Sequence[float]) -> Dict[str, float]:
-    arr = np.asarray(list(values), dtype=np.float64)
+    values = list(values)
+    if len(values) == 1:
+        # All summary statistics of one value are that value; skip numpy
+        # (this runs once per metric per cell, thousands of times a sweep).
+        value = float(values[0])
+        return {
+            "mean": value, "p50": value, "p99": value,
+            "min": value, "max": value, "n": 1.0,
+        }
+    arr = np.asarray(values, dtype=np.float64)
+    p50, p99 = np.percentile(arr, (50, 99))
     return {
         "mean": float(arr.mean()),
-        "p50": float(np.percentile(arr, 50)),
-        "p99": float(np.percentile(arr, 99)),
+        "p50": float(p50),
+        "p99": float(p99),
         "min": float(arr.min()),
         "max": float(arr.max()),
         "n": float(len(arr)),
     }
 
 
-def aggregate(records: Sequence[PointRecord]) -> List[Dict[str, Any]]:
-    """Group records by cell (identity minus seed); summarize across seeds."""
+def aggregate(
+    records: Sequence[PointRecord],
+    cache: Optional[Dict[str, Any]] = None,
+) -> List[Dict[str, Any]]:
+    """Group records by cell (identity minus seed); summarize across seeds.
+
+    ``cache`` (keyed by cell id, keeping the member point ids alongside the
+    aggregated entry) lets per-point checkpointing skip re-summarizing
+    cells whose membership has not changed since the previous checkpoint;
+    a cell entry is a pure function of its members, so the cached and
+    freshly computed documents are identical.
+    """
     cells: Dict[str, List[PointRecord]] = {}
     for record in records:
         cells.setdefault(record.point.cell_id, []).append(record)
     out = []
     for cell_id, members in cells.items():
         members = sorted(members, key=lambda r: r.point.seed)
+        key = tuple(m.point.point_id for m in members)
+        if cache is not None:
+            hit = cache.get(cell_id)
+            if hit is not None and hit[0] == key:
+                out.append(hit[1])
+                continue
         head = members[0].point
         names = sorted({name for m in members for name in m.metrics})
-        out.append(
-            {
-                "cell_id": cell_id,
-                "system": head.system,
-                "workload": head.workload,
-                "num_blades": head.num_blades,
-                "threads_per_blade": head.threads_per_blade,
-                "workload_params": dict(head.workload_params),
-                "runner_params": dict(head.runner_params),
-                "seeds": [m.point.seed for m in members],
-                "metrics": {
-                    name: _summary(
-                        [m.metrics[name] for m in members if name in m.metrics]
-                    )
-                    for name in names
-                },
-            }
-        )
+        entry = {
+            "cell_id": cell_id,
+            "system": head.system,
+            "workload": head.workload,
+            "num_blades": head.num_blades,
+            "threads_per_blade": head.threads_per_blade,
+            "workload_params": dict(head.workload_params),
+            "runner_params": dict(head.runner_params),
+            "seeds": [m.point.seed for m in members],
+            "metrics": {
+                name: _summary(
+                    [m.metrics[name] for m in members if name in m.metrics]
+                )
+                for name in names
+            },
+        }
+        if cache is not None:
+            cache[cell_id] = (key, entry)
+        out.append(entry)
     return out
 
 
@@ -191,10 +218,14 @@ class SweepResults:
         spec: SweepSpec,
         records: Sequence[PointRecord],
         complete: bool = True,
+        agg_cache: Optional[Dict[str, Any]] = None,
     ):
         self.spec = spec
         self.records = list(records)
         self.complete = complete
+        #: shared across per-point checkpoints of one run_sweep call so an
+        #: unchanged cell is aggregated once, not once per checkpoint.
+        self._agg_cache = agg_cache
 
     def __len__(self) -> int:
         return len(self.records)
@@ -233,7 +264,7 @@ class SweepResults:
             "complete": self.complete,
             "num_points": len(self.records),
             "points": [r.to_json() for r in self.records],
-            "aggregates": aggregate(self.records),
+            "aggregates": aggregate(self.records, cache=self._agg_cache),
         }
 
     def to_json_text(self) -> str:
@@ -309,11 +340,18 @@ def run_sweep(
     ]
     completed = len(points) - len(pending)
 
+    agg_cache: Dict[str, Any] = {}
+
     def checkpoint(final: bool = False) -> None:
         if out is None:
             return
         finished = [r for r in records if r is not None]
-        SweepResults(spec, finished, complete=final and len(finished) == len(points)).save(out)
+        SweepResults(
+            spec,
+            finished,
+            complete=final and len(finished) == len(points),
+            agg_cache=agg_cache,
+        ).save(out)
 
     def note(index: int) -> None:
         nonlocal completed
@@ -340,7 +378,9 @@ def run_sweep(
                 checkpoint()
 
     final = [r for r in records if r is not None]
-    results = SweepResults(spec, final, complete=len(final) == len(points))
+    results = SweepResults(
+        spec, final, complete=len(final) == len(points), agg_cache=agg_cache
+    )
     if out is not None:
         results.save(out)
     return results

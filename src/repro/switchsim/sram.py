@@ -33,8 +33,14 @@ class RegisterArray:
             raise ValueError("register array capacity must be >= 1")
         self.capacity = capacity
         self.name = name
-        self._slots = [SramSlot(i) for i in range(capacity)]
-        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        # Slots materialise lazily: switch tables are sized for the worst
+        # case (tens of thousands of entries) but most runs touch a small
+        # prefix, and eagerly building every SramSlot showed up in cluster
+        # construction profiles.  Allocation order is identical to an
+        # eagerly-built free list: released indices are reused LIFO first,
+        # then fresh indices in ascending order.
+        self._slots: List[SramSlot] = []
+        self._released: List[int] = []
         self._used_map: Dict[int, int] = {}
         self.peak_used = 0
 
@@ -43,7 +49,7 @@ class RegisterArray:
 
     @property
     def free(self) -> int:
-        return len(self._free)
+        return self.capacity - len(self._used_map)
 
     @property
     def used(self) -> int:
@@ -56,9 +62,13 @@ class RegisterArray:
         """Take a slot from the free list and bind it to ``key``."""
         if key in self._used_map:
             raise ValueError(f"{self.name}: key {key:#x} already mapped")
-        if not self._free:
+        if len(self._used_map) >= self.capacity:
             raise SramFullError(f"{self.name}: all {self.capacity} slots in use")
-        idx = self._free.pop()
+        if self._released:
+            idx = self._released.pop()
+        else:
+            idx = len(self._slots)
+            self._slots.append(SramSlot(idx))
         slot = self._slots[idx]
         slot.data = data
         self._used_map[key] = idx
@@ -75,7 +85,7 @@ class RegisterArray:
         if idx is None:
             raise KeyError(f"{self.name}: key {key:#x} not mapped")
         self._slots[idx].data = None
-        self._free.append(idx)
+        self._released.append(idx)
 
     def rekey(self, old_key: int, new_key: int) -> None:
         """Rebind a slot to a new key (used when regions merge/split)."""

@@ -15,8 +15,9 @@ allocations, since different systems may place regions differently.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +46,60 @@ class RegionSpec:
         return max(1, self.size_bytes // PAGE_SIZE)
 
 
+class AccessStream:
+    """A replay-ready access stream in compact array form.
+
+    Virtual addresses live in an ``array('q')`` and the read/write flags in
+    a ``bytes`` of 0/1 -- one machine word + one byte per access instead of
+    a Python tuple, int and bool.  ``run_thread`` implementations iterate
+    the two sequences index-wise, which avoids materialising a tuple per
+    replayed access on the simulator's hottest path.
+
+    The class still iterates as ``(va, is_write)`` pairs so code written
+    against the tuple protocol (tests, the public API) keeps working.
+    """
+
+    __slots__ = ("vas", "writes")
+
+    def __init__(self, vas: "array[int]", writes: bytes):
+        if len(vas) != len(writes):
+            raise ValueError(
+                f"stream arrays disagree: {len(vas)} addresses, "
+                f"{len(writes)} write flags"
+            )
+        self.vas = vas
+        self.writes = writes
+
+    @classmethod
+    def from_numpy(cls, vas: np.ndarray, writes: np.ndarray) -> "AccessStream":
+        return cls(
+            array("q", vas.astype(np.int64, copy=False).tolist()),
+            np.asarray(writes, dtype=np.uint8).tobytes(),
+        )
+
+    @classmethod
+    def coerce(cls, accesses: "AccessOrStream") -> "AccessStream":
+        """Accept either a stream or any ``(va, is_write)`` iterable."""
+        if isinstance(accesses, cls):
+            return accesses
+        vas = array("q")
+        flags = bytearray()
+        for va, is_write in accesses:
+            vas.append(va)
+            flags.append(1 if is_write else 0)
+        return cls(vas, bytes(flags))
+
+    def __len__(self) -> int:
+        return len(self.vas)
+
+    def __iter__(self) -> Iterator[Tuple[int, bool]]:
+        return zip(self.vas, map(bool, self.writes))
+
+
+#: what replay endpoints accept: a compact stream or any tuple iterable.
+AccessOrStream = Iterable[Tuple[int, bool]]
+
+
 @dataclass
 class ThreadTrace:
     """One thread's access stream, bound to concrete virtual addresses."""
@@ -52,6 +107,9 @@ class ThreadTrace:
     thread_id: int
     vas: np.ndarray      # int64 virtual addresses
     writes: np.ndarray   # bool
+    _stream: Optional[AccessStream] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.vas)
@@ -59,6 +117,12 @@ class ThreadTrace:
     def accesses(self) -> Iterator[Tuple[int, bool]]:
         """Iterate ``(va, is_write)`` tuples (plain ints/bools for speed)."""
         return zip(self.vas.tolist(), self.writes.tolist())
+
+    def stream(self) -> AccessStream:
+        """The compact array-backed form of this trace (memoized)."""
+        if self._stream is None:
+            self._stream = AccessStream.from_numpy(self.vas, self.writes)
+        return self._stream
 
     @property
     def write_fraction(self) -> float:

@@ -66,8 +66,7 @@ class TestEviction:
         cache.lookup(0, write=True)
         for i in range(1, 5):
             evicted = cache.insert(i * PAGE_SIZE, None, writable=False)
-        all_evicted = [p for p in evicted]
-        assert any(p.va == 0 and p.dirty for p in all_evicted)
+        assert any(p.va == 0 and p.dirty for p in evicted)
 
     def test_capacity_respected(self, cache):
         for i in range(10):

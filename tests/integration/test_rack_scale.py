@@ -29,9 +29,10 @@ def test_sixteen_compute_eight_memory_rack():
     task = ctl.sys_exec("big")
     base = ctl.sys_mmap(task.pid, 1 << 20)
     # Every blade writes its own page; every blade reads a neighbour's.
-    gens = []
-    for i, blade in enumerate(cluster.compute_blades):
-        gens.append(blade.store_bytes(task.pid, base + i * PAGE_SIZE, bytes([i])))
+    gens = [
+        blade.store_bytes(task.pid, base + i * PAGE_SIZE, bytes([i]))
+        for i, blade in enumerate(cluster.compute_blades)
+    ]
     cluster.run_all(gens)
     gens = []
     for i, blade in enumerate(cluster.compute_blades):

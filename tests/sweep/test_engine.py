@@ -117,6 +117,21 @@ class TestDocument:
         assert len(doc["aggregates"]) == 4  # 8 points, 2 seeds per cell
         assert doc == results.to_doc()
 
+    def test_aggregate_cache_is_transparent(self):
+        # The checkpoint-path cache must change nothing: cached and
+        # uncached aggregation of the same records are identical, and a
+        # cell re-aggregates when its membership grows.
+        results = run_sweep(small_spec(), jobs=1)
+        cache = {}
+        first = aggregate(results.records, cache=cache)
+        assert first == aggregate(results.records)
+        assert aggregate(results.records, cache=cache) == first
+        # Drop one record: the affected cell's key no longer matches, so
+        # the stale cached entry is not reused.
+        partial = aggregate(results.records[:-1], cache=cache)
+        assert partial != first
+        assert partial == aggregate(results.records[:-1])
+
     def test_load_rejects_wrong_schema(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text(json.dumps({"schema": "other/v9"}))
