@@ -1,0 +1,80 @@
+"""Latency under load: the open-loop hockey stick against the MIND path.
+
+The scaling figures replay traces closed-loop, which measures capacity
+but not what a service-level objective sees: a closed-loop client slows
+its own offered load when the server queues.  Here requests arrive on a
+deterministic open-loop Poisson schedule at increasing per-thread rates;
+the end-to-end latency (queueing + trace-slice service) is recorded into
+windowed telemetry.  The classic serving-system shape must appear: flat
+latency at low utilization, then an explosive knee as the offered rate
+approaches the per-thread service capacity.
+
+Driven through :mod:`repro.sweep` with ``telemetry=true``, so every
+point also carries a ``repro.telemetry/v1`` timeline document and SLO
+compliance metrics.
+"""
+
+from common import print_table, run_grid
+
+#: per-thread offered rates (requests per simulated us), low to overload.
+RATES = [0.005, 0.01, 0.02, 0.04]
+
+GRID = (
+    "system=mind;workload=uniform;blades=2;threads_per_blade=2;"
+    "read_ratio=0.5;sharing_ratio=0.5;accesses_per_thread=2000;"
+    "shared_pages=400;private_pages_per_thread=256;burst=4;"
+    "cache_capacity_pages=3072;num_memory_blades=2;epoch_us=2000;"
+    "telemetry=true;arrival_process=poisson;request_size=8;"
+    "arrival_rate_per_thread=" + ",".join(str(r) for r in RATES)
+)
+
+
+def run_figure():
+    results = run_grid(GRID)
+    data = {}
+    for rate in RATES:
+        record = results.one(arrival_rate_per_thread=rate)
+        data[rate] = {
+            "queue_mean": record.metrics["latency:openloop:queue:mean"],
+            "p50": record.metrics["latency:openloop:latency:p50"],
+            "p99": record.metrics["latency:openloop:latency:p99"],
+            "p999": record.metrics["latency:openloop:latency:p999"],
+            "service_mean": record.metrics["latency:openloop:service:mean"],
+            "compliance": record.metrics["slo:openloop-p99:compliance"],
+            "windows": record.metrics["telemetry:windows"],
+            "timeline": record.timeline,
+        }
+    return data
+
+
+def test_latency_under_load(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    print_table(
+        "Open-loop latency under load (per-thread Poisson arrivals)",
+        ["rate/us", "queue-mean", "p50", "p99", "p99.9", "slo-p99"],
+        [
+            [
+                f"{rate:g}",
+                data[rate]["queue_mean"],
+                data[rate]["p50"],
+                data[rate]["p99"],
+                data[rate]["p999"],
+                data[rate]["compliance"],
+            ]
+            for rate in RATES
+        ],
+    )
+    low, high = data[RATES[0]], data[RATES[-1]]
+    # Low utilization: barely any queueing -- end-to-end tracks service.
+    assert low["queue_mean"] < 0.5 * low["service_mean"]
+    # The knee: queueing dominates at the highest offered rate.
+    assert high["queue_mean"] > 5 * low["queue_mean"]
+    assert high["p99"] > 2 * low["p99"]
+    # Tail ordering holds at every point.
+    for rate in RATES:
+        point = data[rate]
+        assert point["p50"] <= point["p99"] <= point["p999"]
+    # Every point carries a windowed timeline document.
+    for rate in RATES:
+        assert data[rate]["timeline"]["schema"] == "repro.telemetry/v1"
+        assert data[rate]["windows"] >= 1

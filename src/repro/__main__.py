@@ -122,10 +122,16 @@ def build_fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
 
 def report(args: argparse.Namespace) -> int:
     fault_plan = build_fault_plan(args)
+    telemetry = args.timeline or args.slo or args.open_loop is not None
     config = RunnerConfig(
         trace=True,
         trace_capacity=args.trace_capacity,
         sample_interval_us=args.sample_us,
+        telemetry=telemetry,
+        telemetry_window_us=args.window_us,
+        arrival_process=args.open_loop,
+        arrival_rate_per_thread=args.arrival_rate,
+        request_size=args.request_size,
         fault_plan=fault_plan,
     )
     if fault_plan is not None:
@@ -158,7 +164,9 @@ def report(args: argparse.Namespace) -> int:
             )
         return 0
     if args.trace_out:
-        result.trace.write_chrome_trace(args.trace_out)
+        result.trace.write_chrome_trace(
+            args.trace_out, counter_series=dict(result.stats.timeseries)
+        )
         print(
             f"\nwrote {len(result.trace)} trace events to {args.trace_out} "
             "(open in chrome://tracing or Perfetto)"
@@ -195,6 +203,34 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--json", action="store_true", help="emit the report as JSON")
     rep.add_argument("--trace-out", help="write a Chrome trace-event JSON file")
     rep.add_argument("--jsonl-out", help="write raw trace records as JSONL")
+    telem = rep.add_argument_group(
+        "telemetry", "windowed timelines, SLO burn rates and open-loop load"
+    )
+    telem.add_argument(
+        "--timeline", action="store_true",
+        help="record a windowed telemetry timeline and print it",
+    )
+    telem.add_argument(
+        "--slo", action="store_true",
+        help="evaluate the default SLO objectives against the timeline",
+    )
+    telem.add_argument(
+        "--window-us", type=float, default=500.0,
+        help="tumbling-window width in simulated us (default 500)",
+    )
+    telem.add_argument(
+        "--open-loop", choices=("poisson", "diurnal"), default=None,
+        help="drive threads open-loop with this arrival process instead of "
+        "closed-loop replay (implies telemetry)",
+    )
+    telem.add_argument(
+        "--arrival-rate", type=float, default=0.02,
+        help="open-loop mean arrivals per thread per simulated us",
+    )
+    telem.add_argument(
+        "--request-size", type=int, default=8,
+        help="trace accesses consumed per open-loop request",
+    )
     fault = rep.add_argument_group(
         "fault injection", "deterministic fault schedule (times in simulated us)"
     )

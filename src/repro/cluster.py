@@ -48,6 +48,14 @@ class ClusterConfig:
     trace_capacity: int = 1 << 16
     #: gauge sampling period in simulated microseconds (when tracing).
     sample_interval_us: float = 100.0
+    #: enable windowed telemetry (a :class:`repro.telemetry.MetricsTimeline`
+    #: on the stats collector): per-window latency percentiles, counters,
+    #: gauges and fault-phase attribution.  Off by default -- when off,
+    #: instrumentation sites pay a single ``timeline is None`` check and
+    #: the simulation schedules nothing extra.
+    telemetry: bool = False
+    #: tumbling-window width of the telemetry timeline (simulated us).
+    telemetry_window_us: float = 500.0
 
 
 class MindCluster:
@@ -61,6 +69,15 @@ class MindCluster:
         self.config = config or ClusterConfig()
         self.engine = Engine()
         self.stats = StatsCollector()
+        if self.config.telemetry:
+            # Pure data keyed by simulated time: recording computes the
+            # window index from the caller's timestamp, so the timeline
+            # adds no scheduled events to the run.
+            from .telemetry import MetricsTimeline
+
+            self.stats.timeline = MetricsTimeline(
+                window_us=self.config.telemetry_window_us
+            )
         #: the observability sink; installed on the engine so every layer
         #: (network, pipeline, coherence, blades) reaches it the same way.
         self.tracer = Tracer(
@@ -108,9 +125,11 @@ class MindCluster:
         #: never pay for gauge registration.
         self._sampler: Optional[GaugeSampler] = None
         self.mmu.start()
-        if self.config.trace:
+        if self.config.trace or self.config.telemetry:
             # Perpetual background process, like the epoch loop: drive the
             # cluster with run_until_complete-style helpers, not run().
+            # Sampling only reads gauges, so it never perturbs simulated
+            # results -- telemetry-enabled runs report identical metrics.
             self.sampler.start()
 
     @property
@@ -237,8 +256,11 @@ class MindCluster:
             utilization = resource.utilization()
             if utilization:
                 stats.set_gauge(f"utilization:{resource.name}", utilization)
-        if self.config.trace:
+        if self.config.trace or self.config.telemetry:
             self.sampler.sample_once()
+        timeline = stats.timeline
+        if timeline is not None:
+            timeline.finalize(self.engine.now)
 
     # -- execution helpers ----------------------------------------------------
 

@@ -221,6 +221,9 @@ class CoherenceProtocol:
 
     def set_phase(self, phase: str) -> None:
         self.phase = phase
+        timeline = self.stats.timeline
+        if timeline is not None:
+            timeline.set_phase(self.engine.now, phase)
 
     def adopt_plane(
         self,
@@ -321,6 +324,9 @@ class CoherenceProtocol:
                 # Attribute to the current service phase so the availability
                 # report can compare pre/degraded/post tails.
                 self.stats.record_latency(f"fault:phase:{self.phase}", latency)
+            timeline = self.stats.timeline
+            if timeline is not None:
+                timeline.record_latency(self.engine.now, "fault", latency)
             if tracer.enabled:
                 tracer.complete(
                     t0, latency, "coherence", f"fault:{transition.label}", track=lane

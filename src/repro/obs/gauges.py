@@ -52,11 +52,14 @@ class GaugeSampler:
         tracer = self.engine.tracer
         emit = tracer.enabled
         track = tracer.track("gauges") if emit else 0
+        timeline = self.stats.timeline
         for name, fn in self._gauges:
             value = float(fn())
             self.stats.record_point(name, now, value)
             if emit:
                 tracer.counter(now, self.trace_cat, name, value, track=track)
+            if timeline is not None:
+                timeline.gauge(now, name, value)
         self.samples_taken += 1
 
     def start(self) -> None:

@@ -67,15 +67,20 @@ class RunReport:
     timeseries_peaks: Dict[str, float] = field(default_factory=dict)
     #: fault-injection / fail-over digest; empty for fault-free runs.
     availability: Dict[str, Any] = field(default_factory=dict)
+    #: windowed telemetry document (see ``repro.telemetry``); empty when
+    #: the run did not enable telemetry.
+    timeline: Dict[str, Any] = field(default_factory=dict)
+    #: SLO evaluation over the timeline; empty without telemetry.
+    slo: Dict[str, Any] = field(default_factory=dict)
 
     # -- construction ----------------------------------------------------
 
     @classmethod
     def from_result(cls, result: "RunResult") -> "RunReport":
         stats = result.stats
-        latencies = {
-            cat: stats.latency_summary(cat) for cat in sorted(stats.latencies)
-        }
+        # One snapshot: every category is sorted/summarized once and the
+        # cached summaries are shared with later readers (sweep metrics).
+        latencies = stats.snapshot()
         fault_breakdown = stats.breakdown("fault_path")
         total_fault_us = float(sum(stats.latencies.get("fault", ())))
         span_sum = sum(fault_breakdown.values())
@@ -115,6 +120,13 @@ class RunReport:
             if points
         }
         availability = cls._availability_section(stats)
+        timeline_doc: Dict[str, Any] = {}
+        slo_doc: Dict[str, Any] = {}
+        if stats.timeline is not None:
+            from ..telemetry import evaluate_slos
+
+            timeline_doc = stats.timeline.to_json()
+            slo_doc = evaluate_slos(stats.timeline).to_json()
         return cls(
             meta={
                 "system": result.system,
@@ -136,6 +148,8 @@ class RunReport:
             counters=dict(sorted(stats.counters.items())),
             timeseries_peaks=series_peaks,
             availability=availability,
+            timeline=timeline_doc,
+            slo=slo_doc,
         )
 
     #: counters whose presence marks a run as fault-injected.
@@ -217,6 +231,7 @@ class RunReport:
                     "mean": s.mean,
                     "p50": s.p50,
                     "p99": s.p99,
+                    "p999": s.p999,
                     "max": s.max,
                 }
                 for cat, s in self.latencies.items()
@@ -233,6 +248,8 @@ class RunReport:
             "counters": self.counters,
             "timeseries_peaks": self.timeseries_peaks,
             "availability": self.availability,
+            "timeline": self.timeline,
+            "slo": self.slo,
         }
 
     def render(self, top: int = 8) -> str:
@@ -252,11 +269,11 @@ class RunReport:
             lines.append("latency (us):")
             lines.append(
                 f"  {'category':<24s}{'count':>8s}{'mean':>9s}"
-                f"{'p50':>9s}{'p99':>9s}{'max':>9s}"
+                f"{'p50':>9s}{'p99':>9s}{'p99.9':>9s}{'max':>9s}"
             )
             lines.extend(
                 f"  {cat:<24s}{s.count:>8d}{s.mean:>9.2f}"
-                f"{s.p50:>9.2f}{s.p99:>9.2f}{s.max:>9.2f}"
+                f"{s.p50:>9.2f}{s.p99:>9.2f}{s.p999:>9.2f}{s.max:>9.2f}"
                 for cat, s in self.latencies.items()
             )
         if self.fault_breakdown:
@@ -346,4 +363,90 @@ class RunReport:
                 lines.append(
                     f"  post/pre p99 ratio: {a['post_vs_pre_p99']:.3f}"
                 )
+        lines.extend(self.render_timeline())
+        lines.extend(self.render_slo())
         return "\n".join(lines)
+
+    #: windows rendered before eliding the middle of a long timeline.
+    _TIMELINE_ROWS = 40
+
+    def render_timeline(self) -> List[str]:
+        """The windowed-telemetry section (empty without telemetry)."""
+        if not self.timeline:
+            return []
+        windows = self.timeline.get("windows", [])
+        lines: List[str] = [""]
+        lines.append(
+            f"timeline ({self.timeline['window_us']:g} us windows, "
+            f"{self.timeline['num_windows']} total):"
+        )
+        # Lead with the category an SLO would watch: open-loop end-to-end
+        # latency when measured, the coherence fault path otherwise.
+        categories = {
+            cat for w in windows for cat in w.get("latencies", {})
+        }
+        primary = (
+            "openloop:latency" if "openloop:latency" in categories
+            else "fault" if "fault" in categories
+            else (sorted(categories)[0] if categories else None)
+        )
+        if primary is not None:
+            lines.append(f"  category: {primary}")
+            lines.append(
+                f"  {'window':>7s}{'t_start':>10s}  {'phase':<9s}"
+                f"{'count':>7s}{'p50':>9s}{'p99':>9s}{'p99.9':>9s}{'max':>9s}"
+            )
+            rows = windows
+            elided = 0
+            if len(rows) > self._TIMELINE_ROWS:
+                head = self._TIMELINE_ROWS // 2
+                elided = len(rows) - 2 * head
+                rows = list(rows[:head]) + list(rows[-head:])
+            half = self._TIMELINE_ROWS // 2
+            for i, w in enumerate(rows):
+                if elided and i == half:
+                    lines.append(f"  ... {elided} windows elided ...")
+                stats = w.get("latencies", {}).get(primary)
+                phase = w.get("phase", "-")
+                if stats is None:
+                    lines.append(
+                        f"  {w['window']:>7d}{w['t_start']:>10.0f}  "
+                        f"{phase:<9s}{0:>7d}{'-':>9s}{'-':>9s}{'-':>9s}{'-':>9s}"
+                    )
+                else:
+                    lines.append(
+                        f"  {w['window']:>7d}{w['t_start']:>10.0f}  "
+                        f"{phase:<9s}{int(stats['count']):>7d}"
+                        f"{stats['p50']:>9.2f}{stats['p99']:>9.2f}"
+                        f"{stats['p999']:>9.2f}{stats['max']:>9.2f}"
+                    )
+        marks = self.timeline.get("marks", [])
+        if marks:
+            lines.append("  marks: " + ", ".join(
+                f"{label}@{t:.0f}us" for t, label in marks
+            ))
+        return lines
+
+    def render_slo(self) -> List[str]:
+        """The SLO burn-rate section (empty without telemetry)."""
+        if not self.slo or not self.slo.get("objectives"):
+            return []
+        lines: List[str] = [""]
+        verdict = "met" if self.slo.get("met") else "MISSED"
+        lines.append(f"slo objectives ({verdict}):")
+        for obj in self.slo["objectives"]:
+            status = "met" if obj["met"] else "MISSED"
+            lines.append(
+                f"  {obj['name']:<16s} {status:<7s}"
+                f"compliance {obj['compliance']:7.2%}  "
+                f"burn {obj['burn_rate']:6.2f}x  "
+                f"({obj['windows_violating']}/{obj['windows_evaluated']} "
+                f"windows over {obj['threshold_us']:g} us)"
+            )
+            by_phase = obj.get("violations_by_phase")
+            if by_phase:
+                phase_bits = ", ".join(
+                    f"{p}={n}" for p, n in sorted(by_phase.items())
+                )
+                lines.append(f"    violations by phase: {phase_bits}")
+        return lines

@@ -137,12 +137,22 @@ class Tracer:
         with open(path, "w") as fh:
             fh.write(self.to_jsonl())
 
-    def chrome_trace(self, pid: int = 0) -> Dict[str, Any]:
+    def chrome_trace(
+        self,
+        pid: int = 0,
+        counter_series: Optional[Dict[str, List[Tuple[float, float]]]] = None,
+    ) -> Dict[str, Any]:
         """The run as a Chrome trace-event document.
 
         The result loads directly in ``chrome://tracing`` or Perfetto;
         timestamps are simulated microseconds, which is also the unit the
         trace-event format expects.
+
+        ``counter_series`` injects externally recorded scalar series
+        (e.g. the :class:`~repro.obs.gauges.GaugeSampler` time series from
+        ``stats.timeseries``) as counter tracks.  Unlike ring-buffered
+        counter records, injected series are complete: they never lose
+        early samples to ring eviction under heavy span traffic.
         """
         events: List[Dict[str, Any]] = [
             {
@@ -167,14 +177,42 @@ class Tracer:
                 ev["dur"] = dur
             if ph == PHASE_INSTANT:
                 ev["s"] = "t"  # thread-scoped instant
-            if args is not None:
+            if ph == PHASE_COUNTER and args is not None and "value" in args:
+                # Chrome labels each counter series by its args key, so
+                # key the sample by the counter's own (leaf) name instead
+                # of a generic "value" -- one named series per counter.
+                ev["args"] = {name.rpartition(".")[2]: args["value"]}
+            elif args is not None:
                 ev["args"] = args
             events.append(ev)
+        for series_name in sorted(counter_series or ()):
+            leaf = series_name.rpartition(".")[2]
+            for ts, value in counter_series[series_name]:
+                events.append(
+                    {
+                        "name": series_name,
+                        "cat": "gauge",
+                        "ph": PHASE_COUNTER,
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {leaf: value},
+                    }
+                )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
-    def write_chrome_trace(self, path: str, pid: int = 0) -> None:
+    def write_chrome_trace(
+        self,
+        path: str,
+        pid: int = 0,
+        counter_series: Optional[Dict[str, List[Tuple[float, float]]]] = None,
+    ) -> None:
         with open(path, "w") as fh:
-            json.dump(self.chrome_trace(pid=pid), fh, sort_keys=True)
+            json.dump(
+                self.chrome_trace(pid=pid, counter_series=counter_series),
+                fh,
+                sort_keys=True,
+            )
 
 
 #: The shared disabled tracer: hot paths check ``tracer.enabled`` once and

@@ -29,6 +29,11 @@ from .cluster import ClusterConfig, MindCluster
 from .core.mmu import MindConfig
 from .sim.network import PAGE_SIZE, NetworkConfig
 from .sim.stats import RunResult
+from .workloads.openloop import (
+    open_loop_thread,
+    spec_from_config,
+    thread_arrival_seed,
+)
 from .workloads.trace import TraceWorkload
 
 SYSTEMS = ("mind", "mind-pso", "mind-pso+", "mind-mesi", "mind-moesi", "gam", "fastswap")
@@ -61,6 +66,23 @@ class RunnerConfig:
     trace_capacity: int = 1 << 16
     #: gauge sampling period (simulated us) when tracing is enabled.
     sample_interval_us: float = 100.0
+    #: enable windowed telemetry: per-window latency percentiles (p50/p99/
+    #: p99.9/max), counter deltas, gauge samples and fault-phase
+    #: attribution, surfaced as the report's ``timeline``/``slo`` sections.
+    telemetry: bool = False
+    #: tumbling-window width of the telemetry timeline (simulated us).
+    telemetry_window_us: float = 500.0
+    #: open-loop arrival process ("poisson" or "diurnal"); None replays
+    #: the trace closed-loop as the scaling figures do.  MIND systems
+    #: only: latency-under-load is measured against the switch data path.
+    arrival_process: Optional[str] = None
+    #: mean open-loop arrival rate per thread (requests per simulated us).
+    arrival_rate_per_thread: float = 0.02
+    #: trace accesses consumed per open-loop request.
+    request_size: int = 8
+    #: diurnal modulation period / amplitude (ignored for plain Poisson).
+    diurnal_period_us: float = 20_000.0
+    diurnal_amplitude: float = 0.5
     #: fault schedule (a :class:`repro.faults.FaultPlan`) armed on the
     #: cluster before the workload starts.  MIND systems only -- the
     #: baselines have no switch to fail over.
@@ -104,6 +126,8 @@ def run_on_mind(
         trace=cfg.trace,
         trace_capacity=cfg.trace_capacity,
         sample_interval_us=cfg.sample_interval_us,
+        telemetry=cfg.telemetry,
+        telemetry_window_us=cfg.telemetry_window_us,
     )
     cluster = MindCluster(cluster_config)
     controller = cluster.controller
@@ -116,13 +140,29 @@ def run_on_mind(
     if cfg.fault_plan is not None:
         # Arm after mmap so scheduled faults hit a populated control plane.
         cluster.inject_faults(cfg.fault_plan)
+    arrival_spec = spec_from_config(cfg)
     gens = []
     for trace in traces:
         thread = controller.place_thread(task.pid)
         blade = cluster.compute_blade(thread.blade_id)
-        gens.append(
-            blade.run_thread(task.pid, trace.stream(), consistency=consistency)
-        )
+        if arrival_spec is not None:
+            gens.append(
+                open_loop_thread(
+                    blade,
+                    task.pid,
+                    trace.stream(),
+                    arrival_spec,
+                    thread_arrival_seed(
+                        workload.name, workload.seed, trace.thread_id
+                    ),
+                    consistency,
+                    name=f"openloop.t{trace.thread_id}",
+                )
+            )
+        else:
+            gens.append(
+                blade.run_thread(task.pid, trace.stream(), consistency=consistency)
+            )
     cluster.run_all(gens)
     total = sum(len(t) for t in traces)
     # Stash switch-resource and queueing telemetry the figures/reports need.
@@ -153,6 +193,11 @@ def run_system(
         raise ValueError(
             f"fault plans target the MIND switch; {system!r} has no switch "
             "data plane to fail over"
+        )
+    if cfg.arrival_process is not None and key in ("gam", "fastswap"):
+        raise ValueError(
+            "open-loop arrival processes measure latency-under-load against "
+            f"the MIND data path; {system!r} only replays closed-loop"
         )
     if key == "mind":
         return run_on_mind(workload, num_blades, cfg)

@@ -12,9 +12,12 @@ from __future__ import annotations
 from array import array
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, MutableSequence, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, MutableSequence, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..telemetry.windows import MetricsTimeline
 
 
 def _latency_samples() -> "array[float]":
@@ -34,26 +37,35 @@ class LatencySummary:
     mean: float
     p50: float
     p99: float
+    p999: float
     max: float
 
     @staticmethod
     def of(samples: Sequence[float]) -> "LatencySummary":
         if not samples:
-            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
         if len(samples) == 1:
             # Every percentile of a single sample is the sample; skip the
             # numpy round-trip (singleton categories are common and this
             # runs once per category per sweep point).
             value = float(samples[0])
-            return LatencySummary(1, value, value, value, value)
+            return LatencySummary(1, value, value, value, value, value)
         arr = np.asarray(samples, dtype=np.float64)
-        p50, p99 = np.percentile(arr, (50, 99))
+        # Sort once and take every percentile from the sorted copy: order
+        # statistics are invariant under input order, so the values are
+        # bit-identical to per-percentile extraction from the raw array.
+        # The mean stays on the original order -- numpy's pairwise
+        # summation is order-dependent in the last bit, and historical
+        # baselines recorded the unsorted-order sum.
+        ordered = np.sort(arr)
+        p50, p99, p999 = np.percentile(ordered, (50, 99, 99.9))
         return LatencySummary(
             count=len(samples),
             mean=float(arr.mean()),
             p50=float(p50),
             p99=float(p99),
-            max=float(arr.max()),
+            p999=float(p999),
+            max=float(ordered[-1]),
         )
 
 
@@ -72,6 +84,14 @@ class StatsCollector:
         #: point-in-time scalars captured at end of run (resource waits,
         #: utilizations); assignment semantics, unlike additive counters.
         self.gauges: Dict[str, float] = {}
+        #: windowed telemetry (a :class:`repro.telemetry.MetricsTimeline`)
+        #: when the run enabled it; None otherwise.  Instrumentation sites
+        #: guard on ``is not None`` -- one attribute load when disabled.
+        self.timeline: Optional["MetricsTimeline"] = None
+        #: memoized per-category summaries, keyed by the sample count at
+        #: computation time.  Appends grow the count, so staleness checks
+        #: are a len() compare -- no hot-path invalidation bookkeeping.
+        self._summary_cache: Dict[str, Tuple[int, LatencySummary]] = {}
 
     # -- recording (hot path) -------------------------------------------
 
@@ -99,7 +119,30 @@ class StatsCollector:
         return self.counters.get(name, 0)
 
     def latency_summary(self, category: str) -> LatencySummary:
-        return LatencySummary.of(self.latencies.get(category, []))
+        """Summary of one category; sorted once and memoized per snapshot.
+
+        Repeated reads (report sections, sweep metric extraction, SLO
+        evaluation) reuse the cached summary until new samples arrive.
+        """
+        samples = self.latencies.get(category)
+        if not samples:
+            return LatencySummary.of(())
+        n = len(samples)
+        cached = self._summary_cache.get(category)
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        summary = LatencySummary.of(samples)
+        self._summary_cache[category] = (n, summary)
+        return summary
+
+    def snapshot(self) -> Dict[str, LatencySummary]:
+        """All latency categories summarized, sorted by name.
+
+        The single entry point the report, the sweep metric extraction
+        and the windowed telemetry path share: each category is sorted
+        once per snapshot (and cached), not once per percentile read.
+        """
+        return {cat: self.latency_summary(cat) for cat in sorted(self.latencies)}
 
     def mean_latency(self, category: str) -> float:
         return self.latency_summary(category).mean
@@ -122,6 +165,11 @@ class StatsCollector:
             for comp, v in comps.items():
                 self.add_breakdown(cat, comp, v)
         self.gauges.update(other.gauges)
+        if other.timeline is not None:
+            if self.timeline is None:
+                self.timeline = other.timeline
+            else:
+                self.timeline.merge(other.timeline)
 
 
 @dataclass

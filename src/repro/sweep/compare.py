@@ -23,6 +23,10 @@ GATED_METRICS: Dict[str, bool] = {
     "throughput_iops": True,
     "latency:fault:mean": False,
     "latency:fault:p99": False,
+    # Tail-of-the-tail: present in documents produced since the telemetry
+    # layer landed; compare() skips metrics a baseline lacks, so older
+    # baselines remain comparable.
+    "latency:fault:p999": False,
 }
 
 IMPROVED = "improved"

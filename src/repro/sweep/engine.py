@@ -66,8 +66,12 @@ def extract_metrics(result: RunResult) -> Dict[str, float]:
 
     - top-level: ``runtime_us``, ``throughput_iops``, ``total_accesses``
     - ``counter:<name>`` for every stats counter
-    - ``latency:<category>:{mean,p50,p99}`` for every latency category
+    - ``latency:<category>:{mean,p50,p99,p999}`` for every latency category
     - ``gauge:<name>`` for every end-of-run gauge
+    - ``slo:<objective>:{compliance,violations}`` and
+      ``telemetry:windows`` when the point ran with telemetry enabled
+      (burn rates stay out of the namespace: an exhausted error budget is
+      infinite burn, and ``Infinity`` is not valid JSON)
     """
     metrics: Dict[str, float] = {
         "runtime_us": float(result.runtime_us),
@@ -76,13 +80,22 @@ def extract_metrics(result: RunResult) -> Dict[str, float]:
     }
     for name in sorted(result.stats.counters):
         metrics[f"counter:{name}"] = float(result.stats.counters[name])
-    for category in sorted(result.stats.latencies):
-        summary = result.stats.latency_summary(category)
+    for category, summary in result.stats.snapshot().items():
         metrics[f"latency:{category}:mean"] = summary.mean
         metrics[f"latency:{category}:p50"] = summary.p50
         metrics[f"latency:{category}:p99"] = summary.p99
+        metrics[f"latency:{category}:p999"] = summary.p999
     for name in sorted(result.stats.gauges):
         metrics[f"gauge:{name}"] = float(result.stats.gauges[name])
+    timeline = result.stats.timeline
+    if timeline is not None:
+        from ..telemetry import evaluate_slos
+
+        metrics["telemetry:windows"] = float(timeline.num_windows)
+        for slo_result in evaluate_slos(timeline).results:
+            prefix = f"slo:{slo_result.objective.name}"
+            metrics[f"{prefix}:compliance"] = slo_result.compliance
+            metrics[f"{prefix}:violations"] = float(slo_result.windows_violating)
     return metrics
 
 
@@ -95,15 +108,25 @@ class PointRecord:
     #: trace JSONL (only when the point ran with tracing; never stored in
     #: sweep documents -- used by the determinism tests).
     trace_jsonl: Optional[str] = field(default=None, repr=False)
+    #: windowed telemetry document (``repro.telemetry/v1``) -- only when
+    #: the point ran with telemetry enabled, so telemetry-off sweep
+    #: documents are byte-identical to pre-telemetry ones.
+    timeline: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     def to_json(self) -> Dict[str, Any]:
         doc = self.point.to_json()
         doc["metrics"] = {k: self.metrics[k] for k in sorted(self.metrics)}
+        if self.timeline is not None:
+            doc["timeline"] = self.timeline
         return doc
 
     @classmethod
     def from_json(cls, data: Dict[str, Any]) -> "PointRecord":
-        return cls(point=SweepPoint.from_json(data), metrics=dict(data["metrics"]))
+        return cls(
+            point=SweepPoint.from_json(data),
+            metrics=dict(data["metrics"]),
+            timeline=data.get("timeline"),
+        )
 
 
 def execute_point(
@@ -123,6 +146,8 @@ def execute_point(
     record = PointRecord(point=point, metrics=extract_metrics(result))
     if with_trace and result.trace is not None:
         record.trace_jsonl = result.trace.to_jsonl()
+    if result.stats.timeline is not None:
+        record.timeline = result.stats.timeline.to_json()
     return record
 
 

@@ -67,6 +67,32 @@ PRESETS: Dict[str, List[str]] = {
         "private_pages_per_thread=256;burst=4;"
         "cache_capacity_pages=3072;num_memory_blades=4;epoch_us=2000",
     ],
+    # ci-quick with windowed telemetry + SLO accounting enabled, plus an
+    # open-loop point: exercises the timeline record path and the
+    # per-point timeline documents in sweep output.  Used by the CI smoke
+    # step (not perf-gated: telemetry-on runs are measured separately).
+    "ci-quick-telemetry": [
+        "system=mind,gam,fastswap;workload=tf;blades=1;"
+        "threads_per_blade=1,4;accesses_per_thread=600;"
+        "num_memory_blades=2;epoch_us=2000;telemetry=true",
+        "system=mind;workload=uniform;blades=2;threads_per_blade=1;"
+        "read_ratio=0.5;sharing_ratio=0.5;accesses_per_thread=800;"
+        "shared_pages=200;private_pages_per_thread=128;burst=4;"
+        "cache_capacity_pages=1536;num_memory_blades=2;epoch_us=2000;"
+        "telemetry=true;arrival_process=poisson;"
+        "arrival_rate_per_thread=0.01;request_size=8",
+    ],
+    # Latency under load: open-loop arrival-rate sweep against the MIND
+    # data path (the hockey-stick curve).  Windowed p99/p99.9 and queueing
+    # delay come from the per-point timeline documents.
+    "openloop-load": [
+        "system=mind;workload=uniform;blades=4;threads_per_blade=2;"
+        "read_ratio=0.5;sharing_ratio=0.5;accesses_per_thread=4000;"
+        "shared_pages=400;private_pages_per_thread=256;burst=4;"
+        "cache_capacity_pages=3072;num_memory_blades=4;epoch_us=2000;"
+        "telemetry=true;arrival_process=poisson,diurnal;"
+        "arrival_rate_per_thread=0.005,0.01,0.02,0.04,0.08;request_size=8",
+    ],
 }
 
 

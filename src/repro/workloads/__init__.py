@@ -8,6 +8,12 @@ streams, mirroring the paper's PIN-trace methodology.
 
 from .graph_like import GraphLikeWorkload
 from .kvs import MindKvs, NativeKvsWorkload, SLOT_SIZE, TOMBSTONE
+from .openloop import (
+    ARRIVAL_PROCESSES,
+    ArrivalSpec,
+    arrival_times,
+    open_loop_thread,
+)
 from .scoped import TeamSharingWorkload
 from .synthetic import UniformSharingWorkload
 from .tensorflow_like import TensorFlowLikeWorkload
@@ -29,6 +35,8 @@ from .trace import (
 from .ycsb import MemcachedYcsbWorkload
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
+    "ArrivalSpec",
     "FileWorkload",
     "GraphLikeWorkload",
     "MemcachedYcsbWorkload",
@@ -43,9 +51,11 @@ __all__ = [
     "TraceFormatError",
     "TraceWorkload",
     "UniformSharingWorkload",
+    "arrival_times",
     "convert_pin_text",
     "interleave",
     "load_traces",
+    "open_loop_thread",
     "record_workload",
     "save_traces",
     "stable_seed",

@@ -95,6 +95,14 @@ class AccessStream:
     def __iter__(self) -> Iterator[Tuple[int, bool]]:
         return zip(self.vas, map(bool, self.writes))
 
+    def slice(self, start: int, stop: int) -> "AccessStream":
+        """A sub-stream over ``[start, stop)`` (clamped to the length).
+
+        Used by the open-loop driver to replay a trace request-by-request;
+        slicing the backing arrays copies only the selected accesses.
+        """
+        return AccessStream(self.vas[start:stop], self.writes[start:stop])
+
 
 #: what replay endpoints accept: a compact stream or any tuple iterable.
 AccessOrStream = Iterable[Tuple[int, bool]]

@@ -76,10 +76,25 @@ def test_chrome_trace_document_shape(tmp_path):
     assert [e["ph"] for e in events] == ["M", "X", "i", "C"]
     assert events[0]["args"]["name"] == "lane"
     assert events[1]["dur"] == 2.0
-    assert events[3]["args"]["value"] == 5.0
+    # Counter samples are keyed by the counter's leaf name so Chrome
+    # renders one named series per counter track.
+    assert events[3]["args"] == {"depth": 5.0}
     path = tmp_path / "trace.json"
     tracer.write_chrome_trace(str(path))
     assert json.loads(path.read_text())["traceEvents"]
+
+
+def test_chrome_trace_counter_series_injection():
+    tracer = Tracer()
+    tracer.complete(1.0, 2.0, "coherence", "span")
+    series = {"switch.directory_entries": [(0.0, 1.0), (100.0, 7.0)]}
+    doc = tracer.chrome_trace(counter_series=series)
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert len(counters) == 2
+    assert all(e["name"] == "switch.directory_entries" for e in counters)
+    assert all(e["cat"] == "gauge" for e in counters)
+    assert counters[0]["args"] == {"directory_entries": 1.0}
+    assert counters[1]["ts"] == 100.0
 
 
 def test_clear_resets_buffer():

@@ -1,0 +1,139 @@
+"""Open-loop arrivals: determinism, schedule shape, end-to-end runs."""
+
+import pytest
+
+from repro.runner import RunnerConfig, run_system
+from repro.workloads import UniformSharingWorkload
+from repro.workloads.openloop import (
+    ArrivalSpec,
+    arrival_times,
+    thread_arrival_seed,
+)
+
+
+class TestArrivalSpec:
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(process="bursty")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(rate_per_us=0.0)
+
+    def test_bad_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(amplitude=1.0)
+
+
+class TestArrivalTimes:
+    def test_pure_function_of_inputs(self):
+        spec = ArrivalSpec(rate_per_us=0.01)
+        a = arrival_times(spec, 200, seed=5)
+        b = arrival_times(spec, 200, seed=5)
+        assert a.tolist() == b.tolist()
+        assert arrival_times(spec, 200, seed=6).tolist() != a.tolist()
+
+    def test_ascending_and_sized(self):
+        for process in ("poisson", "diurnal"):
+            spec = ArrivalSpec(process=process, rate_per_us=0.02)
+            times = arrival_times(spec, 500, seed=1)
+            assert len(times) == 500
+            assert all(b > a for a, b in zip(times, list(times)[1:]))
+
+    def test_poisson_mean_rate(self):
+        spec = ArrivalSpec(rate_per_us=0.02)
+        times = arrival_times(spec, 5_000, seed=2)
+        observed = len(times) / times[-1]
+        assert observed == pytest.approx(0.02, rel=0.1)
+
+    def test_diurnal_rate_oscillates(self):
+        # sin is positive over the first half of each period, so with a
+        # strong amplitude far more arrivals land there than in the
+        # second half -- equal time, unequal counts.
+        period = 10_000.0
+        spec = ArrivalSpec(
+            process="diurnal", rate_per_us=0.05, period_us=period,
+            amplitude=0.9,
+        )
+        times = arrival_times(spec, 2_000, seed=3).tolist()
+        in_peak = sum(1 for t in times if (t % period) < period / 2)
+        in_trough = len(times) - in_peak
+        assert in_peak > 1.3 * in_trough
+
+    def test_zero_requests(self):
+        assert len(arrival_times(ArrivalSpec(), 0, seed=1)) == 0
+
+    def test_thread_seed_is_stable_and_distinct(self):
+        assert thread_arrival_seed("tf", 1, 0) == thread_arrival_seed("tf", 1, 0)
+        assert thread_arrival_seed("tf", 1, 0) != thread_arrival_seed("tf", 1, 1)
+        assert thread_arrival_seed("tf", 1, 0) != thread_arrival_seed("tf", 2, 0)
+
+
+def open_loop_result(process="poisson", **overrides):
+    workload = UniformSharingWorkload(4, accesses_per_thread=400, seed=3)
+    kwargs = dict(
+        telemetry=True,
+        arrival_process=process,
+        arrival_rate_per_thread=0.01,
+        request_size=8,
+    )
+    kwargs.update(overrides)
+    return run_system("mind", workload, 2, RunnerConfig(**kwargs))
+
+
+class TestOpenLoopRuns:
+    def test_all_requests_complete(self):
+        result = open_loop_result()
+        # 400 accesses / 8 per request = 50 requests per thread.
+        assert result.stats.counter("openloop_arrivals") == 200
+        assert result.stats.counter("openloop_completions") == 200
+        assert result.total_accesses == 1_600
+
+    def test_queue_service_latency_decomposition(self):
+        stats = open_loop_result().stats
+        queue = stats.latency_summary("openloop:queue")
+        service = stats.latency_summary("openloop:service")
+        latency = stats.latency_summary("openloop:latency")
+        assert latency.count == queue.count == service.count == 200
+        assert latency.mean == pytest.approx(queue.mean + service.mean)
+        assert latency.max >= service.max
+
+    def test_runtime_tracks_arrival_schedule_not_service(self):
+        # Open loop: the last arrival bounds the runtime from below even
+        # though the closed-loop replay would finish much earlier.
+        closed = run_system(
+            "mind",
+            UniformSharingWorkload(4, accesses_per_thread=400, seed=3),
+            2,
+            RunnerConfig(),
+        )
+        slow = open_loop_result(arrival_rate_per_thread=0.002)
+        assert slow.runtime_us > 2 * closed.runtime_us
+
+    def test_timeline_records_openloop_categories(self):
+        timeline = open_loop_result().stats.timeline
+        assert "openloop:latency" in timeline.categories()
+        assert "openloop:queue" in timeline.categories()
+        counts = timeline.series("openloop:latency", "count")
+        assert sum(counts) == 200.0
+
+    def test_deterministic_across_runs(self):
+        a = open_loop_result()
+        b = open_loop_result()
+        assert a.runtime_us == b.runtime_us
+        assert a.stats.counters == b.stats.counters
+        import json
+
+        assert json.dumps(a.stats.timeline.to_json(), sort_keys=True) == (
+            json.dumps(b.stats.timeline.to_json(), sort_keys=True)
+        )
+
+    def test_diurnal_runs(self):
+        result = open_loop_result(process="diurnal")
+        assert result.stats.counter("openloop_completions") == 200
+
+    def test_baselines_reject_open_loop(self):
+        workload = UniformSharingWorkload(2, accesses_per_thread=100, seed=1)
+        config = RunnerConfig(arrival_process="poisson")
+        with pytest.raises(ValueError):
+            run_system("gam", workload, 2, config)
