@@ -13,49 +13,22 @@ the current serving threads which run *concurrently* in simulated time.
 With mostly-read traffic, serving capacity grows with the blades, exactly
 the transparent compute elasticity MIND promises.
 
+The building blocks (deterministic op generation, the serving loop) come
+from :mod:`repro.workloads.elastic_kvs` -- the same code that powers the
+full multi-tenant serving scenario (``python -m repro serve``), which
+adds open-loop arrivals, admission control, chaos, and SLO reporting on
+top of what this example shows.
+
 Run:  python examples/elastic_kvs.py
 """
 
-import numpy as np
-
 from repro.api import MindSystem
-from repro.sim.rng import ZipfianSampler
+from repro.workloads.elastic_kvs import make_ops, server_loop, tenant_key
 from repro.workloads.kvs import MindKvs
 
 NUM_KEYS = 400
 REQUESTS_PER_PHASE = 512
 READ_FRACTION = 0.95
-#: CPU time to parse/handle one request (why serving is compute-bound and
-#: worth scaling out in the first place).
-REQUEST_CPU_US = 8.0
-
-
-def server_loop(kvs, thread, requests):
-    """One serving thread's request loop (a simulated process)."""
-
-    def gen():
-        served = 0
-        for op, key, value in requests:
-            yield REQUEST_CPU_US  # request parsing + protocol handling
-            if op == "get":
-                yield from kvs.get_gen(thread, key)
-            else:
-                yield from kvs.put_gen(thread, key, value)
-            served += 1
-        return served
-
-    return gen()
-
-
-def make_requests(rng, sampler, count):
-    requests = []
-    for i in range(count):
-        key = f"key-{sampler.sample_one()}".encode()
-        if rng.random() < READ_FRACTION:
-            requests.append(("get", key, b""))
-        else:
-            requests.append(("put", key, f"update-{i}".encode()))
-    return requests
 
 
 def main() -> None:
@@ -66,27 +39,34 @@ def main() -> None:
     )
     proc = system.spawn_process("kvs-server")
     kvs = MindKvs(proc, num_slots=2048)
-    rng = np.random.default_rng(42)
-    sampler = ZipfianSampler(NUM_KEYS, theta=0.9, seed=7)
 
     print(f"loading {NUM_KEYS} keys...")
     loader = proc.spawn_thread()
     for i in range(NUM_KEYS):
-        kvs.put(loader, f"key-{i}".encode(), f"initial-{i}".encode())
+        kvs.put(loader, tenant_key(0, i), f"initial-{i}".encode())
 
     threads = [loader]
     print("serving phases (same data, progressively more blades):")
     rates = []
-    for phase in (1, 2, 4):
+    for phase_index, phase in enumerate((1, 2, 4)):
         while len(threads) < phase:
             threads.append(proc.spawn_thread())
         per_thread = REQUESTS_PER_PHASE // len(threads)
         batches = [
-            make_requests(rng, sampler, per_thread) for _ in threads
+            make_ops(
+                "elastic-kvs",
+                seed=42,
+                tenant=0,
+                client=phase_index * len(threads) + t,
+                count=per_thread,
+                num_keys=NUM_KEYS,
+                read_fraction=READ_FRACTION,
+            )
+            for t in range(len(threads))
         ]
         t0 = system.now_us
         system.run_concurrently(
-            [server_loop(kvs, t, reqs) for t, reqs in zip(threads, batches)]
+            [server_loop(kvs, t, ops) for t, ops in zip(threads, batches)]
         )
         elapsed_ms = (system.now_us - t0) / 1000
         rate = (per_thread * len(threads)) / max(elapsed_ms, 1e-9)
@@ -101,11 +81,13 @@ def main() -> None:
     print(f"\nserving capacity grew {speedup:.2f}x from 1 to 4 blades "
           "with zero application changes")
     probe = threads[-1]
-    print(f"blade {probe.blade_id} reads key-0 -> "
-          f"{kvs.get(probe, b'key-0')!r}")
+    print(f"blade {probe.blade_id} reads {tenant_key(0, 0)!r} -> "
+          f"{kvs.get(probe, tenant_key(0, 0))!r}")
     stats = system.stats
     print(f"coherence served it all: {stats.counter('invalidations_sent')} "
           f"invalidations, {stats.counter('false_invalidations')} false")
+    print("\nnext step: the multi-tenant serving scenario under chaos --")
+    print("  python -m repro serve --chaos full")
 
 
 if __name__ == "__main__":

@@ -14,6 +14,9 @@ Subcommands:
   workload knobs x seeds) across worker processes, aggregate the results
   into a schema-versioned JSON document, and optionally gate against a
   baseline (``--compare-to``).  See ``python -m repro sweep --help``.
+- ``serve`` -- run the multi-tenant elastic-KVS serving scenario (open-loop
+  diurnal tenants, admission control with retry-storm defense, a queue-depth
+  autoscaler, optional chaos) and print per-tenant availability/SLO curves.
 - ``profile`` -- time the simulation *kernel* on a sweep spec: wall
   seconds, engine events/sec, accesses/sec, optional cProfile hotspots,
   and an advisory comparison against the checked-in speed baseline
@@ -33,6 +36,7 @@ from .api import MindSystem
 from .faults import FaultPlan
 from .runner import SYSTEMS, RunnerConfig, run_system
 from .perf.cli import add_profile_parser
+from .service.cli import add_serve_parser
 from .sweep.cli import add_sweep_parser
 from .workloads import UniformSharingWorkload
 
@@ -266,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_sweep_parser(sub)
     add_profile_parser(sub)
+    add_serve_parser(sub)
 
     parser.set_defaults(fn=tour)
     return parser

@@ -39,6 +39,11 @@ class ControlPlaneSnapshot:
     tasks: List[Tuple[int, str]]
     #: (pid, vma base, vma length, pdid, perm, memory blade id)
     vmas: List[Tuple[int, int, int, int, PermissionClass, int]]
+    #: every protection grant, including capability-style ``grant_domain``
+    #: entries whose pdid is not any task's pid: (pdid, base, length, perm).
+    #: Task vma lists alone miss them -- a rebuild that dropped session
+    #: domains would segfault every multi-tenant server after fail-over.
+    grants: List[Tuple[int, int, int, PermissionClass]]
     #: memory blade ids in VA-partition order.
     blade_order: List[int]
     blade_capacity: int
@@ -68,10 +73,15 @@ class ControlPlaneReplicator:
             for task in ctl.tasks()
             for vma, blade_id in task.vmas.values()
         ]
+        grants = [
+            (pdid, vma.base, vma.length, perm)
+            for pdid, vma, perm in ctl.protection.grants()
+        ]
         snapshot = ControlPlaneSnapshot(
             version=ctl.version,
             tasks=tasks,
             vmas=sorted(vmas),
+            grants=grants,
             blade_order=ctl.allocator.blade_ids,
             blade_capacity=ctl.address_space.blade_capacity,
             initial_region_size=ctl.directory.initial_region_size,
@@ -125,9 +135,11 @@ def rebuild_data_plane(
         va_base = address_space.add_blade(blade_id)
         allocator.add_blade(blade_id, va_base, snapshot.blade_capacity)
     protection = ProtectionTable(protection_tcam)
-    for _pid, base, length, pdid, perm, blade_id in snapshot.vmas:
-        vma = Vma(base, length, pdid, perm)
-        protection.grant(pdid, vma, perm)
+    # Permissions come from the replicated grant list -- the task vma list
+    # alone would silently drop capability-style session domains.
+    for pdid, base, length, perm in snapshot.grants:
+        protection.grant(pdid, Vma(base, length, pdid, perm), perm)
+    for _pid, base, length, _pdid, _perm, blade_id in snapshot.vmas:
         # Replay the allocation at its original address.
         allocator.blade(blade_id).allocate_at(base, length)
     directory = RegionDirectory(

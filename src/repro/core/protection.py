@@ -15,7 +15,7 @@ ternary match covers both fields, as the switch's parallel range match does.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from ..switchsim.packets import AccessType, PacketVerdict
 from ..switchsim.tcam import (
@@ -82,6 +82,18 @@ class ProtectionTable:
             del self._grants[key]
             self._recompile_domain(pdid)
             raise
+
+    def grants(self) -> List[Tuple[int, Vma, PermissionClass]]:
+        """The authoritative grant list, sorted: ``(pdid, vma, perm)``.
+
+        Includes both owner grants (installed by ``mmap``) and
+        capability-style domain grants (``grant_domain``) -- this is what
+        fail-over must replicate, not just the per-task vma lists.
+        """
+        return [
+            (pdid, vma, perm)
+            for (pdid, _base), (vma, perm) in sorted(self._grants.items())
+        ]
 
     def revoke(self, pdid: int, vma_base: int) -> None:
         """Remove the grant for ``<pdid, vma>`` (munmap path)."""

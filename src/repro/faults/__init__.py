@@ -15,7 +15,10 @@ from .plan import (
     BladeOutage,
     BladeSlowdown,
     ControlCpuStall,
+    FaultEventError,
+    FaultOverlapError,
     FaultPlan,
+    FaultPlanError,
     LinkLossWindow,
     SwitchCrash,
 )
@@ -26,8 +29,11 @@ __all__ = [
     "ControlCpuStall",
     "FailoverConfig",
     "FailoverOrchestrator",
+    "FaultEventError",
     "FaultInjector",
+    "FaultOverlapError",
     "FaultPlan",
+    "FaultPlanError",
     "LinkLossWindow",
     "MessageLossInjector",
     "SwitchCrash",

@@ -108,15 +108,37 @@ class FailoverOrchestrator:
         cfg = self.mmu.config
         protection_budget = int(cfg.match_action_capacity * cfg.protection_share)
         translation_budget = cfg.match_action_capacity - protection_budget
+        snapshot = self.replicator.snapshot
         xlate_tcam = Tcam(translation_budget, name="translation")
         protection_tcam = Tcam(protection_budget, name="protection")
         directory_sram = RegisterArray(cfg.directory_capacity, name="directory")
-        plane = rebuild_data_plane(
-            self.replicator.snapshot, xlate_tcam, protection_tcam, directory_sram
-        )
+        plane = rebuild_data_plane(snapshot, xlate_tcam, protection_tcam, directory_sram)
         rules_installed = len(xlate_tcam) + len(protection_tcam)
         yield self.config.rebuild_base_us + rules_installed * self.config.rule_install_us
         stats.incr("failover_rules_installed", rules_installed)
+
+        # Metadata can mutate while the rebuild install is in flight -- an
+        # autoscaler placing a thread, a live mmap/mprotect syscall.  Those
+        # mutations re-captured the replicated snapshot, but the tables we
+        # just programmed came from the older one; adopting them would
+        # silently drop the newer translation/protection entries.  Catch
+        # up: rebuild from the latest snapshot (paying another install
+        # pass) until no mutation raced the install.
+        while self.replicator.snapshot.version != snapshot.version:
+            snapshot = self.replicator.snapshot
+            xlate_tcam = Tcam(translation_budget, name="translation")
+            protection_tcam = Tcam(protection_budget, name="protection")
+            directory_sram = RegisterArray(cfg.directory_capacity, name="directory")
+            plane = rebuild_data_plane(
+                snapshot, xlate_tcam, protection_tcam, directory_sram
+            )
+            rules_installed = len(xlate_tcam) + len(protection_tcam)
+            stats.incr("failover_catchup_rebuilds")
+            stats.incr("failover_rules_installed", rules_installed)
+            yield (
+                self.config.rebuild_base_us
+                + rules_installed * self.config.rule_install_us
+            )
 
         self.mmu.adopt_data_plane(plane, xlate_tcam, protection_tcam, directory_sram)
 

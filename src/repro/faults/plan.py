@@ -16,11 +16,25 @@ by retransmission), never permanent data loss.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 #: link directions a loss/delay window may cover.
 DIRECTIONS = ("to_switch", "from_switch", "both")
+
+
+class FaultPlanError(ValueError):
+    """A fault plan that cannot be armed on a cluster."""
+
+
+class FaultEventError(FaultPlanError):
+    """One event is malformed on its own (bad window, probability, factor)."""
+
+
+class FaultOverlapError(FaultPlanError):
+    """Two events contradict each other on the same target (an outage
+    overlapping a slowdown on one blade, two switch crashes, ...)."""
 
 
 @dataclass(frozen=True)
@@ -175,68 +189,183 @@ class FaultPlan:
     def validate(self) -> "FaultPlan":
         """Reject malformed plans before they touch a cluster.
 
-        Every interval must be finite and non-empty (an open-ended outage
-        would hang retransmission loops forever -- blade faults are
-        transient by the paper's scope), probabilities must be in [0, 1),
-        and delays/durations non-negative.
+        Per-event (:class:`FaultEventError`): every interval must be finite
+        and non-empty (an open-ended outage would hang retransmission loops
+        forever -- blade faults are transient by the paper's scope),
+        probabilities must be in [0, 1), and delays/durations non-negative.
+
+        Cross-event (:class:`FaultOverlapError`): events that contradict
+        each other on the same target are rejected -- a second switch crash
+        (there is one backup switch; fail-over runs once), overlapping
+        outage/slowdown windows on one memory blade (a paused blade cannot
+        also be "serving slowly"), overlapping same-knob loss or delay
+        windows on the same link set (the injector would apply both rolls),
+        and overlapping control-CPU stalls.  A loss window overlapping a
+        *delay* window on the same link is fine: the effects compose.
         """
         for ev in self.events:
             if isinstance(ev, SwitchCrash):
                 if ev.at_us < 0:
-                    raise ValueError(f"switch crash at negative time {ev.at_us}")
+                    raise FaultEventError(
+                        f"switch crash at negative time {ev.at_us}"
+                    )
             elif isinstance(ev, LinkLossWindow):
                 if not 0 <= ev.start_us < ev.end_us:
-                    raise ValueError(f"bad loss window [{ev.start_us}, {ev.end_us})")
+                    raise FaultEventError(
+                        f"bad loss window [{ev.start_us}, {ev.end_us})"
+                    )
                 if not 0.0 <= ev.drop_prob < 1.0:
-                    raise ValueError(f"drop probability {ev.drop_prob} not in [0, 1)")
+                    raise FaultEventError(
+                        f"drop probability {ev.drop_prob} not in [0, 1)"
+                    )
                 if ev.extra_delay_us < 0:
-                    raise ValueError(f"negative delay spike {ev.extra_delay_us}")
+                    raise FaultEventError(
+                        f"negative delay spike {ev.extra_delay_us}"
+                    )
                 if ev.direction not in DIRECTIONS:
-                    raise ValueError(f"unknown direction {ev.direction!r}")
+                    raise FaultEventError(f"unknown direction {ev.direction!r}")
             elif isinstance(ev, (BladeSlowdown, BladeOutage)):
                 if not 0 <= ev.start_us < ev.end_us:
-                    raise ValueError(
+                    raise FaultEventError(
                         f"bad blade fault window [{ev.start_us}, {ev.end_us})"
                     )
                 if isinstance(ev, BladeSlowdown) and ev.factor < 1.0:
-                    raise ValueError(f"slowdown factor {ev.factor} < 1")
+                    raise FaultEventError(f"slowdown factor {ev.factor} < 1")
             elif isinstance(ev, ControlCpuStall):
                 if ev.at_us < 0 or ev.duration_us <= 0:
-                    raise ValueError("cpu stall needs at_us >= 0, duration > 0")
+                    raise FaultEventError(
+                        "cpu stall needs at_us >= 0, duration > 0"
+                    )
+        self._validate_overlaps()
         return self
 
+    def _validate_overlaps(self) -> None:
+        crashes = [e for e in self.events if isinstance(e, SwitchCrash)]
+        if len(crashes) > 1:
+            raise FaultOverlapError(
+                f"{len(crashes)} switch crashes scheduled; the fail-over "
+                "path has one backup switch, so a plan may crash the "
+                "primary at most once"
+            )
+        blade_windows = [
+            e for e in self.events if isinstance(e, (BladeSlowdown, BladeOutage))
+        ]
+        for a, b in itertools.combinations(blade_windows, 2):
+            if a.blade_id != b.blade_id:
+                continue
+            if a.start_us < b.end_us and b.start_us < a.end_us:
+                raise FaultOverlapError(
+                    f"contradictory blade faults on mem{a.blade_id}: "
+                    f"{_describe_event(a)} overlaps {_describe_event(b)}"
+                )
+        stalls = [e for e in self.events if isinstance(e, ControlCpuStall)]
+        for a, b in itertools.combinations(stalls, 2):
+            if (a.at_us < b.at_us + b.duration_us
+                    and b.at_us < a.at_us + a.duration_us):
+                raise FaultOverlapError(
+                    f"overlapping control-CPU stalls: {_describe_event(a)} "
+                    f"overlaps {_describe_event(b)}"
+                )
+        links = [e for e in self.events if isinstance(e, LinkLossWindow)]
+        for a, b in itertools.combinations(links, 2):
+            if not (a.start_us < b.end_us and b.start_us < a.end_us):
+                continue
+            if not _links_intersect(a, b):
+                continue
+            if a.drop_prob and b.drop_prob:
+                raise FaultOverlapError(
+                    f"overlapping loss windows on the same links: "
+                    f"{_describe_event(a)} overlaps {_describe_event(b)}"
+                )
+            if a.extra_delay_us and b.extra_delay_us:
+                raise FaultOverlapError(
+                    f"overlapping delay windows on the same links: "
+                    f"{_describe_event(a)} overlaps {_describe_event(b)}"
+                )
+
     def describe(self) -> List[str]:
-        """One human-readable line per event, in schedule order."""
-        lines = []
-        for ev in sorted(self.events, key=_event_time):
-            if isinstance(ev, SwitchCrash):
-                lines.append(f"t={ev.at_us:g}us switch crash (fail-over)")
-            elif isinstance(ev, LinkLossWindow):
-                where = ev.port or "all links"
-                parts = []
-                if ev.drop_prob:
-                    parts.append(f"loss {ev.drop_prob:.2%}")
-                if ev.extra_delay_us:
-                    parts.append(f"+{ev.extra_delay_us:g}us delay")
-                lines.append(
-                    f"t=[{ev.start_us:g}, {ev.end_us:g})us {where} "
-                    f"({ev.direction}): {', '.join(parts) or 'no-op'}"
+        """Human-readable schedule: one line per event in time order, then
+        the merged per-target timeline (every target's events on one line,
+        so overlaps and gaps are visible at a glance)."""
+        lines = [_describe_event(ev) for ev in sorted(self.events, key=_event_time)]
+        timeline = self.target_timeline()
+        if len(timeline) > 1 or any(len(evs) > 1 for evs in timeline.values()):
+            lines.append("per-target timeline:")
+            for target, events in timeline.items():
+                merged = "; ".join(
+                    _describe_event(ev, with_target=False) for ev in events
                 )
-            elif isinstance(ev, BladeSlowdown):
-                lines.append(
-                    f"t=[{ev.start_us:g}, {ev.end_us:g})us mem{ev.blade_id} "
-                    f"slow x{ev.factor:g}"
-                )
-            elif isinstance(ev, BladeOutage):
-                lines.append(
-                    f"t=[{ev.start_us:g}, {ev.end_us:g})us mem{ev.blade_id} paused"
-                )
-            elif isinstance(ev, ControlCpuStall):
-                lines.append(
-                    f"t={ev.at_us:g}us control CPU stall {ev.duration_us:g}us"
-                )
+                lines.append(f"  {target}: {merged}")
         return lines
+
+    def target_timeline(self) -> "Dict[str, List[FaultEvent]]":
+        """Events grouped by target, time-ordered within each target.
+
+        Targets sort switch first, then links, blades, and the control
+        CPU -- the order the fault propagates through the system.
+        """
+        groups: Dict[str, List[FaultEvent]] = {}
+        for ev in sorted(self.events, key=_event_time):
+            groups.setdefault(_event_target(ev), []).append(ev)
+
+        def rank(target: str) -> int:
+            if target == "switch":
+                return 0
+            if target.startswith("links"):
+                return 1
+            if target.startswith("mem"):
+                return 2
+            return 3
+
+        return dict(sorted(groups.items(), key=lambda kv: (rank(kv[0]), kv[0])))
 
 
 def _event_time(ev: FaultEvent) -> float:
     return getattr(ev, "at_us", getattr(ev, "start_us", 0.0))
+
+
+def _event_target(ev: FaultEvent) -> str:
+    if isinstance(ev, SwitchCrash):
+        return "switch"
+    if isinstance(ev, LinkLossWindow):
+        scope = ev.port or "all"
+        return f"links[{scope}/{ev.direction}]"
+    if isinstance(ev, (BladeSlowdown, BladeOutage)):
+        return f"mem{ev.blade_id}"
+    return "control-cpu"
+
+
+def _describe_event(ev: FaultEvent, with_target: bool = True) -> str:
+    if isinstance(ev, SwitchCrash):
+        return f"t={ev.at_us:g}us switch crash (fail-over)"
+    if isinstance(ev, LinkLossWindow):
+        parts = []
+        if ev.drop_prob:
+            parts.append(f"loss {ev.drop_prob:.2%}")
+        if ev.extra_delay_us:
+            parts.append(f"+{ev.extra_delay_us:g}us delay")
+        effect = ", ".join(parts) or "no-op"
+        if not with_target:
+            return f"t=[{ev.start_us:g}, {ev.end_us:g})us {effect}"
+        where = ev.port or "all links"
+        return (
+            f"t=[{ev.start_us:g}, {ev.end_us:g})us {where} "
+            f"({ev.direction}): {effect}"
+        )
+    if isinstance(ev, BladeSlowdown):
+        target = "" if not with_target else f"mem{ev.blade_id} "
+        return f"t=[{ev.start_us:g}, {ev.end_us:g})us {target}slow x{ev.factor:g}"
+    if isinstance(ev, BladeOutage):
+        target = "" if not with_target else f"mem{ev.blade_id} "
+        return f"t=[{ev.start_us:g}, {ev.end_us:g})us {target}paused"
+    assert isinstance(ev, ControlCpuStall)
+    return f"t={ev.at_us:g}us control CPU stall {ev.duration_us:g}us"
+
+
+def _links_intersect(a: LinkLossWindow, b: LinkLossWindow) -> bool:
+    """Whether two loss/delay windows can touch the same link direction."""
+    if a.port is not None and b.port is not None and a.port != b.port:
+        return False
+    if a.direction != "both" and b.direction != "both":
+        return a.direction == b.direction
+    return True

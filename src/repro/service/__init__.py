@@ -1,0 +1,54 @@
+"""End-to-end multi-tenant serving on a MIND rack.
+
+The robustness layer of the reproduction: an elastic KVS service with
+open-loop tenants, admission control and load shedding, retry-storm
+defense, a deterministic autoscaler, and chaos injection -- reported as
+per-tenant availability/SLO curves.  See :mod:`repro.service.scenario`
+for the scenario assembly and the design rationale.
+"""
+
+from .admission import (
+    ADMIT,
+    REJECT_DEGRADED,
+    REJECT_PENDING,
+    REJECT_QUEUE,
+    ServiceAdmission,
+)
+from .autoscaler import Autoscaler, AutoscalerConfig
+from .pool import Request, ServingPool
+from .report import dump_service_json, render_service_report, service_result_to_json
+from .retry import RetryPolicy
+from .scenario import (
+    CHAOS_MODES,
+    ServiceConfig,
+    ServiceResult,
+    TenantSummary,
+    config_from_params,
+    rerun_without_defense,
+    run_service,
+    service_objectives,
+)
+
+__all__ = [
+    "ADMIT",
+    "CHAOS_MODES",
+    "REJECT_DEGRADED",
+    "REJECT_PENDING",
+    "REJECT_QUEUE",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "Request",
+    "RetryPolicy",
+    "ServiceAdmission",
+    "ServiceConfig",
+    "ServiceResult",
+    "ServingPool",
+    "TenantSummary",
+    "config_from_params",
+    "dump_service_json",
+    "render_service_report",
+    "rerun_without_defense",
+    "run_service",
+    "service_objectives",
+    "service_result_to_json",
+]

@@ -1,0 +1,154 @@
+"""Per-tenant admission control, load shedding, and retry-storm defense.
+
+The serving pool has two finite resources a tenant can exhaust: its own
+in-flight request budget (the per-tenant queue) and the switch's shared
+pending-transaction table (the coherence directory's SRAM, Section 5.3).
+:class:`ServiceAdmission` gates every request against both *before* it
+touches the data plane, so overload turns into fast, cheap rejections at
+the front door instead of timeouts deep in the coherence protocol.
+
+Rejected clients retry with backoff -- which itself can snowball: a blip
+(say, a switch fail-over) rejects a burst, the burst comes back as
+retries, the retries saturate the queue, which rejects more...  The
+storm detector watches the retry arrival rate over a sliding window and,
+when it trips, *degrades gracefully*: the lowest-priority tenant (highest
+tenant id) is shed outright -- its requests fail fast without retrying --
+freeing capacity so the protected tenants drain.  Escalation sheds one
+more tenant per window while the storm persists; recovery restores
+everyone at once when retries subside.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+#: admission verdicts (also used as shed-reason labels in counters).
+ADMIT = "admit"
+REJECT_QUEUE = "queue_full"
+REJECT_PENDING = "pending_saturated"
+REJECT_DEGRADED = "degraded"
+
+
+class ServiceAdmission:
+    """Admission gate for a multi-tenant serving pool.
+
+    Named to avoid confusion with ``repro.core.txn.AdmissionController``,
+    which throttles *coherence transactions* inside the switch; this class
+    throttles *client requests* in front of the service.
+
+    Priorities are implicit in tenant ids: tenant 0 is the most important
+    and tenant ``num_tenants - 1`` sheds first.
+    """
+
+    def __init__(
+        self,
+        num_tenants: int,
+        tenant_queue_cap: int = 24,
+        pending_load: Optional[Callable[[], float]] = None,
+        pending_highwater: float = 0.85,
+        storm_defense: bool = True,
+        storm_window_us: float = 1_000.0,
+        storm_enter_retries: int = 16,
+        storm_exit_retries: int = 4,
+    ):
+        if num_tenants < 1:
+            raise ValueError("need at least one tenant")
+        if tenant_queue_cap < 1:
+            raise ValueError("tenant_queue_cap must be >= 1")
+        if not 0.0 < pending_highwater <= 1.0:
+            raise ValueError("pending_highwater must be in (0, 1]")
+        if storm_exit_retries >= storm_enter_retries:
+            raise ValueError("storm exit threshold must be below enter threshold")
+        self.num_tenants = num_tenants
+        self.tenant_queue_cap = tenant_queue_cap
+        self.pending_load = pending_load
+        self.pending_highwater = pending_highwater
+        self.storm_defense = storm_defense
+        self.storm_window_us = storm_window_us
+        self.storm_enter_retries = storm_enter_retries
+        self.storm_exit_retries = storm_exit_retries
+
+        self.in_flight = [0] * num_tenants
+        #: tenants currently shed: ids >= num_tenants - shed_level.
+        self.shed_level = 0
+        #: completed ``(start_us, end_us)`` storm windows.
+        self.storm_windows: List[Tuple[float, float]] = []
+        self._storm_since: Optional[float] = None
+        self._last_escalation_us = 0.0
+        self._recent_retries: Deque[float] = deque()
+
+    # -- the gate ----------------------------------------------------------
+
+    def try_admit(self, now_us: float, tenant: int) -> str:
+        """Decide one request's fate; returns a verdict constant.
+
+        On :data:`ADMIT` the tenant's in-flight count is taken -- the
+        caller must pair it with :meth:`note_done`.
+        """
+        self._update_storm(now_us)
+        if self.is_shed(tenant):
+            return REJECT_DEGRADED
+        if self.in_flight[tenant] >= self.tenant_queue_cap:
+            return REJECT_QUEUE
+        if self.pending_load is not None:
+            if self.pending_load() >= self.pending_highwater:
+                return REJECT_PENDING
+        self.in_flight[tenant] += 1
+        return ADMIT
+
+    def note_done(self, tenant: int) -> None:
+        """Release the in-flight slot taken by a successful admit."""
+        if self.in_flight[tenant] <= 0:
+            raise RuntimeError(f"tenant {tenant} has no in-flight requests")
+        self.in_flight[tenant] -= 1
+
+    def note_retry(self, now_us: float) -> None:
+        """Record a client scheduling a retry (feeds the storm detector)."""
+        self._recent_retries.append(now_us)
+        self._update_storm(now_us)
+
+    def is_shed(self, tenant: int) -> bool:
+        return tenant >= self.num_tenants - self.shed_level
+
+    @property
+    def in_storm(self) -> bool:
+        return self._storm_since is not None
+
+    @property
+    def recent_retry_count(self) -> int:
+        return len(self._recent_retries)
+
+    def finalize(self, now_us: float) -> None:
+        """Close out a storm still open when the run ends."""
+        if self._storm_since is not None:
+            self.storm_windows.append((self._storm_since, now_us))
+            self._storm_since = None
+
+    # -- storm detection ---------------------------------------------------
+
+    def _update_storm(self, now_us: float) -> None:
+        horizon = now_us - self.storm_window_us
+        recent = self._recent_retries
+        while recent and recent[0] < horizon:
+            recent.popleft()
+        if self._storm_since is None:
+            if len(recent) >= self.storm_enter_retries:
+                self._storm_since = now_us
+                self._last_escalation_us = now_us
+                if self.storm_defense and self.shed_level < self.num_tenants - 1:
+                    self.shed_level += 1
+        else:
+            if len(recent) <= self.storm_exit_retries:
+                self.storm_windows.append((self._storm_since, now_us))
+                self._storm_since = None
+                self.shed_level = 0
+            elif (
+                self.storm_defense
+                and now_us - self._last_escalation_us >= self.storm_window_us
+                and self.shed_level < self.num_tenants - 1
+            ):
+                # Still storming a full window after the last shed:
+                # degrade one step further (never shed tenant 0).
+                self.shed_level += 1
+                self._last_escalation_us = now_us

@@ -1,0 +1,75 @@
+"""``python -m repro serve``: run the serving scenario from the shell."""
+
+from __future__ import annotations
+
+import argparse
+
+from .report import dump_service_json, render_service_report
+from .scenario import CHAOS_MODES, ServiceConfig, run_service
+
+
+def serve(args: argparse.Namespace) -> int:
+    config = ServiceConfig(
+        name=args.name,
+        seed=args.seed,
+        num_compute_blades=args.blades,
+        tenants=args.tenants,
+        clients_per_tenant=args.clients,
+        requests_per_client=args.requests,
+        arrival_process=args.arrivals,
+        arrival_rate_per_client=args.rate,
+        chaos=args.chaos,
+        admission=not args.no_admission,
+        storm_defense=not args.no_storm_defense,
+        max_retries=args.max_retries,
+        tenant_queue_cap=args.queue_cap,
+        slo_p999_us=args.slo_p999,
+    )
+    result = run_service(config)
+    if args.json:
+        print(dump_service_json(result))
+    else:
+        for line in render_service_report(result):
+            print(line)
+    return 0
+
+
+def add_serve_parser(sub) -> None:
+    serve_p = sub.add_parser(
+        "serve",
+        help="multi-tenant elastic KVS service under chaos, with SLO report",
+        description=(
+            "Run the end-to-end serving scenario: open-loop diurnal tenants "
+            "on an elastic KVS, admission control with retry-storm defense, "
+            "a queue-depth autoscaler, and optional chaos (switch crash, "
+            "packet loss, blade outage).  Prints availability and SLO "
+            "curves per tenant."
+        ),
+    )
+    serve_p.add_argument("--name", default="kvs-service")
+    serve_p.add_argument("--seed", type=int, default=1)
+    serve_p.add_argument("--blades", type=int, default=4,
+                         help="compute blades in the rack (default 4)")
+    serve_p.add_argument("--tenants", type=int, default=3)
+    serve_p.add_argument("--clients", type=int, default=3,
+                         help="open-loop clients per tenant (default 3)")
+    serve_p.add_argument("--requests", type=int, default=96,
+                         help="requests per client (default 96)")
+    serve_p.add_argument("--arrivals", choices=("poisson", "diurnal"),
+                         default="diurnal")
+    serve_p.add_argument("--rate", type=float, default=0.015,
+                         help="mean arrivals per client per simulated us")
+    serve_p.add_argument("--chaos", choices=CHAOS_MODES, default="none",
+                         help="chaos phase injected while serving")
+    serve_p.add_argument("--no-admission", action="store_true",
+                         help="disable admission control entirely")
+    serve_p.add_argument("--no-storm-defense", action="store_true",
+                         help="keep admission but disable retry-storm shedding")
+    serve_p.add_argument("--max-retries", type=int, default=3)
+    serve_p.add_argument("--queue-cap", type=int, default=10,
+                         help="per-tenant in-flight request budget")
+    serve_p.add_argument("--slo-p999", type=float, default=1_100.0,
+                         help="per-tenant p99.9 latency objective in us")
+    serve_p.add_argument("--json", action="store_true",
+                         help="emit the result as byte-stable JSON")
+    serve_p.set_defaults(fn=serve)

@@ -1,0 +1,57 @@
+"""Client-side retries: capped exponential backoff with seeded jitter.
+
+A rejected request (shed by admission control) retries after a backoff
+that doubles per attempt up to a cap, scaled down by a jittered factor so
+a burst of simultaneous rejections does not come back as a synchronized
+wave -- the standard defense against self-inflicted retry storms.
+
+Determinism: every attempt's jitter comes from its own
+``stable_seed``-derived child stream, keyed by the request's identity
+``(service, seed, tenant, client, index, attempt)``.  The draw is
+independent of event interleaving, so runs are byte-identical across
+reruns, processes, and ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.rng import make_rng
+from ..workloads.trace import stable_seed
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with full-ish jitter."""
+
+    #: retries allowed per request before it counts as failed.
+    max_retries: int = 3
+    #: first-retry backoff, in simulated us.
+    base_us: float = 50.0
+    #: backoff ceiling, in simulated us.
+    cap_us: float = 1_600.0
+    #: jitter fraction in [0, 1]: the backoff is scaled uniformly from
+    #: ``[1 - jitter, 1] * base``; 0 disables jitter (lockstep retries).
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_us <= 0 or self.cap_us < self.base_us:
+            raise ValueError("need 0 < base_us <= cap_us")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_us(
+        self, seed: int, tenant: int, client: int, index: int, attempt: int
+    ) -> float:
+        """The delay before retry ``attempt`` (1-based) of one request."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        backoff = min(self.cap_us, self.base_us * (2.0 ** (attempt - 1)))
+        if self.jitter == 0.0:
+            return backoff
+        rng = make_rng(
+            stable_seed("svc.retry", seed, tenant, client, index, attempt)
+        )
+        return backoff * (1.0 - self.jitter * float(rng.random()))

@@ -44,7 +44,13 @@ from ..faults import FaultPlan
 from ..runner import run_system
 from ..sim.stats import RunResult
 from ..workloads import stable_seed
-from .spec import SCHEMA, SweepPoint, SweepSpec, build_workload_cached
+from .spec import (
+    SCHEMA,
+    SERVICE_WORKLOADS,
+    SweepPoint,
+    SweepSpec,
+    build_workload_cached,
+)
 
 #: metric-extraction hook signature (kept simple for mypy's benefit).
 ProgressFn = Callable[[int, int, SweepPoint], None]
@@ -129,12 +135,48 @@ class PointRecord:
         )
 
 
+def _execute_service_point(point: SweepPoint) -> PointRecord:
+    """Run a ``repro.service`` scenario point (e.g. ``kvs_service``).
+
+    Grid axes map onto :class:`~repro.service.ServiceConfig` fields;
+    structural axes translate as blades -> rack size, threads_per_blade ->
+    initial serving slots, seed -> scenario seed.  The scenario builds its
+    own chaos plan from ``stable_seed`` children of that seed, so service
+    sweeps are byte-identical at any ``--jobs`` with no plan re-seeding.
+    """
+    from ..service import config_from_params, run_service
+
+    params = dict(point.workload_params)
+    params.update(dict(point.runner_params))
+    # An explicit initial_slots axis wins over the structural default.
+    params.setdefault("initial_slots", point.threads_per_blade)
+    config = config_from_params(
+        params,
+        num_compute_blades=point.num_blades,
+        seed=point.seed,
+    )
+    sr = run_service(config)
+    record = PointRecord(point=point, metrics=extract_metrics(sr.result))
+    if sr.result.stats.timeline is not None:
+        record.timeline = sr.result.stats.timeline.to_json()
+    return record
+
+
 def execute_point(
     point: SweepPoint,
     fault_plan: Optional[FaultPlan] = None,
     with_trace: bool = False,
 ) -> PointRecord:
     """Run one sweep point to completion in this process."""
+    if point.workload in SERVICE_WORKLOADS:
+        if fault_plan is not None:
+            raise ValueError(
+                "service points build their own chaos plan; "
+                "an external --fault plan cannot be combined with them"
+            )
+        if with_trace:
+            raise ValueError("service points do not record event traces")
+        return _execute_service_point(point)
     workload = build_workload_cached(point)
     extra: Dict[str, Any] = {}
     if fault_plan is not None:

@@ -82,6 +82,22 @@ PRESETS: Dict[str, List[str]] = {
         "telemetry=true;arrival_process=poisson;"
         "arrival_rate_per_thread=0.01;request_size=8",
     ],
+    # Serving under chaos: the multi-tenant elastic-KVS scenario across
+    # chaos intensity x storm defense.  Per-tenant availability, SLO
+    # compliance and burn land in each point's gauges (``gauge:svc:*``);
+    # the defense=false column reproduces the retry storm.
+    "kvs-service": [
+        "system=mind;workload=kvs_service;blades=4;threads_per_blade=2;"
+        "chaos=none,loss,crash,full;storm_defense=true,false"
+    ],
+    # CI-sized serving smoke: two tenants, short run, crash chaos only.
+    # Asserted deterministic and availability-metric-complete by CI.
+    "kvs-service-quick": [
+        "system=mind;workload=kvs_service;blades=2;threads_per_blade=2;"
+        "tenants=2;clients_per_tenant=2;requests_per_client=48;"
+        "max_slots=4;chaos=none,crash;chaos_crash_at_us=1200;"
+        "storm_defense=true,false"
+    ],
     # Latency under load: open-loop arrival-rate sweep against the MIND
     # data path (the hockey-stick curve).  Windowed p99/p99.9 and queueing
     # delay come from the per-point timeline documents.

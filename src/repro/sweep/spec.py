@@ -78,6 +78,12 @@ WORKLOAD_BUILDERS: Dict[str, Callable[..., TraceWorkload]] = {
     ),
 }
 
+#: scenario workloads executed through ``repro.service`` instead of the
+#: trace-replay runner.  They only run on the MIND system, build their
+#: own chaos plan from the point seed, and expose ``ServiceConfig``
+#: fields (plus the runner sizing knobs they share) as grid axes.
+SERVICE_WORKLOADS = ("kvs_service",)
+
 
 def _digest(payload: Any) -> str:
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -138,6 +144,11 @@ class SweepPoint:
     # -- materialization --------------------------------------------------
 
     def build_workload(self) -> TraceWorkload:
+        if self.workload in SERVICE_WORKLOADS:
+            raise ValueError(
+                f"{self.workload!r} is a service scenario, not a trace "
+                "workload; the sweep engine runs it through repro.service"
+            )
         try:
             builder = WORKLOAD_BUILDERS[self.workload]
         except KeyError:
@@ -285,11 +296,21 @@ class GridSpec:
                     f"unknown system {system!r}; choose from {SYSTEMS}"
                 )
         for workload in self.axes.get("workload", []):
-            if workload not in WORKLOAD_BUILDERS:
+            if (
+                workload not in WORKLOAD_BUILDERS
+                and workload not in SERVICE_WORKLOADS
+            ):
                 raise ValueError(
-                    f"unknown workload {workload!r}; "
-                    f"choose from {sorted(WORKLOAD_BUILDERS)}"
+                    f"unknown workload {workload!r}; choose from "
+                    f"{sorted([*WORKLOAD_BUILDERS, *SERVICE_WORKLOADS])}"
                 )
+            if workload in SERVICE_WORKLOADS:
+                for system in self.axes.get("system", ["mind"]):
+                    if system != "mind":
+                        raise ValueError(
+                            f"service workload {workload!r} only runs on "
+                            f"the mind system, not {system!r}"
+                        )
         return self
 
     def expand(self, seeds: Sequence[int] = (1,)) -> List[SweepPoint]:

@@ -6,6 +6,15 @@ All are deterministic functions of a seed; every system replays identical
 streams, mirroring the paper's PIN-trace methodology.
 """
 
+from .elastic_kvs import (
+    KvsOp,
+    KvsTenant,
+    REQUEST_CPU_US,
+    TENANT_PDID_BASE,
+    make_ops,
+    server_loop,
+    tenant_key,
+)
 from .graph_like import GraphLikeWorkload
 from .kvs import MindKvs, NativeKvsWorkload, SLOT_SIZE, TOMBSTONE
 from .openloop import (
@@ -39,11 +48,15 @@ __all__ = [
     "ArrivalSpec",
     "FileWorkload",
     "GraphLikeWorkload",
+    "KvsOp",
+    "KvsTenant",
     "MemcachedYcsbWorkload",
     "MindKvs",
     "NativeKvsWorkload",
+    "REQUEST_CPU_US",
     "RegionSpec",
     "SLOT_SIZE",
+    "TENANT_PDID_BASE",
     "TeamSharingWorkload",
     "TOMBSTONE",
     "ThreadTrace",
@@ -55,8 +68,11 @@ __all__ = [
     "convert_pin_text",
     "interleave",
     "load_traces",
+    "make_ops",
     "open_loop_thread",
     "record_workload",
     "save_traces",
+    "server_loop",
     "stable_seed",
+    "tenant_key",
 ]

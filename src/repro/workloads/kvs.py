@@ -114,11 +114,17 @@ class MindKvs:
     # from concurrently simulated threads, and a blocking wrapper that
     # drives the simulation for single-client use.
 
-    def put_gen(self, thread, key: bytes, value: bytes):
-        """Generator form of :meth:`put` for concurrent simulation."""
+    def put_gen(self, thread, key: bytes, value: bytes, pdid: Optional[int] = None):
+        """Generator form of :meth:`put` for concurrent simulation.
+
+        ``pdid`` accesses the table through a granted protection domain
+        (Section 4.2 sessions) instead of the owning process's pid --
+        multi-tenant servers grant each tenant its own domain.
+        """
         if len(key) + len(value) + _SLOT_HEADER.size > SLOT_SIZE:
             raise ValueError("key+value too large for a slot")
-        blade, pid = thread.blade, thread.process.pid
+        blade = thread.blade
+        pid = thread.process.pid if pdid is None else pdid
         start = self._hash(key)
         target_va = None
         tombstone_va = None
@@ -145,9 +151,10 @@ class MindKvs:
         payload = _SLOT_HEADER.pack(len(key), len(value)) + key + value
         yield from blade.store_bytes(pid, target_va, payload)
 
-    def get_gen(self, thread, key: bytes):
+    def get_gen(self, thread, key: bytes, pdid: Optional[int] = None):
         """Generator form of :meth:`get` for concurrent simulation."""
-        blade, pid = thread.blade, thread.process.pid
+        blade = thread.blade
+        pid = thread.process.pid if pdid is None else pdid
         start = self._hash(key)
         for probe in range(self.num_slots):
             va = self._slot_va(start + probe)
@@ -166,13 +173,14 @@ class MindKvs:
                     return value
         return None
 
-    def delete_gen(self, thread, key: bytes):
+    def delete_gen(self, thread, key: bytes, pdid: Optional[int] = None):
         """Generator form of :meth:`delete`.
 
         Deleted slots become tombstones so later probe chains stay intact;
         ``put`` reuses them.
         """
-        blade, pid = thread.blade, thread.process.pid
+        blade = thread.blade
+        pid = thread.process.pid if pdid is None else pdid
         start = self._hash(key)
         for probe in range(self.num_slots):
             va = self._slot_va(start + probe)

@@ -154,10 +154,16 @@ def open_loop_thread(
     size = spec.request_size
     num_requests = -(-len(stream) // size)
     arrivals = arrival_times(spec, num_requests, seed)
+    # Arrival times are relative to the *dispatcher's* start, not absolute
+    # simulation time: a serving thread added mid-run (elastic capacity)
+    # starts its schedule fresh instead of releasing every "past-due"
+    # arrival as one thundering-herd burst.  Threads started at t=0 (the
+    # whole-run case) are unaffected.
+    t_start = engine.now
     worker = Resource(engine, capacity=1, name=f"{name}.worker")
     procs: List = []
     for r in range(num_requests):
-        at = arrivals[r]
+        at = t_start + arrivals[r]
         if at > engine.now:
             yield at - engine.now
         stats.incr("openloop_arrivals")

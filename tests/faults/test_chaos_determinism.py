@@ -89,6 +89,69 @@ def test_different_fault_seed_changes_the_run():
     assert a.trace.to_jsonl() != b.trace.to_jsonl()
 
 
+def _triple_plan(seed=7):
+    """The full chaos palette in one run: switch crash mid-loss-window
+    plus a memory-blade outage after the fail-over settles."""
+    return (
+        FaultPlan(seed=seed)
+        .switch_crash(at_us=3_000)
+        .packet_loss(500, 6_000, prob=0.01)
+        .blade_crash(0, 5_000, 5_800)
+    )
+
+
+def _small_triple_plan():
+    """Triple-fault plan scaled down to the sweep-point run length."""
+    return (
+        FaultPlan(seed=7)
+        .switch_crash(at_us=800)
+        .packet_loss(100, 1_500, prob=0.02)
+        .blade_crash(0, 1_600, 1_900)
+    )
+
+
+class TestTripleFaultDeterminism:
+    def test_all_three_faults_fire(self):
+        stats = _run(_triple_plan()).stats
+        assert stats.counter("switch_crashes") == 1
+        assert stats.counter("link_packets_dropped") >= 1
+        assert stats.counter("blade_outages") == 1
+
+    def test_byte_identical_across_reruns(self):
+        a = _run(_triple_plan())
+        b = _run(_triple_plan())
+        assert a.trace.to_jsonl() == b.trace.to_jsonl()
+        assert a.runtime_us == b.runtime_us
+        assert a.stats.counters == b.stats.counters
+
+    def test_byte_identical_across_jobs(self):
+        # A spawned sweep worker must replay the triple-fault point to
+        # the very same bytes the parent process produces.
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.sweep import SweepSpec, execute_point
+
+        grid = (
+            "system=mind;workload=uniform;blades=2;threads_per_blade=2;"
+            "accesses_per_thread=400;shared_pages=64;"
+            "private_pages_per_thread=32;num_memory_blades=2;epoch_us=2000"
+        )
+        (point,) = SweepSpec.from_grids([grid], seeds=[1]).points()
+        local = execute_point(
+            point, fault_plan=_small_triple_plan(), with_trace=True
+        )
+
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            remote = pool.submit(
+                execute_point, point, _small_triple_plan(), True
+            ).result()
+
+        assert remote.trace_jsonl == local.trace_jsonl
+        assert remote.metrics == local.metrics
+
+
 def test_loss_only_plan_needs_no_failover():
     plan = FaultPlan(seed=3).packet_loss(100, 2_000, prob=0.02)
     result = run_on_mind(_workload(), 4, RunnerConfig(fault_plan=plan))

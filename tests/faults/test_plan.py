@@ -7,6 +7,9 @@ from repro.faults.plan import (
     BladeOutage,
     BladeSlowdown,
     ControlCpuStall,
+    FaultEventError,
+    FaultOverlapError,
+    FaultPlanError,
     LinkLossWindow,
     SwitchCrash,
 )
@@ -58,8 +61,68 @@ def test_needs_failover_only_for_switch_crash():
     ],
 )
 def test_validate_rejects_malformed_plans(bad_plan):
-    with pytest.raises(ValueError):
+    with pytest.raises(FaultEventError):
         bad_plan.validate()
+
+
+def test_plan_errors_are_value_errors():
+    """Typed errors stay catchable as the historical ValueError."""
+    assert issubclass(FaultPlanError, ValueError)
+    assert issubclass(FaultEventError, FaultPlanError)
+    assert issubclass(FaultOverlapError, FaultPlanError)
+
+
+@pytest.mark.parametrize(
+    "bad_plan",
+    [
+        # One backup switch: a second crash has nothing to fail over to.
+        FaultPlan().switch_crash(100).switch_crash(9_000),
+        # A paused blade cannot also be "serving slowly".
+        FaultPlan().blade_crash(0, 100, 500).blade_slow(0, 300, 800),
+        # Same-kind blade windows overlapping on one blade.
+        FaultPlan().blade_crash(1, 0, 200).blade_crash(1, 100, 300),
+        FaultPlan().blade_slow(2, 0, 200).blade_slow(2, 199, 400),
+        # Two loss windows hitting the same links at once.
+        FaultPlan().packet_loss(0, 1_000, 0.1).packet_loss(500, 2_000, 0.2),
+        # All-links loss overlaps a port-scoped loss (None covers it).
+        FaultPlan()
+        .packet_loss(0, 1_000, 0.1)
+        .packet_loss(500, 2_000, 0.2, port="compute0"),
+        # Two delay spikes on the same direction of the same port.
+        FaultPlan()
+        .delay_spike(0, 1_000, 5.0, port="mem0", direction="to_switch")
+        .delay_spike(900, 2_000, 3.0, port="mem0", direction="to_switch"),
+        # Overlapping control-CPU stalls.
+        FaultPlan().cpu_stall(100, 500).cpu_stall(400, 100),
+    ],
+)
+def test_validate_rejects_contradictory_overlaps(bad_plan):
+    with pytest.raises(FaultOverlapError):
+        bad_plan.validate()
+
+
+@pytest.mark.parametrize(
+    "ok_plan",
+    [
+        # Different blades may fault concurrently.
+        FaultPlan().blade_crash(0, 100, 500).blade_slow(1, 300, 800),
+        # Same blade, back-to-back windows (half-open: no overlap).
+        FaultPlan().blade_crash(0, 100, 500).blade_slow(0, 500, 800),
+        # Loss overlapping *delay* on the same link composes fine.
+        FaultPlan().packet_loss(0, 1_000, 0.1).delay_spike(500, 2_000, 5.0),
+        # Same-kind windows on disjoint ports or opposite directions.
+        FaultPlan()
+        .packet_loss(0, 1_000, 0.1, port="compute0")
+        .packet_loss(500, 2_000, 0.2, port="mem0"),
+        FaultPlan()
+        .packet_loss(0, 1_000, 0.1, direction="to_switch")
+        .packet_loss(500, 2_000, 0.2, direction="from_switch"),
+        # A crash during a loss window: different targets, the chaos case.
+        FaultPlan().switch_crash(3_000).packet_loss(500, 6_000, 0.01),
+    ],
+)
+def test_validate_allows_composable_plans(ok_plan):
+    assert ok_plan.validate() is ok_plan
 
 
 def test_validate_rejects_unknown_direction():
@@ -77,10 +140,35 @@ def test_describe_orders_by_time():
         .cpu_stall(50, 10)
     )
     lines = plan.describe()
-    assert len(lines) == 3
     assert "cpu" in lines[0].lower()
     assert "loss" in lines[1].lower()
     assert "crash" in lines[2].lower()
+
+
+def test_describe_renders_merged_per_target_timeline():
+    plan = (
+        FaultPlan()
+        .switch_crash(at_us=500)
+        .packet_loss(100, 900, prob=0.02)
+        .blade_slow(0, 100, 200, factor=3.0)
+        .blade_crash(0, 600, 700)
+    )
+    lines = plan.describe()
+    start = lines.index("per-target timeline:")
+    targets = [ln.strip() for ln in lines[start + 1:]]
+    # Switch first, then links, then blades -- propagation order.
+    assert targets[0].startswith("switch:")
+    assert targets[1].startswith("links[all/both]:")
+    # Both mem0 windows merged onto one line, in time order.
+    assert targets[2].startswith("mem0:")
+    assert targets[2].index("slow") < targets[2].index("paused")
+
+
+def test_target_timeline_groups_by_target():
+    plan = FaultPlan().blade_slow(1, 0, 10).blade_crash(1, 20, 30).cpu_stall(5, 1)
+    timeline = plan.target_timeline()
+    assert list(timeline) == ["mem1", "control-cpu"]
+    assert [type(e) for e in timeline["mem1"]] == [BladeSlowdown, BladeOutage]
 
 
 def test_plans_are_plain_data():

@@ -1,0 +1,141 @@
+"""ServiceAdmission: verdicts, storm detection, graceful degradation."""
+
+import pytest
+
+from repro.service import (
+    ADMIT,
+    REJECT_DEGRADED,
+    REJECT_PENDING,
+    REJECT_QUEUE,
+    ServiceAdmission,
+)
+
+
+def gate(**overrides):
+    kwargs = dict(
+        num_tenants=3,
+        tenant_queue_cap=2,
+        storm_window_us=100.0,
+        storm_enter_retries=4,
+        storm_exit_retries=1,
+    )
+    kwargs.update(overrides)
+    return ServiceAdmission(**kwargs)
+
+
+class TestValidation:
+    def test_needs_a_tenant(self):
+        with pytest.raises(ValueError):
+            gate(num_tenants=0)
+
+    def test_queue_cap_positive(self):
+        with pytest.raises(ValueError):
+            gate(tenant_queue_cap=0)
+
+    def test_highwater_in_range(self):
+        with pytest.raises(ValueError):
+            gate(pending_highwater=0.0)
+        with pytest.raises(ValueError):
+            gate(pending_highwater=1.5)
+
+    def test_exit_threshold_below_enter(self):
+        with pytest.raises(ValueError):
+            gate(storm_enter_retries=4, storm_exit_retries=4)
+
+
+class TestGate:
+    def test_admits_until_queue_cap_then_rejects(self):
+        g = gate()
+        assert g.try_admit(0.0, 0) == ADMIT
+        assert g.try_admit(1.0, 0) == ADMIT
+        assert g.try_admit(2.0, 0) == REJECT_QUEUE
+        g.note_done(0)
+        assert g.try_admit(3.0, 0) == ADMIT
+
+    def test_queue_budget_is_per_tenant(self):
+        g = gate()
+        assert g.try_admit(0.0, 0) == ADMIT
+        assert g.try_admit(1.0, 0) == ADMIT
+        # Tenant 0 is full; tenant 1 has its own budget.
+        assert g.try_admit(2.0, 0) == REJECT_QUEUE
+        assert g.try_admit(3.0, 1) == ADMIT
+
+    def test_note_done_without_admit_raises(self):
+        with pytest.raises(RuntimeError):
+            gate().note_done(0)
+
+    def test_pending_table_highwater_rejects(self):
+        load = {"value": 0.2}
+        g = gate(pending_load=lambda: load["value"], pending_highwater=0.85)
+        assert g.try_admit(0.0, 0) == ADMIT
+        load["value"] = 0.9
+        assert g.try_admit(1.0, 0) == REJECT_PENDING
+        load["value"] = 0.2
+        assert g.try_admit(2.0, 0) == ADMIT
+
+
+class TestStormDefense:
+    def test_storm_sheds_lowest_priority_tenant_first(self):
+        g = gate()
+        for t in range(4):
+            g.note_retry(float(t))
+        assert g.in_storm
+        assert g.shed_level == 1
+        assert g.is_shed(2)
+        assert not g.is_shed(1) and not g.is_shed(0)
+        assert g.try_admit(5.0, 2) == REJECT_DEGRADED
+        assert g.try_admit(5.0, 0) == ADMIT
+
+    def test_storm_exit_restores_everyone(self):
+        g = gate()
+        for t in range(4):
+            g.note_retry(float(t))
+        assert g.in_storm
+        # Long quiet spell: the window drains below the exit threshold.
+        assert g.try_admit(500.0, 2) == ADMIT
+        assert not g.in_storm
+        assert g.shed_level == 0
+        assert len(g.storm_windows) == 1
+        start, end = g.storm_windows[0]
+        assert start == 3.0 and end == 500.0
+
+    def test_escalates_one_tenant_per_window_never_tenant_zero(self):
+        g = gate()
+        # A persistent storm: retries every 10us for 250us.  Entry fires
+        # at t=30 (4 retries in window); one escalation per full window
+        # after that, capped so tenant 0 is never shed.
+        for t in range(0, 260, 10):
+            g.note_retry(float(t))
+        assert g.in_storm
+        assert g.shed_level == 2
+        assert g.is_shed(1) and g.is_shed(2)
+        assert not g.is_shed(0)
+        assert g.try_admit(251.0, 0) == ADMIT
+
+    def test_defense_off_detects_but_never_sheds(self):
+        g = gate(storm_defense=False)
+        for t in range(0, 260, 10):
+            g.note_retry(float(t))
+        assert g.in_storm
+        assert g.shed_level == 0
+        assert g.try_admit(251.0, 2) == ADMIT
+
+    def test_finalize_closes_open_storm(self):
+        g = gate()
+        for t in range(4):
+            g.note_retry(float(t))
+        assert g.in_storm
+        g.finalize(200.0)
+        assert not g.in_storm
+        assert g.storm_windows == [(3.0, 200.0)]
+        # Idempotent when no storm is open.
+        g.finalize(300.0)
+        assert len(g.storm_windows) == 1
+
+    def test_retry_window_prunes_old_entries(self):
+        g = gate()
+        g.note_retry(0.0)
+        g.note_retry(1.0)
+        assert g.recent_retry_count == 2
+        g.note_retry(500.0)
+        assert g.recent_retry_count == 1

@@ -1,0 +1,139 @@
+"""End-to-end serving scenario: accounting, chaos wiring, determinism."""
+
+import pytest
+
+from repro.faults.plan import BladeOutage, LinkLossWindow, SwitchCrash
+from repro.service import (
+    CHAOS_MODES,
+    ServiceConfig,
+    config_from_params,
+    dump_service_json,
+    rerun_without_defense,
+    run_service,
+    service_objectives,
+)
+
+
+def quick_config(**overrides):
+    """A small rack that still crosses the failover path when asked."""
+    kwargs = dict(
+        num_compute_blades=2,
+        tenants=2,
+        clients_per_tenant=2,
+        requests_per_client=32,
+        max_slots=4,
+        chaos="none",
+        chaos_crash_at_us=1_200.0,
+    )
+    kwargs.update(overrides)
+    return ServiceConfig(**kwargs)
+
+
+class TestConfig:
+    def test_unknown_chaos_mode_rejected(self):
+        with pytest.raises(ValueError):
+            quick_config(chaos="meteor").validate()
+
+    def test_none_chaos_normalizes(self):
+        # Grid strings parse a literal "none" into Python None.
+        config = quick_config(chaos=None).validate()
+        assert config.chaos == "none"
+
+    def test_config_from_params_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            config_from_params({"tenants": 2, "warp_factor": 9})
+
+    def test_config_from_params_applies_overrides(self):
+        config = config_from_params({"tenants": 2}, seed=9)
+        assert config.tenants == 2 and config.seed == 9
+
+    def test_rerun_without_defense_only_flips_the_flag(self):
+        config = quick_config(storm_defense=True)
+        undefended = rerun_without_defense(config).config
+        assert not undefended.storm_defense
+        assert undefended.tenants == config.tenants
+        assert undefended.seed == config.seed
+
+    def test_chaos_plan_composition(self):
+        config = quick_config(chaos="full")
+        plan = config.chaos_plan(start_us=100.0)
+        kinds = {type(ev) for ev in plan.events}
+        assert kinds == {SwitchCrash, LinkLossWindow, BladeOutage}
+        crash = next(e for e in plan.events if isinstance(e, SwitchCrash))
+        assert crash.at_us == 100.0 + config.chaos_crash_at_us
+
+    def test_no_chaos_means_no_plan(self):
+        assert quick_config(chaos="none").chaos_plan(0.0) is None
+
+    def test_objectives_cover_every_tenant_plus_aggregate(self):
+        config = quick_config(tenants=3)
+        objectives = service_objectives(config)
+        assert [o.name for o in objectives] == [
+            "svc-t0-p999", "svc-t1-p999", "svc-t2-p999", "svc-p999",
+        ]
+        assert all(o.threshold_us == config.slo_p999_us for o in objectives)
+
+
+class TestRunService:
+    def test_every_request_is_accounted_for(self):
+        sr = run_service(quick_config())
+        expected = 2 * 32  # clients_per_tenant * requests_per_client
+        for summary in sr.tenants:
+            assert summary.arrivals == expected
+            assert summary.completions + summary.failed == summary.arrivals
+            assert 0.0 < summary.availability <= 1.0
+        assert sr.completed == sum(t.completions for t in sr.tenants)
+        assert sr.completed == sr.result.total_accesses
+
+    def test_slo_report_and_telemetry_present(self):
+        sr = run_service(quick_config())
+        assert len(sr.slo.results) == 3  # two tenants + aggregate
+        assert sr.result.stats.timeline is not None
+        assert sr.serving_start_us > 0.0
+
+    def test_autoscaler_reacts_to_load(self):
+        # Crank the arrival rate (so the queue visibly outruns the pool)
+        # and tighten the control loop to fit the short run.
+        sr = run_service(
+            quick_config(
+                arrival_rate_per_client=0.08,
+                requests_per_client=64,
+                initial_slots=1,
+                autoscale_interval_us=100.0,
+                slot_bringup_us=50.0,
+            )
+        )
+        assert any(kind == "up" for _, kind, _ in sr.scale_events)
+        assert sr.result.stats.gauges["svc:slots_final"] >= 1
+
+    def test_crash_chaos_exercises_failover(self):
+        sr = run_service(quick_config(chaos="crash"))
+        assert sr.outage_windows, "switch crash never fired"
+        assert sr.result.stats.counter("failover_rules_installed") > 0
+        assert sr.chaos_description
+        # Service survives: tenants keep completing after the blip.
+        assert all(t.completions > 0 for t in sr.tenants)
+
+    def test_json_deterministic_across_reruns(self):
+        a = dump_service_json(run_service(quick_config(chaos="crash")))
+        b = dump_service_json(run_service(quick_config(chaos="crash")))
+        assert a == b
+
+    def test_seed_changes_the_run(self):
+        a = dump_service_json(run_service(quick_config()))
+        b = dump_service_json(run_service(quick_config(seed=2)))
+        assert a != b
+
+    def test_all_chaos_modes_run_to_completion(self):
+        for mode in CHAOS_MODES:
+            sr = run_service(
+                quick_config(
+                    chaos=mode,
+                    # Keep full-mode blade outage inside the short run.
+                    chaos_loss_start_us=400.0,
+                    chaos_loss_end_us=2_000.0,
+                    chaos_outage_start_us=1_500.0,
+                    chaos_outage_end_us=1_800.0,
+                )
+            )
+            assert sr.completed > 0, f"chaos={mode} completed nothing"

@@ -1,0 +1,90 @@
+"""kvs_service as a sweep workload: dispatch, metrics, guard rails."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.sweep import SweepSpec
+from repro.sweep.engine import execute_point, run_sweep
+from repro.sweep.presets import preset_grids
+from repro.sweep.spec import parse_grid
+
+GRID = (
+    "system=mind;workload=kvs_service;blades=2;threads_per_blade=2;"
+    "tenants=2;clients_per_tenant=2;requests_per_client=24;max_slots=4;"
+    "chaos=none"
+)
+
+
+def service_point():
+    return SweepSpec.from_grids([parse_grid(GRID)], seeds=(1,)).points()[0]
+
+
+class TestDispatch:
+    def test_point_executes_and_carries_availability_metrics(self):
+        record = execute_point(service_point())
+        metrics = record.metrics
+        for tenant in range(2):
+            assert f"gauge:svc:t{tenant}:availability" in metrics
+            assert f"gauge:svc:t{tenant}:slo_compliance" in metrics
+            assert f"gauge:svc:t{tenant}:unavailability_us" in metrics
+            assert metrics[f"counter:svc:t{tenant}:completions"] > 0
+        assert "gauge:svc:slots_final" in metrics
+        assert "latency:svc:latency:p999" in metrics
+        assert record.timeline is not None
+
+    def test_initial_slots_follow_threads_per_blade(self):
+        # The structural axis seeds the pool size unless overridden.
+        record = execute_point(service_point())
+        assert record.metrics["gauge:svc:slots_final"] >= 1
+
+    def test_external_fault_plan_rejected(self):
+        plan = FaultPlan(seed=1).switch_crash(at_us=1_000.0)
+        with pytest.raises(ValueError, match="own chaos plan"):
+            execute_point(service_point(), fault_plan=plan)
+
+    def test_trace_capture_rejected(self):
+        with pytest.raises(ValueError, match="trace"):
+            execute_point(service_point(), with_trace=True)
+
+    def test_build_workload_refuses_service_points(self):
+        with pytest.raises(ValueError, match="service scenario"):
+            service_point().build_workload()
+
+
+class TestSpecGuards:
+    def test_service_workload_requires_mind(self):
+        with pytest.raises(ValueError, match="only runs on"):
+            parse_grid(GRID.replace("system=mind", "system=mind,gam"))
+
+    def test_unknown_service_param_rejected(self):
+        bad = dataclasses.replace(
+            service_point(), workload_params=(("warp_factor", 9),)
+        )
+        with pytest.raises(ValueError, match="warp_factor"):
+            execute_point(bad)
+
+
+class TestQuickPreset:
+    def test_kvs_service_quick_is_jobs_invariant(self):
+        grids = preset_grids("kvs-service-quick")
+        # Trim to the cheapest column for the unit test; CI runs the full
+        # preset in its smoke step.
+        spec = SweepSpec.from_grids(grids, seeds=(1,))
+        points = [p for p in spec.points() if dict(p.workload_params)["chaos"] is None]
+        assert points, "quick preset lost its chaos=none column"
+        serial = execute_point(points[0])
+        again = execute_point(points[0])
+        assert serial.metrics == again.metrics
+        assert serial.timeline == again.timeline
+
+    def test_quick_preset_parallel_matches_serial(self):
+        spec = SweepSpec.from_grids(
+            [parse_grid(GRID.replace("chaos=none", "chaos=none,crash;"
+                                     "chaos_crash_at_us=1200"))],
+            seeds=(1,),
+        )
+        serial = run_sweep(spec, jobs=1).to_json_text()
+        parallel = run_sweep(spec, jobs=2).to_json_text()
+        assert serial == parallel

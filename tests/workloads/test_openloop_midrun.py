@@ -1,0 +1,82 @@
+"""Open-loop dispatchers started mid-run keep a relative schedule.
+
+Regression test: arrival times are offsets from the *dispatcher's*
+start, not absolute simulation time.  A serving thread added mid-run
+(elastic capacity) must start its schedule fresh -- with absolute
+times every arrival would already be past due and the new thread would
+release its whole schedule as one thundering-herd burst.
+"""
+
+from repro.blades.consistency import ConsistencyModel
+from repro.cluster import ClusterConfig, MindCluster
+from repro.workloads import UniformSharingWorkload
+from repro.workloads.openloop import (
+    ArrivalSpec,
+    arrival_times,
+    open_loop_thread,
+    thread_arrival_seed,
+)
+
+DELAY_US = 2_000.0
+
+
+def run_with_late_thread():
+    workload = UniformSharingWorkload(2, accesses_per_thread=64, seed=5)
+    cluster = MindCluster(
+        ClusterConfig(
+            num_compute_blades=2, num_memory_blades=2,
+            cache_capacity_pages=1_024,
+        )
+    )
+    controller = cluster.controller
+    task = controller.sys_exec(workload.name)
+    bases = [
+        controller.sys_mmap(task.pid, spec.size_bytes)
+        for spec in workload.region_specs()
+    ]
+    traces = workload.all_traces(bases)
+    spec = ArrivalSpec(process="poisson", rate_per_us=0.05, request_size=8)
+
+    def dispatcher(trace, start_delay_us=0.0):
+        thread = controller.place_thread(task.pid)
+        blade = cluster.compute_blade(thread.blade_id)
+        if start_delay_us:
+            yield start_delay_us
+        yield from open_loop_thread(
+            blade,
+            task.pid,
+            trace.stream(),
+            spec,
+            thread_arrival_seed(workload.name, workload.seed, trace.thread_id),
+            ConsistencyModel.TSO,
+            name=f"openloop.t{trace.thread_id}",
+        )
+
+    cluster.run_all([
+        dispatcher(traces[0]),
+        dispatcher(traces[1], start_delay_us=DELAY_US),
+    ])
+    return cluster, workload, spec, traces
+
+
+class TestMidRunDispatcher:
+    def test_late_thread_keeps_its_full_schedule(self):
+        cluster, workload, spec, traces = run_with_late_thread()
+        num_requests = -(-len(traces[1].stream()) // spec.request_size)
+        late_arrivals = arrival_times(
+            spec,
+            num_requests,
+            thread_arrival_seed(workload.name, workload.seed, 1),
+        )
+        # The late dispatcher's final arrival lands at start + offset; a
+        # thundering-herd burst would finish almost immediately after
+        # DELAY_US instead.
+        assert cluster.engine.now >= DELAY_US + late_arrivals[-1]
+
+    def test_every_request_still_completes(self):
+        cluster, workload, spec, traces = run_with_late_thread()
+        expected = sum(
+            -(-len(t.stream()) // spec.request_size) for t in traces
+        )
+        assert cluster.stats.counter("openloop_arrivals") == expected
+        assert cluster.stats.counter("openloop_completions") == expected
