@@ -1,0 +1,80 @@
+"""Datacenter-scale topology sweep, CI-sized: the crossover table.
+
+A scaled-down ``multirack-scale`` preset: the scenario driver across
+rack counts at a fixed cross-rack sharing fraction.  The table charts
+the headline multi-rack result -- intra-rack fault latency stays at the
+paper's rack-scale ~10 us as racks are added, while cross-rack faults
+pay the spine premium and the oversubscribed spine tier picks up load.
+The full 1 -> 32 rack curve (2048 blades) is the offline
+``python -m repro sweep --preset multirack-scale``.
+"""
+
+from common import print_table
+from repro.multirack import MultiRackScenarioConfig, run_multirack
+from repro.sim.stats import LatencySummary
+
+RACKS = [1, 2, 4, 8]
+CROSS_FRACTION = 0.2
+
+
+def run_point(racks):
+    return run_multirack(
+        MultiRackScenarioConfig(
+            racks=racks,
+            compute_blades_per_rack=4,
+            accesses_per_thread=150,
+            cross_fraction=CROSS_FRACTION,
+            pages_per_rack=128,
+            cache_capacity_pages=256,
+        )
+    )
+
+
+def run_figure():
+    return {racks: run_point(racks) for racks in RACKS}
+
+
+def test_multirack_scale(benchmark):
+    data = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    rows = []
+    for racks, result in data.items():
+        stats = result.stats
+        intra = LatencySummary.of(stats.latencies.get("fault:intra", ()))
+        cross = LatencySummary.of(stats.latencies.get("fault:cross", ()))
+        rows.append(
+            [
+                racks,
+                result.num_blades,
+                round(intra.p50, 2),
+                round(cross.p50, 2) if cross.count else "-",
+                round(cross.p50 / intra.p50, 2) if cross.count else "-",
+                int(stats.gauges.get("tier:spine:bytes", 0.0)),
+            ]
+        )
+    print_table(
+        "Extension (Sec 8): fault-latency crossover vs rack count "
+        f"(cross fraction {CROSS_FRACTION})",
+        ["racks", "blades", "intra p50 (us)", "cross p50 (us)",
+         "cross/intra", "spine bytes"],
+        rows,
+    )
+    intra_p50 = {
+        r: LatencySummary.of(data[r].stats.latencies["fault:intra"]).p50
+        for r in RACKS
+    }
+    # Sharding keeps the home-rack path at rack-scale cost: adding racks
+    # must not inflate intra-rack faults (allow noise, not structure).
+    for racks in RACKS[1:]:
+        assert intra_p50[racks] < 1.5 * intra_p50[1]
+    # One rack has no spine; every multi-rack point pays it.
+    assert data[1].stats.gauges.get("tier:spine:bytes", 0.0) == 0
+    for racks in RACKS[1:]:
+        stats = data[racks].stats
+        cross = LatencySummary.of(stats.latencies["fault:cross"])
+        assert cross.p50 > intra_p50[racks] + 5.0
+        assert stats.gauges["tier:spine:bytes"] > 0
+    # Spine load grows with the rack count (more cross-rack pairs).
+    assert (
+        data[8].stats.gauges["tier:spine:bytes"]
+        > data[2].stats.gauges["tier:spine:bytes"]
+    )

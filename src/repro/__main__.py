@@ -35,6 +35,7 @@ from typing import List, Optional
 from .api import MindSystem
 from .faults import FaultPlan
 from .runner import SYSTEMS, RunnerConfig, run_system
+from .multirack.cli import add_multirack_parser
 from .perf.cli import add_profile_parser
 from .service.cli import add_serve_parser
 from .sweep.cli import add_sweep_parser
@@ -271,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_sweep_parser(sub)
     add_profile_parser(sub)
     add_serve_parser(sub)
+    add_multirack_parser(sub)
 
     parser.set_defaults(fn=tour)
     return parser

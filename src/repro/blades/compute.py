@@ -60,6 +60,10 @@ PTE_FIXUP_US = 0.3
 class ComputeBlade:
     """One compute blade: local cache + kernel fault/invalidation paths."""
 
+    #: which rack this blade physically sits in (set by a multi-rack
+    #: fabric; a stand-alone cluster is all rack 0).
+    home_rack: int = 0
+
     def __init__(
         self,
         blade_id: int,

@@ -17,7 +17,7 @@ from .blades.compute import ComputeBlade
 from .blades.memory import MemoryBlade
 from .core.mmu import InNetworkMmu, MindConfig
 from .obs.gauges import GaugeSampler
-from .obs.tracer import Tracer
+from .obs.tracer import NULL_TRACER, Tracer
 from .sim.engine import Engine
 from .sim.network import Network, NetworkConfig, PAGE_SIZE
 from .sim.stats import StatsCollector
@@ -61,15 +61,29 @@ class ClusterConfig:
 class MindCluster:
     """A fully wired rack running MIND."""
 
+    #: set by a multi-rack fabric embedding this cluster as a rack node:
+    #: the ``(base, length)`` VA slice this rack's switch is home for.
+    #: Fail-over quiesces only this range so other racks keep serving.
+    quiesce_range: Optional[tuple] = None
+
     def __init__(
         self,
         config: Optional[ClusterConfig] = None,
         fault_injector: Optional["MessageLossInjector"] = None,
+        *,
+        engine: Optional[Engine] = None,
+        stats: Optional[StatsCollector] = None,
+        port_id_base: int = 0,
     ):
+        """Stand-alone by default; a multi-rack fabric passes a shared
+        ``engine``/``stats`` and a rack-unique ``port_id_base`` to embed
+        the cluster as one rack node in its topology graph (port ids key
+        every rack's coherence registries, so they must stay globally
+        unique across the fabric)."""
         self.config = config or ClusterConfig()
-        self.engine = Engine()
-        self.stats = StatsCollector()
-        if self.config.telemetry:
+        self.engine = engine if engine is not None else Engine()
+        self.stats = stats if stats is not None else StatsCollector()
+        if self.config.telemetry and self.stats.timeline is None:
             # Pure data keyed by simulated time: recording computes the
             # window index from the caller's timestamp, so the timeline
             # adds no scheduled events to the run.
@@ -80,11 +94,19 @@ class MindCluster:
             )
         #: the observability sink; installed on the engine so every layer
         #: (network, pipeline, coherence, blades) reaches it the same way.
-        self.tracer = Tracer(
-            capacity=self.config.trace_capacity, enabled=self.config.trace
+        # When embedded as a rack node, an earlier rack may already have
+        # installed the fabric-wide tracer; record into the same ring.
+        existing = self.engine.tracer
+        if engine is not None and existing is not NULL_TRACER:
+            self.tracer = existing
+        else:
+            self.tracer = Tracer(
+                capacity=self.config.trace_capacity, enabled=self.config.trace
+            )
+            self.engine.tracer = self.tracer
+        self.network = Network(
+            self.engine, self.config.network, port_id_base=port_id_base
         )
-        self.engine.tracer = self.tracer
-        self.network = Network(self.engine, self.config.network)
         self.mmu = InNetworkMmu(
             self.engine,
             self.network,

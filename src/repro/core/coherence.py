@@ -25,7 +25,14 @@ from typing import TYPE_CHECKING, Callable, Dict, Generator, Optional
 
 from ..obs.spans import SpanCursor
 from ..sim.engine import Engine, Event
-from ..sim.network import CONTROL_MSG_BYTES, Network, NetworkConfig, PAGE_SIZE, Port
+from ..sim.network import (
+    CONTROL_MSG_BYTES,
+    Network,
+    NetworkConfig,
+    PAGE_SIZE,
+    Port,
+    pop_deferred_us,
+)
 from ..sim.rdma import BackoffPolicy
 from ..sim.stats import StatsCollector
 from ..switchsim.multicast import MulticastEngine
@@ -258,6 +265,12 @@ class CoherenceProtocol:
             yield self._outage
         epoch = self.epoch
         requester = self._blade_ports[req.src_port]
+        # Cross-rack requesters sit behind a CompositePath that banks its
+        # spine-tier time for span attribution.  Time banked by an earlier
+        # overlapping transaction (e.g. an async flush on the same path)
+        # must not leak into this fault's breakdown.
+        pop_deferred_us(requester.to_switch)
+        pop_deferred_us(requester.from_switch)
         page_va = align_down(req.va, PAGE_SIZE)
         pkt = self.pipeline.packet()
         tracer = self.engine.tracer
@@ -271,7 +284,7 @@ class CoherenceProtocol:
         yield from self.fetch.deliver(
             lambda: requester.to_switch.transfer(CONTROL_MSG_BYTES)
         )
-        spans.mark("request")
+        spans.mark_wire("request", requester.to_switch)
 
         # Pipeline pass 1: protection check, directory lookup, STT match.
         yield from self.engine.subtask(pkt.traverse())
@@ -285,7 +298,7 @@ class CoherenceProtocol:
             yield from self.fetch.deliver(
                 lambda: requester.from_switch.transfer(CONTROL_MSG_BYTES)
             )
-            spans.mark("reply")
+            spans.mark_wire("reply", requester.from_switch)
             return FaultResult(
                 verdict, latency_us=self.engine.now - t0, stale=self.epoch != epoch
             )

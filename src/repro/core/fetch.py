@@ -107,7 +107,7 @@ class DataPath:
                         lambda: requester.from_switch.transfer(PAGE_SIZE)
                     )
                     yield ctx.config.rdma_verb_overhead_us
-                    spans.mark("reply")
+                    spans.mark_wire("reply", requester.from_switch)
                     return data, 0, False, True
             if (
                 not txn.shared
@@ -126,7 +126,7 @@ class DataPath:
                     ctx.pending.finish_fetch(txn, published, data)
             else:
                 data = yield from self.fetch(req, requester, page_va)
-            spans.mark("fetch")
+            spans.mark_wire("fetch", requester.from_switch)
             return data, 0, False, False
         if transition.action is TransitionAction.INVALIDATE_PARALLEL:
             txn.phase = TxnPhase.INVALIDATE
@@ -141,7 +141,7 @@ class DataPath:
             yield ctx.engine.all_of([fetch_proc, ack_proc])
             # Fetch and invalidation overlap (the S->M parallelism of
             # Fig. 7); the wall segment is attributed to their union.
-            spans.mark("fetch+invalidation")
+            spans.mark_wire("fetch+invalidation", requester.from_switch)
             return fetch_proc.value, len(targets), ack_proc.value, False
         if transition.action is TransitionAction.LOCAL_UPGRADE:
             # MOESI O->M at the owner: no data moves; invalidate the other
@@ -158,7 +158,7 @@ class DataPath:
             yield from self.deliver(
                 lambda: requester.from_switch.transfer(CONTROL_MSG_BYTES)
             )
-            spans.mark("reply")
+            spans.mark_wire("reply", requester.from_switch)
             return None, len(targets), was_reset, False
         if transition.action is TransitionAction.FETCH_FROM_OWNER:
             # Only the first steal (M->O) must write-protect the owner; for
@@ -172,7 +172,7 @@ class DataPath:
                 region,
                 write_protect_owner=transition.label == "M->O",
             )
-            spans.mark("owner_fetch")
+            spans.mark_wire("owner_fetch", requester.from_switch)
             return data, 1 if old_owner is not None else 0, was_reset, False
         # INVALIDATE_OWNER_THEN_FETCH: the owner must flush before memory
         # serves (the sequential M->S/M path, 2x latency of Fig. 7 left).
@@ -191,7 +191,7 @@ class DataPath:
         spans.mark("invalidation")
         txn.phase = TxnPhase.FETCH
         data = yield from self.fetch(req, requester, page_va)
-        spans.mark("fetch")
+        spans.mark_wire("fetch", requester.from_switch)
         return data, len(targets), was_reset, False
 
     # -- memory-blade fetch ---------------------------------------------------

@@ -165,16 +165,24 @@ class FailoverOrchestrator:
         engine.process(self._phase_flip(), name="failover-phase-flip")
 
     def _quiesce_blades(self) -> Generator:
-        """Full-range invalidation on every compute blade, concurrently.
+        """Quiesce invalidation on every compute blade, concurrently.
 
         Each blade flushes its dirty pages (asynchronously, through the new
         plane) and drops everything else; we then wait for the write-backs
         to land so recovery completes with memory current.
+
+        By default the invalidation spans the whole VA space.  A rack node
+        in a multi-rack fabric sets ``cluster.quiesce_range`` to the VA
+        slice this switch is home for: only pages whose directory died
+        with the switch need flushing, so blades keep serving the other
+        racks' pages from cache straight through the outage.
         """
         blades = self.cluster.compute_blades
+        qrange = getattr(self.cluster, "quiesce_range", None)
+        base, span = (0, FULL_VA_SPAN) if qrange is None else qrange
         inval = InvalidationRequest(
-            region_base=0,
-            region_size=FULL_VA_SPAN,
+            region_base=base,
+            region_size=span,
             sharers=frozenset(b.port.port_id for b in blades),
             requester_port=-1,
             target_va=-1,
@@ -187,7 +195,7 @@ class FailoverOrchestrator:
         ]
         if procs:
             yield self.engine.all_of(procs)
-        yield from self.mmu.coherence.drain_writebacks()
+        yield from self.mmu.coherence.drain_writebacks(base, span)
 
     def _phase_flip(self) -> Generator:
         yield self.config.degraded_window_us

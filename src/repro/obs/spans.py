@@ -69,6 +69,63 @@ class SpanCursor:
                 )
         return dur
 
+    def mark_split(
+        self, component: str, split_us: float, split_component: str
+    ) -> float:
+        """Close the segment since the last mark as *two* components.
+
+        ``split_us`` of the elapsed segment (clamped into ``[0, segment]``)
+        is attributed to ``split_component`` and the remainder to
+        ``component``.  The fault path uses this to pull deferred
+        spine-tier time out of a wire leg: both pieces still cover exactly
+        ``[t_last, now)``, so the breakdown keeps summing to the measured
+        end-to-end latency no matter what the split claims.
+        """
+        now = self.engine.now
+        dur = now - self._t_last
+        self._t_last = now
+        if not dur:
+            return 0.0
+        split = min(max(split_us, 0.0), dur)
+        rest = dur - split
+        tracer = self.engine.tracer
+        if rest:
+            self.stats.add_breakdown(self.category, component, rest)
+            if tracer.enabled:
+                tracer.complete(
+                    now - dur, rest, self.trace_cat, component, track=self.track
+                )
+        if split:
+            self.stats.add_breakdown(self.category, split_component, split)
+            if tracer.enabled:
+                tracer.complete(
+                    now - split, split, self.trace_cat, split_component,
+                    track=self.track,
+                )
+        return dur
+
+    def mark_wire(self, component: str, *links) -> float:
+        """Close a wire-leg segment, splitting out deferred spine time.
+
+        Cross-rack legs traverse a
+        :class:`~repro.sim.network.CompositePath` that banks the time its
+        spine-tier segments cost; popping the banked time here attributes
+        that share of the segment to ``"spine"`` and the rest to
+        ``component``.  Plain links bank nothing, so this degrades to
+        :meth:`mark`.  Under concurrent transactions on one path the
+        pop is approximate (another transaction may have banked time we
+        pop here) but the clamp in :meth:`mark_split` keeps the
+        sum-to-end-to-end invariant exact regardless.
+        """
+        spine = 0.0
+        for link in links:
+            pop = getattr(link, "pop_deferred_us", None)
+            if pop is not None:
+                spine += pop()
+        if spine:
+            return self.mark_split(component, spine, "spine")
+        return self.mark(component)
+
     def skip(self) -> None:
         """Advance past a segment without attributing it (rarely needed)."""
         self._t_last = self.engine.now

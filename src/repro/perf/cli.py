@@ -14,8 +14,10 @@ Examples::
         --compare-to benchmarks/BENCH_speed.json
 
 Wall clocks are machine-specific, so ``--compare-to`` only *warns* on a
-slowdown (exit status stays 0); the byte-exact simulation gate is
-``python -m repro sweep --compare-to`` which this command never touches.
+slowdown by default (exit status stays 0).  CI opts into a hard gate
+with ``--fail-frac``: past that slowdown fraction the command prints an
+error and exits 1.  The byte-exact simulation gate is ``python -m repro
+sweep --compare-to``, which this command never touches.
 """
 
 from __future__ import annotations
@@ -99,6 +101,14 @@ def add_profile_parser(sub: argparse._SubParsersAction) -> None:
         metavar="FRAC",
         help="slowdown fraction that triggers the warning (default 0.25)",
     )
+    parser.add_argument(
+        "--fail-frac",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="slowdown fraction that fails the run (exit 1); "
+        "overrides --warn-frac when given",
+    )
     parser.set_defaults(fn=main)
 
 
@@ -137,15 +147,19 @@ def main(args: argparse.Namespace) -> int:
         print(f"wrote {args.json_out}")
 
     if args.compare_to:
+        frac = args.fail_frac if args.fail_frac is not None else args.warn_frac
         try:
             with open(args.compare_to) as fh:
                 baseline = json.load(fh)
         except (OSError, json.JSONDecodeError) as exc:
             print(f"warning: cannot read {args.compare_to}: {exc}", file=sys.stderr)
             return 0
-        warning = compare_wall_seconds(doc, baseline, warn_frac=args.warn_frac)
-        if warning:
-            print(f"warning: {warning}", file=sys.stderr)
+        message = compare_wall_seconds(doc, baseline, warn_frac=frac)
+        if message:
+            if args.fail_frac is not None:
+                print(f"error: {message}", file=sys.stderr)
+                return 1
+            print(f"warning: {message}", file=sys.stderr)
         else:
             base = float(baseline.get("best_wall_seconds", 0.0))
             print(

@@ -47,6 +47,7 @@ from ..workloads import stable_seed
 from .spec import (
     SCHEMA,
     SERVICE_WORKLOADS,
+    TOPOLOGY_WORKLOADS,
     SweepPoint,
     SweepSpec,
     build_workload_cached,
@@ -162,21 +163,50 @@ def _execute_service_point(point: SweepPoint) -> PointRecord:
     return record
 
 
+def _execute_topology_point(point: SweepPoint) -> PointRecord:
+    """Run a ``repro.multirack`` topology point (the ``multirack`` workload).
+
+    Grid axes map onto :class:`~repro.multirack.MultiRackScenarioConfig`
+    fields; structural axes translate as blades -> compute blades *per
+    rack*, threads_per_blade -> threads per blade, seed -> scenario seed.
+    Every access stream derives from ``stable_seed`` children of that
+    seed, so topology sweeps are byte-identical at any ``--jobs``.
+    """
+    from ..multirack import config_from_params, run_multirack
+
+    params = dict(point.workload_params)
+    params.update(dict(point.runner_params))
+    config = config_from_params(
+        params,
+        compute_blades_per_rack=point.num_blades,
+        threads_per_blade=point.threads_per_blade,
+        seed=point.seed,
+    )
+    result = run_multirack(config)
+    record = PointRecord(point=point, metrics=extract_metrics(result))
+    if result.stats.timeline is not None:
+        record.timeline = result.stats.timeline.to_json()
+    return record
+
+
 def execute_point(
     point: SweepPoint,
     fault_plan: Optional[FaultPlan] = None,
     with_trace: bool = False,
 ) -> PointRecord:
     """Run one sweep point to completion in this process."""
-    if point.workload in SERVICE_WORKLOADS:
+    if point.workload in SERVICE_WORKLOADS or point.workload in TOPOLOGY_WORKLOADS:
+        kind = "service" if point.workload in SERVICE_WORKLOADS else "topology"
         if fault_plan is not None:
             raise ValueError(
-                "service points build their own chaos plan; "
+                f"{kind} points build their own chaos plan / fault schedule; "
                 "an external --fault plan cannot be combined with them"
             )
         if with_trace:
-            raise ValueError("service points do not record event traces")
-        return _execute_service_point(point)
+            raise ValueError(f"{kind} points do not record event traces")
+        if point.workload in SERVICE_WORKLOADS:
+            return _execute_service_point(point)
+        return _execute_topology_point(point)
     workload = build_workload_cached(point)
     extra: Dict[str, Any] = {}
     if fault_plan is not None:

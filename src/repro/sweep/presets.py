@@ -98,6 +98,34 @@ PRESETS: Dict[str, List[str]] = {
         "max_slots=4;chaos=none,crash;chaos_crash_at_us=1200;"
         "storm_defense=true,false"
     ],
+    # Datacenter-scale topology sweep: racks 1 -> 32 (64 blades/rack --
+    # 2048 blades at the top) across cross-rack sharing mixes, both
+    # closed-loop and Poisson open-loop.  The ``latency:fault:intra`` vs
+    # ``latency:fault:cross`` metrics chart the directory-sharding
+    # crossover; ``gauge:tier:spine:*`` exposes the oversubscribed
+    # spine's load.  Byte-identical at any ``--jobs``.
+    "multirack-scale": [
+        "system=mind;workload=multirack;blades=64;threads_per_blade=1;"
+        "racks=1,2,4,8,16,32;cross_fraction=0.05,0.2,0.5;"
+        "accesses_per_thread=120;pages_per_rack=512;read_ratio=0.7;"
+        "cache_capacity_pages=512",
+        "system=mind;workload=multirack;blades=64;threads_per_blade=1;"
+        "racks=4,16;cross_fraction=0.2;accesses_per_thread=120;"
+        "pages_per_rack=512;read_ratio=0.7;cache_capacity_pages=512;"
+        "arrival_process=poisson;arrival_rate_per_thread=0.01",
+    ],
+    # CI-sized topology smoke: three rack counts, one spine-heavy point.
+    # Run twice (spawn workers vs serial) and byte-compared, then gated
+    # against benchmarks/BENCH_multirack.json.
+    "multirack-quick": [
+        "system=mind;workload=multirack;blades=4;threads_per_blade=1;"
+        "racks=1,2,4;cross_fraction=0.2;accesses_per_thread=120;"
+        "pages_per_rack=128;read_ratio=0.7;cache_capacity_pages=256",
+        "system=mind;workload=multirack;blades=4;threads_per_blade=1;"
+        "racks=2;cross_fraction=0.5;accesses_per_thread=120;"
+        "pages_per_rack=128;read_ratio=0.7;cache_capacity_pages=256;"
+        "arrival_process=poisson;arrival_rate_per_thread=0.01",
+    ],
     # Latency under load: open-loop arrival-rate sweep against the MIND
     # data path (the hockey-stick curve).  Windowed p99/p99.9 and queueing
     # delay come from the per-point timeline documents.

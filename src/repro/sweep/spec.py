@@ -84,6 +84,12 @@ WORKLOAD_BUILDERS: Dict[str, Callable[..., TraceWorkload]] = {
 #: fields (plus the runner sizing knobs they share) as grid axes.
 SERVICE_WORKLOADS = ("kvs_service",)
 
+#: topology scenarios executed through ``repro.multirack`` instead of the
+#: trace-replay runner.  Like service workloads they are MIND-only; their
+#: grid axes map onto ``MultiRackScenarioConfig`` fields, with the
+#: structural ``blades`` axis meaning compute blades *per rack*.
+TOPOLOGY_WORKLOADS = ("multirack",)
+
 
 def _digest(payload: Any) -> str:
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -148,6 +154,11 @@ class SweepPoint:
             raise ValueError(
                 f"{self.workload!r} is a service scenario, not a trace "
                 "workload; the sweep engine runs it through repro.service"
+            )
+        if self.workload in TOPOLOGY_WORKLOADS:
+            raise ValueError(
+                f"{self.workload!r} is a topology scenario, not a trace "
+                "workload; the sweep engine runs it through repro.multirack"
             )
         try:
             builder = WORKLOAD_BUILDERS[self.workload]
@@ -299,16 +310,20 @@ class GridSpec:
             if (
                 workload not in WORKLOAD_BUILDERS
                 and workload not in SERVICE_WORKLOADS
+                and workload not in TOPOLOGY_WORKLOADS
             ):
                 raise ValueError(
                     f"unknown workload {workload!r}; choose from "
-                    f"{sorted([*WORKLOAD_BUILDERS, *SERVICE_WORKLOADS])}"
+                    f"{sorted([*WORKLOAD_BUILDERS, *SERVICE_WORKLOADS, *TOPOLOGY_WORKLOADS])}"
                 )
-            if workload in SERVICE_WORKLOADS:
+            if workload in SERVICE_WORKLOADS or workload in TOPOLOGY_WORKLOADS:
+                kind = (
+                    "service" if workload in SERVICE_WORKLOADS else "topology"
+                )
                 for system in self.axes.get("system", ["mind"]):
                     if system != "mind":
                         raise ValueError(
-                            f"service workload {workload!r} only runs on "
+                            f"{kind} workload {workload!r} only runs on "
                             f"the mind system, not {system!r}"
                         )
         return self

@@ -109,6 +109,21 @@ class SwitchPipeline:
         self.stages: List[Mau] = []
         self.passes = 0
         self.recirculations = 0
+        #: spine-bound packets this switch forwarded without MAU work
+        #: (multi-rack transit traffic through this rack's switch).
+        self.forwards = 0
+
+    def forward(self) -> Generator:
+        """One forwarding pass for a spine-bound packet.
+
+        The packet enters this switch's pipeline only to be routed toward
+        the spine tier -- no MAU table operations -- so it pays the
+        traversal latency but is counted separately from coherence passes,
+        letting per-rack accounting report pure transit load.
+        """
+        self.forwards += 1
+        yield self.config.switch_pipeline_us
+        return True
 
     def add_stage(self, name: str, max_ops_per_pass: int = 1) -> Mau:
         if any(m.name == name for m in self.stages):

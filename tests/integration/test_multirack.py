@@ -5,7 +5,7 @@ import pytest
 from repro.api import SegmentationFault
 from repro.core.vma import PermissionClass
 from repro.multirack import MultiRackConfig, MultiRackFabric
-from repro.sim.network import PAGE_SIZE
+from repro.sim.network import CONTROL_MSG_BYTES, PAGE_SIZE
 
 
 @pytest.fixture
@@ -66,6 +66,11 @@ class TestCrossRackCoherence:
         assert fabric.stats.counter("invalidations_sent") >= 5
 
     def test_cross_rack_fault_pays_spine_latency(self, rig):
+        # A read fault crosses the spine twice: the CONTROL request up to
+        # the home switch and the PAGE reply back.  Each crossing pays a
+        # forwarding pass at the blade's own rack plus two spine hops
+        # (serialization at the oversubscribed rate + hop propagation),
+        # so the unloaded premium is exactly derivable from the config.
         fabric, pdid, buf0, buf1 = rig
         b0 = fabric.compute_blades[0]
         t0 = fabric.engine.now
@@ -74,8 +79,27 @@ class TestCrossRackCoherence:
         t0 = fabric.engine.now
         fabric.run_process(b0.ensure_page(pdid, buf1, False))
         cross = fabric.engine.now - t0
-        expected_extra = 2 * fabric.config.spine_extra_us
-        assert cross - intra == pytest.approx(expected_extra, rel=0.05)
+        expected_extra = fabric.config.spine_crossing_us(
+            CONTROL_MSG_BYTES
+        ) + fabric.config.spine_crossing_us(PAGE_SIZE)
+        assert cross - intra == pytest.approx(expected_extra, rel=1e-9)
+
+    def test_spine_premium_attributed_in_span_breakdown(self, rig):
+        # The deferred spine time popped by the fault path must (a) equal
+        # the measured intra/cross premium and (b) keep the fault_path
+        # breakdown summing exactly to the recorded fault latencies.
+        fabric, pdid, buf0, buf1 = rig
+        b0 = fabric.compute_blades[0]
+        fabric.run_process(b0.ensure_page(pdid, buf0, False))
+        assert "spine" not in fabric.stats.breakdown("fault_path")
+        fabric.run_process(b0.ensure_page(pdid, buf1, False))
+        breakdown = fabric.stats.breakdown("fault_path")
+        expected = fabric.config.spine_crossing_us(
+            CONTROL_MSG_BYTES
+        ) + fabric.config.spine_crossing_us(PAGE_SIZE)
+        assert breakdown["spine"] == pytest.approx(expected, rel=1e-9)
+        total_faults = sum(fabric.stats.latencies["fault"])
+        assert sum(breakdown.values()) == pytest.approx(total_faults, rel=1e-9)
 
     def test_fault_locality_counters(self, rig):
         fabric, pdid, buf0, buf1 = rig

@@ -1,0 +1,99 @@
+"""Cross-rack coherence traffic actually rides the spine ports."""
+
+import pytest
+
+from repro.multirack import MultiRackConfig, MultiRackFabric
+from repro.sim.network import PAGE_SIZE
+
+
+@pytest.fixture
+def fabric():
+    return MultiRackFabric(
+        MultiRackConfig(num_racks=2, compute_blades_per_rack=2)
+    )
+
+
+@pytest.fixture
+def rig(fabric):
+    pdid = fabric.spawn_process("spine")
+    buf1 = fabric.mmap(pdid, 4 * PAGE_SIZE, rack=1)
+    return fabric, pdid, buf1
+
+
+class TestCrossRackInvalidation:
+    def test_invalidating_a_remote_sharer_crosses_the_spine(self, rig):
+        fabric, pdid, buf1 = rig
+        remote = fabric.compute_blades[0]  # rack 0, sharer via the spine
+        home = fabric.compute_blades[2]  # rack 1, local to the directory
+        fabric.run_process(remote.ensure_page(pdid, buf1, False))
+        spine_before = fabric.topology.tier_accounting()["spine_bytes"]
+        inval_before = fabric.stats.counter("invalidations_sent")
+        # The home-rack write must invalidate the rack-0 sharer, and the
+        # invalidation has nowhere to go but over the spine proxy.
+        fabric.run_process(home.ensure_page(pdid, buf1, True))
+        assert fabric.stats.counter("invalidations_sent") > inval_before
+        spine_after = fabric.topology.tier_accounting()["spine_bytes"]
+        assert spine_after > spine_before
+
+    def test_invalidated_remote_sharer_refaults(self, rig):
+        fabric, pdid, buf1 = rig
+        remote = fabric.compute_blades[0]
+        home = fabric.compute_blades[2]
+        fabric.run_process(remote.ensure_page(pdid, buf1, False))
+        fabric.run_process(home.ensure_page(pdid, buf1, True))
+        cross_before = fabric.stats.counter("cross_rack_faults")
+        # The sharer really was dropped: touching the page again is a
+        # fresh cross-rack fault, not a cache hit.
+        fabric.run_process(remote.ensure_page(pdid, buf1, False))
+        assert fabric.stats.counter("cross_rack_faults") == cross_before + 1
+
+    def test_uplinks_and_downlinks_both_carry(self, rig):
+        fabric, pdid, buf1 = rig
+        remote = fabric.compute_blades[0]
+        fabric.run_process(remote.ensure_page(pdid, buf1, False))
+        node0 = fabric.topology.racks[0]
+        node1 = fabric.topology.racks[1]
+        # Request: rack0 uplink -> rack1 downlink.  Reply: rack1 uplink ->
+        # rack0 downlink.  All four segments of the round trip carried.
+        assert node0.uplink.bytes_carried > 0
+        assert node1.downlink.bytes_carried > 0
+        assert node1.uplink.bytes_carried > 0
+        assert node0.downlink.bytes_carried > 0
+
+    def test_intra_rack_traffic_stays_off_the_spine(self, fabric):
+        pdid = fabric.spawn_process()
+        buf0 = fabric.mmap(pdid, 4 * PAGE_SIZE, rack=0)
+        b0, b1 = fabric.compute_blades[0], fabric.compute_blades[1]
+        fabric.run_process(b0.ensure_page(pdid, buf0, True))
+        fabric.run_process(b1.ensure_page(pdid, buf0, True))  # steal + inval
+        acct = fabric.topology.tier_accounting()
+        assert acct["spine_bytes"] == 0
+        assert acct["spine_forwards"] == 0
+        assert acct["edge_bytes"] > 0
+
+
+class TestFabricTelemetry:
+    def test_capture_aggregates_across_racks(self, rig):
+        fabric, pdid, buf1 = rig
+        buf0 = fabric.mmap(pdid, 4 * PAGE_SIZE, rack=0)
+        fabric.run_process(fabric.compute_blades[0].ensure_page(pdid, buf0, True))
+        fabric.run_process(fabric.compute_blades[0].ensure_page(pdid, buf1, True))
+        fabric.capture_telemetry()
+        stats = fabric.stats
+        # Both racks hold directory entries; the fabric view sums them.
+        assert stats.counter("directory_final") == sum(
+            len(m.directory) for m in fabric.racks
+        )
+        assert stats.counter("directory_final") >= 2
+        assert stats.gauges["tier:spine:bytes"] > 0
+        assert stats.gauges["tier:edge:bytes"] > 0
+        assert 0.0 <= stats.gauges["tier:spine:utilization_max"] <= 1.0
+        assert stats.counter("spine_forwards") > 0
+
+    def test_capture_is_idempotent(self, rig):
+        fabric, pdid, buf1 = rig
+        fabric.run_process(fabric.compute_blades[0].ensure_page(pdid, buf1, False))
+        fabric.capture_telemetry()
+        first = dict(fabric.stats.counters)
+        fabric.capture_telemetry()
+        assert dict(fabric.stats.counters) == first

@@ -1,0 +1,158 @@
+"""The topology graph: VA sharding, spine links, proxy ports, capacity."""
+
+import pytest
+
+from repro.multirack import (
+    MultiRackConfig,
+    MultiRackFabric,
+    RackCapacityError,
+    ShardMap,
+)
+from repro.sim.network import PAGE_SIZE
+
+
+class TestShardMap:
+    def test_range_partitioned_homing(self):
+        shard = ShardMap(num_racks=4, rack_span=1 << 20)
+        assert shard.home_rack(0) == 0
+        assert shard.home_rack((1 << 20) - 1) == 0
+        assert shard.home_rack(1 << 20) == 1
+        assert shard.home_rack(3 * (1 << 20) + 5) == 3
+
+    def test_rack_range_tiles_the_space(self):
+        shard = ShardMap(num_racks=3, rack_span=1 << 20)
+        for r in range(3):
+            base, span = shard.rack_range(r)
+            assert base == r * (1 << 20)
+            assert span == 1 << 20
+            assert shard.home_rack(base) == r
+            assert shard.home_rack(base + span - 1) == r
+
+    def test_out_of_range_va_rejected(self):
+        shard = ShardMap(num_racks=2, rack_span=1 << 20)
+        with pytest.raises(ValueError):
+            shard.home_rack(2 << 20)
+        with pytest.raises(ValueError):
+            shard.home_rack(-1)
+
+
+class TestCapacityValidation:
+    def test_memory_blades_over_slice_capacity_raises_typed_error(self):
+        # Regression: the VA shard spans max_memory_blades_per_rack blade
+        # capacities.  More memory blades than that used to be silently
+        # unreachable (the allocator would place pages past the slice);
+        # now it is a configuration error.
+        config = MultiRackConfig(memory_blades_per_rack=9)
+        assert config.max_memory_blades_per_rack == 8
+        with pytest.raises(RackCapacityError):
+            config.validate()
+        with pytest.raises(RackCapacityError):
+            MultiRackFabric(config)
+
+    def test_capacity_error_is_a_value_error(self):
+        assert issubclass(RackCapacityError, ValueError)
+
+    def test_max_blades_per_rack_is_fine(self):
+        MultiRackConfig(
+            max_memory_blades_per_rack=2, memory_blades_per_rack=2
+        ).validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_racks": 0},
+            {"compute_blades_per_rack": 0},
+            {"memory_blades_per_rack": 0},
+            {"oversubscription": 0.0},
+        ],
+    )
+    def test_degenerate_shapes_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MultiRackConfig(**kwargs).validate()
+
+
+class TestSpineLinks:
+    def test_oversubscribed_bandwidth_derivation(self):
+        config = MultiRackConfig(
+            compute_blades_per_rack=8, oversubscription=4.0
+        )
+        spine = config.spine_link_config()
+        edge = config.network
+        assert spine.link_bandwidth_gbps == pytest.approx(
+            edge.link_bandwidth_gbps * 8 / 4.0
+        )
+        assert spine.link_propagation_us == pytest.approx(
+            config.spine_extra_us / 2.0
+        )
+
+    def test_spine_crossing_cost_model(self):
+        config = MultiRackConfig()
+        spine = config.spine_link_config()
+        expected = config.network.switch_pipeline_us + 2 * (
+            config.spine_hop_us + spine.serialization_us(PAGE_SIZE)
+        )
+        assert config.spine_crossing_us(PAGE_SIZE) == pytest.approx(expected)
+
+    def test_every_rack_gets_uplink_and_downlink(self):
+        fabric = MultiRackFabric(MultiRackConfig(num_racks=3))
+        for r, node in enumerate(fabric.topology.racks):
+            assert node.uplink.name == f"rack{r}->spine"
+            assert node.downlink.name == f"spine->rack{r}"
+            assert node.uplink.bytes_carried == 0
+
+
+class TestSpineProxies:
+    def test_proxies_are_lazy(self):
+        fabric = MultiRackFabric(
+            MultiRackConfig(num_racks=3, compute_blades_per_rack=1)
+        )
+        pdid = fabric.spawn_process()
+        buf1 = fabric.mmap(pdid, PAGE_SIZE, rack=1)
+        router0 = fabric.routers[0]
+        # Before any cross-rack traffic: only the home-rack real port.
+        assert set(router0.ports) == {0}
+        fabric.run_process(
+            fabric.compute_blades[0].ensure_page(pdid, buf1, False)
+        )
+        # The touched pair got a proxy; the untouched rack 2 did not.
+        assert set(router0.ports) == {0, 1}
+
+    def test_proxy_keeps_the_real_port_identity(self):
+        fabric = MultiRackFabric(
+            MultiRackConfig(num_racks=2, compute_blades_per_rack=1)
+        )
+        router = fabric.routers[0]
+        proxy = router.port_for(1)
+        real = router.port_for(0)
+        # Same port_id: the home switch's directory sees one sharer,
+        # whichever side of the spine it is reached from.
+        assert proxy.port_id == real.port_id
+        assert proxy is not real
+
+    def test_port_ids_globally_unique_across_racks(self):
+        fabric = MultiRackFabric(
+            MultiRackConfig(num_racks=4, compute_blades_per_rack=8)
+        )
+        ids = [b.port.port_id for b in fabric.compute_blades]
+        assert len(ids) == len(set(ids))
+
+
+class TestTierAccounting:
+    def test_tiers_start_quiet(self):
+        fabric = MultiRackFabric(MultiRackConfig())
+        acct = fabric.topology.tier_accounting()
+        assert acct["edge_bytes"] == 0
+        assert acct["spine_bytes"] == 0
+        assert acct["spine_forwards"] == 0
+
+    def test_cross_rack_traffic_lands_in_both_tiers(self):
+        fabric = MultiRackFabric(MultiRackConfig())
+        pdid = fabric.spawn_process()
+        buf1 = fabric.mmap(pdid, PAGE_SIZE, rack=1)
+        fabric.run_process(
+            fabric.compute_blades[0].ensure_page(pdid, buf1, False)
+        )
+        acct = fabric.topology.tier_accounting()
+        assert acct["spine_bytes"] > 0
+        assert acct["edge_bytes"] > acct["spine_bytes"] / 2
+        assert acct["spine_forwards"] >= 2  # request + reply forwarding
