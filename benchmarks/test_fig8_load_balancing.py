@@ -12,7 +12,7 @@ one blade.
 import pytest
 
 from common import print_table
-from repro.core.allocator import GlobalAllocator
+from repro.alloc import GlobalAllocator
 
 GB = 1 << 30
 MB = 1 << 20

@@ -32,6 +32,7 @@ import json
 import sys
 from typing import List, Optional
 
+from .alloc import POLICIES as ALLOC_POLICIES
 from .api import MindSystem
 from .faults import FaultPlan
 from .runner import SYSTEMS, RunnerConfig, run_system
@@ -137,6 +138,7 @@ def report(args: argparse.Namespace) -> int:
         arrival_process=args.open_loop,
         arrival_rate_per_thread=args.arrival_rate,
         request_size=args.request_size,
+        allocator=args.allocator,
         fault_plan=fault_plan,
     )
     if fault_plan is not None:
@@ -203,6 +205,13 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--sharing-ratio", type=float, default=0.5)
     rep.add_argument("--shared-pages", type=int, default=400)
     rep.add_argument("--seed", type=int, default=1)
+    rep.add_argument(
+        "--allocator",
+        default=None,
+        choices=sorted(ALLOC_POLICIES),
+        help="model the switch allocation policy and charge its control-CPU "
+        "cost (default: unmodeled first-fit; mind only)",
+    )
     rep.add_argument("--sample-us", type=float, default=100.0)
     rep.add_argument("--trace-capacity", type=int, default=1 << 18)
     rep.add_argument("--json", action="store_true", help="emit the report as JSON")

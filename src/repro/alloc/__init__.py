@@ -1,0 +1,51 @@
+"""Pluggable memory-allocation policies with cost and metadata accounting.
+
+MIND's control plane hard-wires one allocator (first-fit, Section 4.1);
+this package turns allocation into an ablation axis.  Five per-blade
+policies implement the :class:`AllocatorPolicy` contract -- ``first-fit``
+(the paper's, placement-identical to the legacy ``repro.core.allocator``),
+``slab`` (size-class free lists with bounded split/merge), ``buddy``,
+``arena`` (glibc-style per-owner heaps) and ``bump`` -- under the same
+:class:`GlobalAllocator` least-allocated-blade placement.  Every policy
+reports external/internal fragmentation, a metadata footprint banked
+against switch-CPU SRAM, and deterministic per-op step counts that an
+:class:`AllocCostModel` converts into control-CPU microseconds.
+
+Select a policy with the ``allocator=`` axis (``MindConfig.allocator``,
+``RunnerConfig.allocator``, or the sweep grids / ``malloc-bench`` presets);
+the default (``None``) keeps the unmodeled first-fit path bit-identical to
+the pre-refactor behaviour.  The churn scenario that drives the ablation
+lives in :mod:`repro.alloc.scenario` (imported lazily -- it pulls in the
+full cluster stack).
+"""
+
+from .arena import ArenaAllocator
+from .buddy import BuddyAllocator
+from .bump import BumpAllocator
+from .cost import AllocCostModel
+from .firstfit import FirstFitAllocator
+from .global_alloc import (
+    POLICIES,
+    BladeAllocation,
+    GlobalAllocator,
+    alloc_gauges,
+    make_policy,
+)
+from .policy import AllocatorPolicy, OutOfMemoryError
+from .slab import SlabAllocator
+
+__all__ = [
+    "AllocCostModel",
+    "AllocatorPolicy",
+    "ArenaAllocator",
+    "BladeAllocation",
+    "BuddyAllocator",
+    "BumpAllocator",
+    "FirstFitAllocator",
+    "GlobalAllocator",
+    "OutOfMemoryError",
+    "POLICIES",
+    "SlabAllocator",
+    "alloc_gauges",
+    "make_policy",
+]

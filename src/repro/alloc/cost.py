@@ -1,0 +1,30 @@
+"""Deterministic allocation-cost model: scan steps -> control-CPU time.
+
+Every policy reports the *step count* of each operation (holes scanned,
+splits, merges, arenas grown).  This module converts steps into the
+microseconds the switch control CPU spends on the allocation part of an
+``mmap``/``munmap`` -- a fixed dispatch overhead plus a per-step charge,
+calibrated well below the PCIe rule-update cost (allocation is a pure
+CPU-memory walk over control-plane tables; it never crosses PCIe).
+
+The model is intentionally affine and integer-step driven so that allocator
+sweeps remain byte-identical across worker processes: cost is a pure
+function of the op's step count, never of wall-clock or allocation history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AllocCostModel:
+    """Affine step-cost model for control-plane allocation work."""
+
+    #: fixed allocator-dispatch overhead per operation (us).
+    base_us: float = 1.5
+    #: cost of one scan/split/merge step over control-plane tables (us).
+    per_step_us: float = 0.3
+
+    def cost_us(self, steps: int) -> float:
+        return self.base_us + self.per_step_us * steps

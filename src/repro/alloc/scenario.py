@@ -1,0 +1,195 @@
+"""Churn scenario driver: a seeded malloc/free storm -> :class:`RunResult`.
+
+The ``churn`` sweep workload.  Every thread is its *own process* (one
+``sys_exec`` each), so its PID is its protection domain and -- under the
+``arena`` policy -- its arena: the per-thread-heap behaviour the glibc
+comparison needs falls out of the ownership plumbing rather than being
+special-cased.
+
+Each op round-trips through the real control plane (``sys_mmap`` /
+``sys_munmap`` on the switch controller) and then *occupies* the
+single-server control CPU for the syscall cost plus the policy's modeled
+allocation cost, so allocator-dependent queueing shows up in the
+``churn:op`` latency distribution, not just in per-op averages.
+
+The run has two barriered phases: churn (the generated op streams, heaps
+hovering at ``live_target``) and drain (munmap everything).  Occupancy and
+fragmentation gauges are sampled at the phase boundary -- the loaded
+steady state, where policies actually differ -- while step/cost/latency
+accounting covers both phases (the drain is where coalescing cascades and
+arena trims do their work).
+
+Everything derives from :func:`~repro.workloads.trace.stable_seed`
+children of the scenario seed; a point is byte-identical regardless of
+which worker process executes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Generator, List, Optional
+
+from ..cluster import ClusterConfig, MindCluster
+from ..core.controller import SyscallError
+from ..core.mmu import MindConfig
+from ..sim.stats import RunResult
+from ..switchsim.control_cpu import ControlCpu
+from ..workloads.churn import OP_MMAP, generate_churn_ops
+from .global_alloc import alloc_gauges
+
+#: gauges re-pinned to the churn-phase (loaded steady state) sample.
+_STEADY_STATE_GAUGES = (
+    "alloc:allocated_bytes",
+    "alloc:free_bytes",
+    "alloc:waste_bytes",
+    "alloc:metadata_bytes",
+    "alloc:frag:external",
+    "alloc:frag:internal",
+)
+
+
+@dataclass
+class ChurnScenarioConfig:
+    """One churn point (the ``churn`` sweep workload)."""
+
+    compute_blades: int = 2
+    threads_per_blade: int = 2
+    num_memory_blades: int = 4
+    #: per-blade capacity; small so fragmentation pressure is visible.
+    memory_blade_capacity: int = 1 << 24
+    #: allocation policy under test.  The churn scenario always models
+    #: cost (that is its purpose), so the default is the *named*
+    #: first-fit, not None.
+    allocator: str = "first-fit"
+    #: object-size mix: "small", "large" or "mixed" (see
+    #: :data:`repro.workloads.churn.SIZE_DISTRIBUTIONS`).
+    size_dist: str = "mixed"
+    ops_per_thread: int = 400
+    #: live-object count each thread's stream hovers around.
+    live_target: int = 48
+    seed: int = 1
+    cache_capacity_pages: int = 256
+
+    def mind_config(self) -> MindConfig:
+        return MindConfig(
+            memory_blade_capacity=self.memory_blade_capacity,
+            enable_bounded_splitting=False,
+            allocator=self.allocator,
+        )
+
+
+def config_from_params(params: Dict, **overrides) -> ChurnScenarioConfig:
+    """Build a scenario config from loose sweep params, rejecting unknowns."""
+    known = {f.name for f in fields(ChurnScenarioConfig)}
+    merged = dict(params)
+    merged.update(overrides)
+    unknown = sorted(set(merged) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown churn scenario parameter(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return ChurnScenarioConfig(**merged)
+
+
+def _syscall_round(cluster: MindCluster) -> Generator:
+    """Occupy the control CPU for one syscall + its modeled allocator cost."""
+    cpu = cluster.mmu.control_cpu
+    cost = ControlCpu.SYSCALL_US + cluster.mmu.allocator.last_cost_us
+    return cpu.occupy(cost)
+
+
+def _churn_proc(
+    cluster: MindCluster,
+    pid: int,
+    ops: List,
+    live: List[int],
+    enomem_counts: List[int],
+) -> Generator:
+    """One process-thread's churn phase over its generated op stream."""
+    controller = cluster.controller
+    engine = cluster.engine
+    stats = cluster.stats
+    for kind, value in ops:
+        t0 = engine.now
+        if kind == OP_MMAP:
+            try:
+                live.append(controller.sys_mmap(pid, value))
+            except SyscallError:
+                enomem_counts[0] += 1
+        else:
+            if live:
+                controller.sys_munmap(pid, live.pop(value % len(live)))
+        # Serialize the syscall + modeled allocator work through the
+        # single-server CPU so queueing under contention is observable.
+        yield from _syscall_round(cluster)
+        stats.record_latency("churn:op", engine.now - t0)
+
+
+def _drain_proc(cluster: MindCluster, pid: int, live: List[int]) -> Generator:
+    """One process-thread's drain phase: munmap every surviving object."""
+    controller = cluster.controller
+    for base in live:
+        controller.sys_munmap(pid, base)
+        yield from _syscall_round(cluster)
+    live.clear()
+
+
+def run_churn(config: Optional[ChurnScenarioConfig] = None) -> RunResult:
+    """Execute one churn point; deterministic in ``config`` alone."""
+    config = config or ChurnScenarioConfig()
+    cluster = MindCluster(
+        ClusterConfig(
+            num_compute_blades=config.compute_blades,
+            num_memory_blades=config.num_memory_blades,
+            cache_capacity_pages=config.cache_capacity_pages,
+            store_data=False,
+            mind=config.mind_config(),
+        )
+    )
+    controller = cluster.controller
+    num_threads = config.compute_blades * config.threads_per_blade
+    enomem_counts = [0]
+    lives: List[List[int]] = [[] for _ in range(num_threads)]
+    pids: List[int] = []
+    churn_gens = []
+    total = 0
+    for t in range(num_threads):
+        # One process per thread: the PID is the arena owner.
+        task = controller.sys_exec(f"churn.{t}")
+        controller.place_thread(task.pid)
+        pids.append(task.pid)
+        ops = generate_churn_ops(
+            config.seed,
+            t,
+            config.ops_per_thread,
+            config.live_target,
+            config.size_dist,
+        )
+        total += len(ops)
+        churn_gens.append(
+            _churn_proc(cluster, task.pid, ops, lives[t], enomem_counts)
+        )
+    cluster.run_all(churn_gens)
+    # Sample occupancy/fragmentation at the loaded steady state (heaps at
+    # live_target), before the drain coalesces everything away.
+    steady = alloc_gauges([cluster.mmu.allocator.raw_telemetry()])
+    cluster.run_all(
+        [_drain_proc(cluster, pids[t], lives[t]) for t in range(num_threads)]
+    )
+    cluster.capture_telemetry()
+    stats = cluster.stats
+    for name in _STEADY_STATE_GAUGES:
+        stats.set_gauge(name, steady[name])
+    if enomem_counts[0]:
+        stats.counters["churn_enomem"] = enomem_counts[0]
+    return RunResult(
+        system="mind",
+        workload="churn",
+        num_blades=config.compute_blades,
+        num_threads=num_threads,
+        runtime_us=cluster.engine.now,
+        total_accesses=total,
+        stats=stats,
+        kernel_stats=cluster.engine.kernel_stats(),
+    )

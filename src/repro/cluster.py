@@ -272,6 +272,24 @@ class MindCluster:
         if self.mmu.control_cpu.stalls:
             stats.counters["control_cpu_stalls"] = self.mmu.control_cpu.stalls
             stats.set_gauge("control_cpu_stall_us", self.mmu.control_cpu.stall_us)
+        galloc = self.mmu.allocator
+        if galloc.modeled:
+            # Allocator-axis telemetry (only when the axis is set, so the
+            # default run's metric set stays bit-identical).
+            from .alloc import alloc_gauges
+
+            stats.counters["alloc_ops"] = self.mmu.control_cpu.alloc_ops
+            stats.set_gauge("alloc:cpu_us", self.mmu.control_cpu.alloc_us)
+            for name, value in alloc_gauges([galloc.raw_telemetry()]).items():
+                stats.set_gauge(name, value)
+            sram = self.mmu.alloc_metadata_sram
+            if sram is not None:
+                stats.set_gauge("alloc:metadata_peak_bytes", float(sram.peak_used))
+                stats.set_gauge(
+                    "alloc:metadata_utilization", sram.utilization()
+                )
+                if sram.overflows:
+                    stats.counters["alloc_metadata_overflows"] = sram.overflows
         for resource in self.engine.resources:
             if resource.total_wait_us:
                 stats.set_gauge(f"wait_us:{resource.name}", resource.total_wait_us)

@@ -7,13 +7,13 @@ protection (`protection`), caching/coherence (`directory`, `stt`,
 (`controller`), fail-over (`failures`) and the assembled switch (`mmu`).
 """
 
-from .addressing import AddressSpace, Translation, TranslationFault
-from .allocator import (
+from ..alloc import (
     BladeAllocation,
     FirstFitAllocator,
     GlobalAllocator,
     OutOfMemoryError,
 )
+from .addressing import AddressSpace, Translation, TranslationFault
 from .bounded_splitting import (
     BoundedSplittingConfig,
     BoundedSplittingController,

@@ -1,210 +1,27 @@
-"""Memory allocation: per-blade first-fit plus global load balancing.
+"""Deprecated location of the allocator -- moved to :mod:`repro.alloc`.
 
-MIND's control plane decouples *allocation* from *addressing* (P1): the
-global allocator picks the memory blade with the least allocated bytes for
-every new vma (near-optimal load balancing, validated by Jain's index in
-Fig. 8 right), and a classical first-fit allocator inside each blade's
-contiguous virtual/physical range keeps external fragmentation low
-(Section 4.1).  Allocations are power-of-two sized and aligned so that each
-vma is representable as a single TCAM protection entry (Section 4.2).
+The allocation path is now a pluggable policy subsystem (first-fit, slab,
+buddy, arena, bump) with cost accounting; see ``repro.alloc``.  This module
+re-exports the legacy names with a :class:`DeprecationWarning` so existing
+imports keep working one release longer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+import warnings
 
-from ..sim.network import PAGE_SIZE
-from .vma import align_up, round_up_pow2
+_MOVED = ("FirstFitAllocator", "GlobalAllocator", "BladeAllocation", "OutOfMemoryError")
 
 
-class OutOfMemoryError(RuntimeError):
-    """The requested allocation cannot be satisfied (maps to ENOMEM)."""
-
-
-class FirstFitAllocator:
-    """First-fit allocator over one contiguous address range.
-
-    Holds a sorted list of free holes ``(base, size)``; allocation scans for
-    the first hole that can fit an aligned block, frees coalesce adjacent
-    holes.  This mirrors the boot-memory-allocator style scheme the paper
-    cites [57].
-    """
-
-    def __init__(self, base: int, size: int):
-        if size <= 0:
-            raise ValueError("allocator range must be non-empty")
-        self.base = base
-        self.size = size
-        self._holes: List[Tuple[int, int]] = [(base, size)]
-        self._allocated: Dict[int, int] = {}
-
-    @property
-    def allocated_bytes(self) -> int:
-        return sum(self._allocated.values())
-
-    @property
-    def free_bytes(self) -> int:
-        return sum(s for _b, s in self._holes)
-
-    @property
-    def largest_hole(self) -> int:
-        return max((s for _b, s in self._holes), default=0)
-
-    def allocate(self, length: int, alignment: int) -> int:
-        """Return the base of the first aligned hole fitting ``length``."""
-        if length <= 0:
-            raise ValueError("allocation length must be positive")
-        if alignment <= 0 or alignment & (alignment - 1):
-            raise ValueError("alignment must be a power of two")
-        for i, (hole_base, hole_size) in enumerate(self._holes):
-            start = align_up(hole_base, alignment)
-            waste = start - hole_base
-            if waste + length > hole_size:
-                continue
-            # Carve [start, start+length) out of the hole.
-            del self._holes[i]
-            remainder = []
-            if waste:
-                remainder.append((hole_base, waste))
-            tail = hole_size - waste - length
-            if tail:
-                remainder.append((start + length, tail))
-            self._holes[i:i] = remainder
-            self._allocated[start] = length
-            return start
-        raise OutOfMemoryError(
-            f"no hole fits {length:#x} bytes aligned to {alignment:#x}"
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.core.allocator.{name} is deprecated; "
+            "import it from repro.alloc",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from repro import alloc
 
-    def allocate_at(self, base: int, length: int) -> int:
-        """Claim an exact range (fail-over replay of a prior allocation)."""
-        if length <= 0:
-            raise ValueError("allocation length must be positive")
-        for i, (hole_base, hole_size) in enumerate(self._holes):
-            if hole_base <= base and base + length <= hole_base + hole_size:
-                del self._holes[i]
-                remainder = []
-                if base > hole_base:
-                    remainder.append((hole_base, base - hole_base))
-                tail = (hole_base + hole_size) - (base + length)
-                if tail:
-                    remainder.append((base + length, tail))
-                self._holes[i:i] = remainder
-                self._allocated[base] = length
-                return base
-        raise OutOfMemoryError(f"range [{base:#x}, {base + length:#x}) not free")
-
-    def free(self, base: int) -> int:
-        """Release an allocation; coalesces with adjacent holes."""
-        length = self._allocated.pop(base, None)
-        if length is None:
-            raise KeyError(f"no allocation at {base:#x}")
-        # Insert hole in sorted position, then coalesce with neighbours.
-        idx = 0
-        while idx < len(self._holes) and self._holes[idx][0] < base:
-            idx += 1
-        self._holes.insert(idx, (base, length))
-        # Coalesce right then left.
-        if idx + 1 < len(self._holes):
-            nb, ns = self._holes[idx + 1]
-            if base + length == nb:
-                self._holes[idx] = (base, length + ns)
-                del self._holes[idx + 1]
-        if idx > 0:
-            pb, ps = self._holes[idx - 1]
-            b, s = self._holes[idx]
-            if pb + ps == b:
-                self._holes[idx - 1] = (pb, ps + s)
-                del self._holes[idx]
-        return length
-
-    def holes(self) -> List[Tuple[int, int]]:
-        return list(self._holes)
-
-
-@dataclass
-class BladeAllocation:
-    """Result of a global allocation: where a vma landed."""
-
-    blade_id: int
-    va_base: int
-    length: int
-
-
-class GlobalAllocator:
-    """Least-allocated-blade placement over per-blade first-fit allocators.
-
-    The control plane's global view (P2) is simply the per-blade allocated
-    byte counts; each allocation goes to the blade with the least.  Because
-    the VA space is range-partitioned one-to-one onto blades, choosing a
-    blade fixes the VA range the first-fit allocator carves from.
-    """
-
-    def __init__(self) -> None:
-        self._blades: Dict[int, FirstFitAllocator] = {}
-
-    def add_blade(self, blade_id: int, va_base: int, size: int) -> None:
-        if blade_id in self._blades:
-            raise ValueError(f"blade {blade_id} already registered")
-        self._blades[blade_id] = FirstFitAllocator(va_base, size)
-
-    def remove_blade(self, blade_id: int, force: bool = False) -> None:
-        """Retire a blade.  ``force`` skips the emptiness check -- used
-        after migration has evacuated the data but VA ranges of live vmas
-        still point (via outliers) elsewhere."""
-        alloc = self._blades.get(blade_id)
-        if alloc is None:
-            raise KeyError(f"no blade {blade_id}")
-        if alloc.allocated_bytes and not force:
-            raise RuntimeError(
-                f"blade {blade_id} still has {alloc.allocated_bytes} bytes allocated; "
-                "migrate before retiring"
-            )
-        del self._blades[blade_id]
-
-    def blade(self, blade_id: int) -> FirstFitAllocator:
-        return self._blades[blade_id]
-
-    @property
-    def blade_ids(self) -> List[int]:
-        return sorted(self._blades)
-
-    def allocated_per_blade(self) -> Dict[int, int]:
-        return {bid: alloc.allocated_bytes for bid, alloc in self._blades.items()}
-
-    def allocate(self, length: int) -> BladeAllocation:
-        """Place a new vma on the least-allocated blade that can fit it.
-
-        The length is rounded up to a power of two (min one page) and the
-        base aligned to it, so the vma is a single TCAM prefix.
-        """
-        if not self._blades:
-            raise OutOfMemoryError("no memory blades registered")
-        padded = round_up_pow2(max(length, PAGE_SIZE))
-        # Least-allocated first; fall back to others if it cannot fit.
-        order = sorted(
-            self._blades.items(), key=lambda kv: (kv[1].allocated_bytes, kv[0])
-        )
-        for blade_id, alloc in order:
-            try:
-                base = alloc.allocate(padded, alignment=padded)
-            except OutOfMemoryError:
-                continue
-            return BladeAllocation(blade_id, base, padded)
-        raise OutOfMemoryError(f"no blade can fit {padded:#x} bytes")
-
-    def free(self, blade_id: int, va_base: int) -> int:
-        return self._blades[blade_id].free(va_base)
-
-    def jain_fairness(self) -> float:
-        """Jain's fairness index over per-blade allocated bytes (Fig. 8 right).
-
-        1.0 means perfectly balanced; 1/n means all load on one blade.
-        """
-        loads = [a.allocated_bytes for a in self._blades.values()]
-        if not loads or sum(loads) == 0:
-            return 1.0
-        num = sum(loads) ** 2
-        den = len(loads) * sum(x * x for x in loads)
-        return num / den
+        return getattr(alloc, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

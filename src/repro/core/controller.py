@@ -19,8 +19,8 @@ import errno
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..alloc import BladeAllocation, GlobalAllocator, OutOfMemoryError
 from ..switchsim.control_cpu import ControlCpu
-from .allocator import BladeAllocation, GlobalAllocator, OutOfMemoryError
 from .addressing import AddressSpace
 from .directory import RegionDirectory
 from .protection import ProtectionTable
@@ -69,9 +69,12 @@ class SwitchController:
         compute_blade_ids: Optional[List[int]] = None,
         drop_cached_range: Optional[Callable[[int, int], None]] = None,
         flush_cached_range: Optional[Callable[[int, int], None]] = None,
+        stats=None,
     ):
         self.control_cpu = control_cpu
         self.allocator = allocator
+        #: StatsCollector for modeled allocation latency (optional).
+        self.stats = stats
         self.address_space = address_space
         self.protection = protection
         self.directory = directory
@@ -99,6 +102,18 @@ class SwitchController:
         self.version += 1
         if self._on_metadata_change is not None:
             self._on_metadata_change()
+
+    def _charge_alloc(self) -> None:
+        """Charge the last allocator operation's modeled cost on the control
+        CPU and record it as an ``alloc`` latency sample.  No-op when the
+        allocator axis is off (``last_cost_us`` stays 0 and nothing is
+        recorded), which keeps the default path bit-identical."""
+        if not self.allocator.modeled:
+            return
+        cost = self.allocator.last_cost_us
+        self.control_cpu.charge_alloc(cost)
+        if self.stats is not None:
+            self.stats.record_latency("alloc", cost)
 
     # -- cluster membership ---------------------------------------------------
 
@@ -192,9 +207,11 @@ class SwitchController:
             raise SyscallError(errno.EINVAL, "mmap length must be positive")
         self.control_cpu.syscalls_handled += 1
         try:
-            placement: BladeAllocation = self.allocator.allocate(length)
+            placement: BladeAllocation = self.allocator.allocate(length, owner=pid)
         except OutOfMemoryError as exc:
+            self._charge_alloc()
             raise SyscallError(errno.ENOMEM, str(exc)) from exc
+        self._charge_alloc()
         vma = Vma(placement.va_base, placement.length, pdid or pid, perm)
         self.protection.grant(vma.pdid, vma, perm)
         task.vmas[vma.base] = (vma, placement.blade_id)
@@ -222,6 +239,8 @@ class SwitchController:
             # The vma's original home blade was retired after migration;
             # its physical range went away with the blade.
             pass
+        else:
+            self._charge_alloc()
         self._bump_version()
 
     def sys_brk(self, pid: int, increment: int) -> int:

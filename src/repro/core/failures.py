@@ -20,10 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..alloc import AllocCostModel, GlobalAllocator
 from ..switchsim.sram import RegisterArray
 from ..switchsim.tcam import Tcam
 from .addressing import AddressSpace
-from .allocator import GlobalAllocator
 from .controller import SwitchController
 from .directory import RegionDirectory
 from .protection import ProtectionTable
@@ -52,6 +52,10 @@ class ControlPlaneSnapshot:
     #: splitting behaviour (region granularity, merge ceilings).
     initial_region_size: int = 16 * 1024
     max_region_size: int = 2 * 1024 * 1024
+    #: allocator-policy axis state: the backup must rebuild with the same
+    #: policy (and cost modeling) or post-fail-over placement diverges.
+    allocator_policy: str = "first-fit"
+    allocator_modeled: bool = False
 
 
 class ControlPlaneReplicator:
@@ -86,6 +90,8 @@ class ControlPlaneReplicator:
             blade_capacity=ctl.address_space.blade_capacity,
             initial_region_size=ctl.directory.initial_region_size,
             max_region_size=ctl.directory.max_region_size,
+            allocator_policy=ctl.allocator.policy_name,
+            allocator_modeled=ctl.allocator.modeled,
         )
         self._snapshot = snapshot
         return snapshot
@@ -130,7 +136,10 @@ def rebuild_data_plane(
     if max_region_size is None:
         max_region_size = snapshot.max_region_size
     address_space = AddressSpace(xlate_tcam, snapshot.blade_capacity)
-    allocator = GlobalAllocator()
+    allocator = GlobalAllocator(
+        policy=snapshot.allocator_policy,
+        cost_model=AllocCostModel() if snapshot.allocator_modeled else None,
+    )
     for blade_id in snapshot.blade_order:
         va_base = address_space.add_blade(blade_id)
         allocator.add_blade(blade_id, va_base, snapshot.blade_capacity)
@@ -139,9 +148,14 @@ def rebuild_data_plane(
     # alone would silently drop capability-style session domains.
     for pdid, base, length, perm in snapshot.grants:
         protection.grant(pdid, Vma(base, length, pdid, perm), perm)
-    for _pid, base, length, _pdid, _perm, blade_id in snapshot.vmas:
-        # Replay the allocation at its original address.
-        allocator.blade(blade_id).allocate_at(base, length)
+    # Replay each allocation at its original address.  Ascending-base order
+    # (not the snapshot's pid-major order) so frontier-style policies
+    # (slab/arena/bump) rebuild without claiming ranges behind their
+    # frontier; first-fit hole structure is order-independent.
+    for _pid, base, length, _pdid, _perm, blade_id in sorted(
+        snapshot.vmas, key=lambda entry: entry[1]
+    ):
+        allocator.allocate_at(blade_id, base, length)
     directory = RegionDirectory(
         directory_sram,
         initial_region_size=initial_region_size,

@@ -33,7 +33,7 @@ from ..sim.stats import StatsCollector
 from ..switchsim.control_cpu import ControlCpu
 from ..switchsim.packets import InvalidationRequest
 from .addressing import AddressSpace
-from .allocator import GlobalAllocator, OutOfMemoryError
+from ..alloc import GlobalAllocator, OutOfMemoryError
 from .coherence import CoherenceProtocol
 from .directory import CoherenceState
 

@@ -25,10 +25,10 @@ from ..sim.stats import StatsCollector
 from ..switchsim.control_cpu import ControlCpu
 from ..switchsim.multicast import MulticastEngine
 from ..switchsim.pipeline import SwitchPipeline
-from ..switchsim.sram import RegisterArray
+from ..alloc import AllocCostModel, GlobalAllocator
+from ..switchsim.sram import MetadataSram, RegisterArray
 from ..switchsim.tcam import Tcam
 from .addressing import AddressSpace
-from .allocator import GlobalAllocator
 from .bounded_splitting import BoundedSplittingConfig, BoundedSplittingController
 from .coherence import CoherenceProtocol
 from .controller import SwitchController
@@ -73,6 +73,16 @@ class MindConfig:
     pending_table_capacity: int = 256
     #: start the Bounded Splitting epoch loop automatically.
     enable_bounded_splitting: bool = True
+    #: allocation-policy axis ("first-fit", "slab", "buddy", "arena",
+    #: "bump").  ``None`` keeps the paper's first-fit with allocation-cost
+    #: modeling OFF -- the default path stays bit-identical to the
+    #: pre-refactor behaviour.  Setting any name (including "first-fit")
+    #: activates the cost model, ``alloc`` latency samples, ``alloc:*``
+    #: gauges, and SRAM banking of allocator metadata.
+    allocator: Optional[str] = None
+    #: switch SRAM budget for allocator metadata (free lists, boundary
+    #: tags, buddy bitmaps) when the allocator axis is active.
+    alloc_metadata_capacity: int = 1 << 22
     bounded_splitting: BoundedSplittingConfig = field(default=None)
 
     def __post_init__(self) -> None:
@@ -110,7 +120,17 @@ class InNetworkMmu:
         self.address_space = AddressSpace(
             self.translation_tcam, cfg.memory_blade_capacity, base_va=cfg.va_base
         )
-        self.allocator = GlobalAllocator()
+        alloc_modeled = cfg.allocator is not None
+        self.alloc_metadata_sram = (
+            MetadataSram(cfg.alloc_metadata_capacity, name="alloc-metadata")
+            if alloc_modeled
+            else None
+        )
+        self.allocator = GlobalAllocator(
+            policy=cfg.allocator or "first-fit",
+            cost_model=AllocCostModel() if alloc_modeled else None,
+            metadata_sram=self.alloc_metadata_sram,
+        )
         self.protection = ProtectionTable(self.protection_tcam)
         self.directory = RegionDirectory(
             self.directory_sram,
@@ -144,6 +164,7 @@ class InNetworkMmu:
             address_space=self.address_space,
             protection=self.protection,
             directory=self.directory,
+            stats=self.stats,
         )
         self.migration = MigrationManager(
             engine=engine,
@@ -207,6 +228,10 @@ class InNetworkMmu:
         self.protection = plane.protection
         self.directory = plane.directory
         self.allocator = plane.allocator
+        if self.alloc_metadata_sram is not None:
+            # The backup switch banks the rebuilt allocator's metadata in
+            # its own SRAM; occupancy snaps to the replica's footprint.
+            self.allocator.attach_metadata_sram(self.alloc_metadata_sram)
         self.coherence.adopt_plane(
             plane.directory, plane.address_space, plane.protection
         )

@@ -278,6 +278,20 @@ class MultiRackFabric:
         refused = sum(b.requests_refused for b in self.memory_blades)
         if refused:
             stats.counters["blade_requests_refused"] = refused
+        if any(m.allocator.modeled for m in mmus):
+            # Allocator-axis telemetry: raw byte/step tallies sum across
+            # racks, fragmentation fractions are recomputed from the sums.
+            from ..alloc import alloc_gauges
+
+            stats.counters["alloc_ops"] = sum(
+                m.control_cpu.alloc_ops for m in mmus
+            )
+            stats.set_gauge(
+                "alloc:cpu_us", sum(m.control_cpu.alloc_us for m in mmus)
+            )
+            merged = alloc_gauges([m.allocator.raw_telemetry() for m in mmus])
+            for name, value in merged.items():
+                stats.set_gauge(name, value)
         acct = self.topology.tier_accounting()
         stats.counters["spine_forwards"] = int(acct["spine_forwards"])
         stats.set_gauge("tier:edge:bytes", acct["edge_bytes"])

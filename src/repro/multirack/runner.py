@@ -57,6 +57,9 @@ class MultiRackScenarioConfig:
     diurnal_amplitude: float = 0.5
     telemetry: bool = False
     telemetry_window_us: float = 500.0
+    #: allocation-policy axis for every rack switch (None = unmodeled
+    #: first-fit, the bit-identical default).
+    allocator: Optional[str] = None
 
     def fabric_config(self) -> MultiRackConfig:
         return MultiRackConfig(
@@ -69,7 +72,9 @@ class MultiRackScenarioConfig:
             telemetry=self.telemetry,
             telemetry_window_us=self.telemetry_window_us,
             mind=MindConfig(
-                memory_blade_capacity=1 << 28, enable_bounded_splitting=False
+                memory_blade_capacity=1 << 28,
+                enable_bounded_splitting=False,
+                allocator=self.allocator,
             ),
             network=NetworkConfig(),
         )

@@ -83,6 +83,11 @@ class RunnerConfig:
     #: diurnal modulation period / amplitude (ignored for plain Poisson).
     diurnal_period_us: float = 20_000.0
     diurnal_amplitude: float = 0.5
+    #: allocation-policy axis ("first-fit", "slab", "buddy", "arena",
+    #: "bump").  MIND systems only: the policy runs on the switch control
+    #: CPU.  None keeps the default first-fit with cost modeling off (the
+    #: bit-identical baseline path); any name activates modeling.
+    allocator: Optional[str] = None
     #: fault schedule (a :class:`repro.faults.FaultPlan`) armed on the
     #: cluster before the workload starts.  MIND systems only -- the
     #: baselines have no switch to fail over.
@@ -116,6 +121,8 @@ def run_on_mind(
     """Replay ``workload`` on a fresh MIND cluster of ``num_blades``."""
     cfg = config or RunnerConfig()
     mind = mind_config or _base_mind(cfg)
+    if cfg.allocator is not None:
+        mind = replace(mind, allocator=cfg.allocator)
     cluster_config = ClusterConfig(
         num_compute_blades=num_blades,
         num_memory_blades=cfg.num_memory_blades,
@@ -198,6 +205,11 @@ def run_system(
         raise ValueError(
             "open-loop arrival processes measure latency-under-load against "
             f"the MIND data path; {system!r} only replays closed-loop"
+        )
+    if cfg.allocator is not None and key in ("gam", "fastswap"):
+        raise ValueError(
+            "the allocator axis selects the MIND switch's allocation "
+            f"policy; {system!r} has no in-network allocator"
         )
     if key == "mind":
         return run_on_mind(workload, num_blades, cfg)

@@ -45,6 +45,7 @@ from ..runner import run_system
 from ..sim.stats import RunResult
 from ..workloads import stable_seed
 from .spec import (
+    ALLOC_WORKLOADS,
     SCHEMA,
     SERVICE_WORKLOADS,
     TOPOLOGY_WORKLOADS,
@@ -189,24 +190,58 @@ def _execute_topology_point(point: SweepPoint) -> PointRecord:
     return record
 
 
+def _execute_alloc_point(point: SweepPoint) -> PointRecord:
+    """Run a ``repro.alloc.scenario`` churn point (the allocator ablation).
+
+    Grid axes map onto :class:`~repro.alloc.scenario.ChurnScenarioConfig`
+    fields (``allocator``, ``size_dist``, ``ops_per_thread`` ...);
+    structural axes translate as blades -> compute blades, seed ->
+    scenario seed.  Op streams derive from ``stable_seed`` children of
+    that seed, so allocator sweeps are byte-identical at any ``--jobs``.
+    """
+    from ..alloc.scenario import config_from_params, run_churn
+
+    params = dict(point.workload_params)
+    params.update(dict(point.runner_params))
+    config = config_from_params(
+        params,
+        compute_blades=point.num_blades,
+        threads_per_blade=point.threads_per_blade,
+        seed=point.seed,
+    )
+    result = run_churn(config)
+    return PointRecord(point=point, metrics=extract_metrics(result))
+
+
 def execute_point(
     point: SweepPoint,
     fault_plan: Optional[FaultPlan] = None,
     with_trace: bool = False,
 ) -> PointRecord:
     """Run one sweep point to completion in this process."""
-    if point.workload in SERVICE_WORKLOADS or point.workload in TOPOLOGY_WORKLOADS:
-        kind = "service" if point.workload in SERVICE_WORKLOADS else "topology"
+    scenario_kind = None
+    if point.workload in SERVICE_WORKLOADS:
+        scenario_kind = "service"
+    elif point.workload in TOPOLOGY_WORKLOADS:
+        scenario_kind = "topology"
+    elif point.workload in ALLOC_WORKLOADS:
+        scenario_kind = "allocation"
+    if scenario_kind is not None:
         if fault_plan is not None:
             raise ValueError(
-                f"{kind} points build their own chaos plan / fault schedule; "
-                "an external --fault plan cannot be combined with them"
+                f"{scenario_kind} points build their own chaos plan / fault "
+                "schedule; an external --fault plan cannot be combined with "
+                "them"
             )
         if with_trace:
-            raise ValueError(f"{kind} points do not record event traces")
+            raise ValueError(
+                f"{scenario_kind} points do not record event traces"
+            )
         if point.workload in SERVICE_WORKLOADS:
             return _execute_service_point(point)
-        return _execute_topology_point(point)
+        if point.workload in TOPOLOGY_WORKLOADS:
+            return _execute_topology_point(point)
+        return _execute_alloc_point(point)
     workload = build_workload_cached(point)
     extra: Dict[str, Any] = {}
     if fault_plan is not None:

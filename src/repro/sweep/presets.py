@@ -126,6 +126,26 @@ PRESETS: Dict[str, List[str]] = {
         "pages_per_rack=128;read_ratio=0.7;cache_capacity_pages=256;"
         "arrival_process=poisson;arrival_rate_per_thread=0.01",
     ],
+    # The rack-scale malloc ablation: five allocation policies x three
+    # object-size mixes under steady heap churn.  Fragmentation
+    # (``gauge:alloc:frag:*``), switch-SRAM metadata footprint
+    # (``gauge:alloc:metadata_bytes``) and modeled control-CPU allocation
+    # latency (``latency:alloc:*``) land in each point's metrics.
+    "malloc-bench": [
+        "system=mind;workload=churn;blades=4;threads_per_blade=4;"
+        "allocator=first-fit,slab,buddy,arena,bump;"
+        "size_dist=small,mixed,large;ops_per_thread=1500;live_target=64;"
+        "num_memory_blades=8;cache_capacity_pages=256"
+    ],
+    # CI-sized malloc smoke: all five policies on the mixed size mix.
+    # Run twice (spawn workers vs serial) and byte-compared, then gated
+    # against benchmarks/BENCH_alloc.json.
+    "malloc-bench-quick": [
+        "system=mind;workload=churn;blades=2;threads_per_blade=2;"
+        "allocator=first-fit,slab,buddy,arena,bump;size_dist=mixed;"
+        "ops_per_thread=300;live_target=32;num_memory_blades=4;"
+        "cache_capacity_pages=256"
+    ],
     # Latency under load: open-loop arrival-rate sweep against the MIND
     # data path (the hockey-stick curve).  Windowed p99/p99.9 and queueing
     # delay come from the per-point timeline documents.

@@ -90,6 +90,12 @@ SERVICE_WORKLOADS = ("kvs_service",)
 #: structural ``blades`` axis meaning compute blades *per rack*.
 TOPOLOGY_WORKLOADS = ("multirack",)
 
+#: allocation scenarios executed through ``repro.alloc.scenario`` -- the
+#: malloc/free churn benchmark behind the allocator ablation.  MIND-only;
+#: grid axes map onto ``ChurnScenarioConfig`` fields (most importantly
+#: ``allocator`` and ``size_dist``).
+ALLOC_WORKLOADS = ("churn",)
+
 
 def _digest(payload: Any) -> str:
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -159,6 +165,12 @@ class SweepPoint:
             raise ValueError(
                 f"{self.workload!r} is a topology scenario, not a trace "
                 "workload; the sweep engine runs it through repro.multirack"
+            )
+        if self.workload in ALLOC_WORKLOADS:
+            raise ValueError(
+                f"{self.workload!r} is an allocation scenario, not a trace "
+                "workload; the sweep engine runs it through "
+                "repro.alloc.scenario"
             )
         try:
             builder = WORKLOAD_BUILDERS[self.workload]
@@ -307,19 +319,21 @@ class GridSpec:
                     f"unknown system {system!r}; choose from {SYSTEMS}"
                 )
         for workload in self.axes.get("workload", []):
+            scenario_kinds = {
+                **{w: "service" for w in SERVICE_WORKLOADS},
+                **{w: "topology" for w in TOPOLOGY_WORKLOADS},
+                **{w: "allocation" for w in ALLOC_WORKLOADS},
+            }
             if (
                 workload not in WORKLOAD_BUILDERS
-                and workload not in SERVICE_WORKLOADS
-                and workload not in TOPOLOGY_WORKLOADS
+                and workload not in scenario_kinds
             ):
                 raise ValueError(
                     f"unknown workload {workload!r}; choose from "
-                    f"{sorted([*WORKLOAD_BUILDERS, *SERVICE_WORKLOADS, *TOPOLOGY_WORKLOADS])}"
+                    f"{sorted([*WORKLOAD_BUILDERS, *scenario_kinds])}"
                 )
-            if workload in SERVICE_WORKLOADS or workload in TOPOLOGY_WORKLOADS:
-                kind = (
-                    "service" if workload in SERVICE_WORKLOADS else "topology"
-                )
+            if workload in scenario_kinds:
+                kind = scenario_kinds[workload]
                 for system in self.axes.get("system", ["mind"]):
                     if system != "mind":
                         raise ValueError(

@@ -35,6 +35,27 @@ class ControlCpu:
         self.busy_us = 0.0
         self.stalls = 0
         self.stall_us = 0.0
+        #: modeled allocator work (the allocator-policy axis): op count and
+        #: accumulated CPU microseconds.  Accounting-only -- trace-replay
+        #: mmaps all happen at t=0 outside simulated time, so the charge
+        #: must not occupy the single-server queue (scenarios that *do*
+        #: serialize syscalls through the CPU use :meth:`occupy`).
+        self.alloc_ops = 0
+        self.alloc_us = 0.0
+
+    def charge_alloc(self, cost_us: float) -> None:
+        """Book one allocator operation's modeled CPU time."""
+        self.alloc_ops += 1
+        self.alloc_us += cost_us
+
+    def occupy(self, cost_us: float) -> Generator:
+        """Process generator: hold the CPU for an explicit duration.
+
+        The public entry for scenarios that serialize modeled work (e.g.
+        syscall + allocation cost in the churn benchmark) through the
+        single-server queue so queueing delay emerges.
+        """
+        return self._occupy(cost_us)
 
     def _occupy(self, cost_us: float) -> Generator:
         yield self._cpu.acquire()

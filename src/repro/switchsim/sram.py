@@ -101,3 +101,37 @@ class RegisterArray:
 
     def items(self) -> Iterator:
         return ((k, self._slots[i].data) for k, i in self._used_map.items())
+
+
+class MetadataSram:
+    """A byte-granular SRAM bank for control-plane allocator metadata.
+
+    Unlike the slot-partitioned :class:`RegisterArray` (directory entries
+    are fixed-size), allocator bookkeeping -- free lists, boundary tags,
+    buddy bitmaps -- is variable-size, so this bank tracks raw byte
+    occupancy against a fixed budget.  Exceeding the budget does not fail
+    the allocation (the CPU spills to its DRAM); it is *counted*, because
+    every spill is a policy whose metadata no longer fits beside the
+    directory on the switch -- exactly the trade-off the allocator
+    ablation is measuring.
+    """
+
+    def __init__(self, capacity: int, name: str = "metadata-sram"):
+        if capacity < 1:
+            raise ValueError("metadata sram capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self.used = 0
+        self.peak_used = 0
+        self.overflows = 0
+
+    def set_used(self, nbytes: int) -> None:
+        """Snap occupancy to ``nbytes`` (the owner recomputes, we record)."""
+        if nbytes > self.capacity and self.used <= self.capacity:
+            self.overflows += 1
+        self.used = nbytes
+        if nbytes > self.peak_used:
+            self.peak_used = nbytes
+
+    def utilization(self) -> float:
+        return self.used / self.capacity

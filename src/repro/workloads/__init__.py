@@ -15,6 +15,12 @@ from .elastic_kvs import (
     server_loop,
     tenant_key,
 )
+from .churn import (
+    OP_MMAP,
+    OP_MUNMAP,
+    SIZE_DISTRIBUTIONS,
+    generate_churn_ops,
+)
 from .graph_like import GraphLikeWorkload
 from .kvs import MindKvs, NativeKvsWorkload, SLOT_SIZE, TOMBSTONE
 from .openloop import (
@@ -53,8 +59,11 @@ __all__ = [
     "MemcachedYcsbWorkload",
     "MindKvs",
     "NativeKvsWorkload",
+    "OP_MMAP",
+    "OP_MUNMAP",
     "REQUEST_CPU_US",
     "RegionSpec",
+    "SIZE_DISTRIBUTIONS",
     "SLOT_SIZE",
     "TENANT_PDID_BASE",
     "TeamSharingWorkload",
@@ -66,6 +75,7 @@ __all__ = [
     "UniformSharingWorkload",
     "arrival_times",
     "convert_pin_text",
+    "generate_churn_ops",
     "interleave",
     "load_traces",
     "make_ops",

@@ -1,0 +1,85 @@
+"""Churn workload: a seeded malloc/free op stream for the allocator ablation.
+
+Unlike the trace workloads (which allocate once and replay accesses), the
+churn workload is *all* allocation: every thread issues a seeded sequence
+of ``mmap``/``munmap`` syscalls that hovers around a target live-object
+count, exactly the steady-state heap churn the ``mind-malloc-bench``
+comparison exercises.  The generator is a pure function of
+``(seed, thread_id)`` via :func:`~repro.workloads.trace.stable_seed`, so
+allocator sweeps stay byte-identical at any ``--jobs``.
+
+Ops are generated against a *simulated* live count that assumes every mmap
+succeeds; at runtime an ENOMEM simply drops the object, and munmap victims
+are taken modulo the actual live list, so the executed sequence remains a
+deterministic function of the generated one even when policies differ in
+where they run out of memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from .trace import stable_seed
+
+#: op kinds in a generated stream.
+OP_MMAP = 0
+OP_MUNMAP = 1
+
+#: size-distribution bounds (bytes, log-uniform between lo and hi).
+SIZE_DISTRIBUTIONS = {
+    "small": ((256, 16 * 1024),),
+    "large": ((32 * 1024, 1 << 20),),
+    # 75 % small objects, 25 % large -- the mixed heap a server sees.
+    "mixed": ((256, 16 * 1024), (32 * 1024, 1 << 20)),
+}
+_MIXED_LARGE_FRACTION = 0.25
+
+
+def _sample_size(rng: np.random.Generator, size_dist: str) -> int:
+    bounds = SIZE_DISTRIBUTIONS[size_dist]
+    if len(bounds) == 2 and rng.random() < _MIXED_LARGE_FRACTION:
+        lo, hi = bounds[1]
+    else:
+        lo, hi = bounds[0]
+    return int(2.0 ** rng.uniform(math.log2(lo), math.log2(hi)))
+
+
+def generate_churn_ops(
+    seed: int,
+    thread_id: int,
+    ops_per_thread: int,
+    live_target: int,
+    size_dist: str = "mixed",
+) -> List[Tuple[int, int]]:
+    """One thread's op stream: ``(OP_MMAP, size)`` / ``(OP_MUNMAP, victim)``.
+
+    The alloc/free mix self-regulates: allocation probability decays
+    linearly with the simulated live count and crosses 1/2 exactly at
+    ``live_target``, so the heap hovers there.  ``victim`` indexes the
+    live list at execution time (modulo its actual length).
+    """
+    if size_dist not in SIZE_DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown size_dist {size_dist!r}; "
+            f"choose from {sorted(SIZE_DISTRIBUTIONS)}"
+        )
+    if ops_per_thread <= 0:
+        raise ValueError("ops_per_thread must be positive")
+    if live_target <= 0:
+        raise ValueError("live_target must be positive")
+    rng = np.random.default_rng(stable_seed("churn", seed, thread_id))
+    ops: List[Tuple[int, int]] = []
+    live = 0
+    for _ in range(ops_per_thread):
+        p_alloc = 1.0 - live / (2.0 * live_target)
+        p_alloc = min(0.95, max(0.05, p_alloc))
+        if live == 0 or rng.random() < p_alloc:
+            ops.append((OP_MMAP, _sample_size(rng, size_dist)))
+            live += 1
+        else:
+            ops.append((OP_MUNMAP, int(rng.integers(live))))
+            live -= 1
+    return ops

@@ -1,0 +1,147 @@
+"""The churn scenario: determinism, policy distinctness, sweep dispatch."""
+
+import pytest
+
+from repro.alloc.scenario import (
+    ChurnScenarioConfig,
+    config_from_params,
+    run_churn,
+)
+from repro.sweep.spec import GridSpec, SweepSpec
+from repro.sweep.engine import execute_point, extract_metrics
+from repro.workloads.churn import OP_MMAP, OP_MUNMAP, generate_churn_ops
+
+QUICK = dict(
+    compute_blades=2,
+    threads_per_blade=1,
+    ops_per_thread=120,
+    live_target=24,
+)
+
+
+class TestOpGeneration:
+    def test_streams_are_deterministic(self):
+        a = generate_churn_ops(5, 0, 200, 32)
+        b = generate_churn_ops(5, 0, 200, 32)
+        assert a == b
+
+    def test_threads_get_distinct_streams(self):
+        assert generate_churn_ops(5, 0, 200, 32) != generate_churn_ops(5, 1, 200, 32)
+
+    def test_mix_hovers_near_live_target(self):
+        ops = generate_churn_ops(7, 0, 2000, 32)
+        live = sum(1 if k == OP_MMAP else -1 for k, _ in ops)
+        assert 0 <= live < 3 * 32
+
+    def test_munmap_never_first(self):
+        for t in range(4):
+            assert generate_churn_ops(3, t, 50, 8)[0][0] == OP_MMAP
+
+    def test_size_dist_validated(self):
+        with pytest.raises(ValueError, match="unknown size_dist"):
+            generate_churn_ops(1, 0, 10, 4, size_dist="huge")
+
+
+class TestRunChurn:
+    def test_deterministic_in_config(self):
+        r1 = run_churn(ChurnScenarioConfig(allocator="slab", **QUICK))
+        r2 = run_churn(ChurnScenarioConfig(allocator="slab", **QUICK))
+        assert extract_metrics(r1) == extract_metrics(r2)
+
+    def test_policies_have_distinct_signatures(self):
+        """At least 3 policies must separate on each headline metric."""
+        metrics = {
+            policy: extract_metrics(
+                run_churn(ChurnScenarioConfig(allocator=policy, **QUICK))
+            )
+            for policy in ("first-fit", "slab", "buddy", "arena", "bump")
+        }
+        for key in (
+            "gauge:alloc:frag:external",
+            "gauge:alloc:metadata_bytes",
+            "latency:alloc:mean",
+        ):
+            values = {round(m[key], 9) for m in metrics.values()}
+            assert len(values) >= 3, f"{key}: {values}"
+
+    def test_steady_state_gauges_and_drain_accounting(self):
+        result = run_churn(ChurnScenarioConfig(allocator="arena", **QUICK))
+        # Steady-state gauges reflect the loaded heap, not the drain.
+        assert result.stats.gauges["alloc:allocated_bytes"] > 0
+        # The drain phase munmaps every survivor, so allocator ops exceed
+        # the generated op count.
+        assert result.stats.counters["alloc_ops"] > result.total_accesses
+
+    def test_enomem_is_survivable_and_counted(self):
+        result = run_churn(
+            ChurnScenarioConfig(
+                allocator="bump",
+                compute_blades=1,
+                threads_per_blade=1,
+                num_memory_blades=1,
+                memory_blade_capacity=1 << 21,
+                ops_per_thread=300,
+                live_target=64,
+                size_dist="large",
+            )
+        )
+        assert result.stats.counters["churn_enomem"] > 0
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown churn scenario parameter"):
+            config_from_params({"allocator": "slab", "palette": 3})
+
+
+class TestSweepDispatch:
+    def test_churn_point_runs_through_engine(self):
+        grid = GridSpec(
+            {
+                "system": ["mind"],
+                "workload": ["churn"],
+                "blades": [2],
+                "threads_per_blade": [1],
+                "allocator": ["slab"],
+                "ops_per_thread": [120],
+                "live_target": [24],
+            }
+        )
+        spec = SweepSpec(grids=[grid], seeds=[1])
+        (point,) = spec.points()
+        record = execute_point(point)
+        assert record.metrics["gauge:alloc:metadata_bytes"] > 0
+        assert record.metrics["latency:alloc:mean"] > 0
+
+    def test_churn_rejects_non_mind_system(self):
+        with pytest.raises(ValueError, match="only runs on"):
+            GridSpec(
+                {
+                    "system": ["gam"],
+                    "workload": ["churn"],
+                    "blades": [1],
+                    "threads_per_blade": [1],
+                }
+            )
+
+    def test_churn_rejects_external_fault_plan(self):
+        grid = GridSpec(
+            {
+                "system": ["mind"],
+                "workload": ["churn"],
+                "blades": [1],
+                "threads_per_blade": [1],
+            }
+        )
+        spec = SweepSpec(grids=[grid], seeds=[1])
+        (point,) = spec.points()
+        with pytest.raises(ValueError, match="chaos plan"):
+            execute_point(point, fault_plan=object())
+
+    def test_runner_axis_rejected_for_baselines(self):
+        from repro.runner import RunnerConfig, run_system
+        from repro.workloads import UniformSharingWorkload
+
+        workload = UniformSharingWorkload(1, seed=1, accesses_per_thread=10)
+        with pytest.raises(ValueError, match="no in-network allocator"):
+            run_system(
+                "gam", workload, 1, RunnerConfig(allocator="slab")
+            )

@@ -1,0 +1,159 @@
+"""GlobalAllocator: incremental ordering, cost accounting, SRAM banking."""
+
+import random
+
+import pytest
+
+from repro.alloc import (
+    AllocCostModel,
+    GlobalAllocator,
+    OutOfMemoryError,
+    alloc_gauges,
+)
+from repro.sim.network import PAGE_SIZE
+from repro.switchsim.sram import MetadataSram
+
+BLADE_SIZE = 1 << 22
+
+
+def make_global(policy="first-fit", blades=4, **kw):
+    galloc = GlobalAllocator(policy=policy, **kw)
+    for b in range(blades):
+        galloc.add_blade(b, b << 30, BLADE_SIZE)
+    return galloc
+
+
+def brute_force_order(galloc):
+    return sorted(
+        (galloc.blade(b).allocated_bytes, b) for b in galloc.blade_ids
+    )
+
+
+class TestIncrementalOrdering:
+    @pytest.mark.parametrize("policy", ["first-fit", "slab", "buddy"])
+    def test_order_matches_brute_force_under_churn(self, policy):
+        galloc = make_global(policy)
+        rng = random.Random(7)
+        live = []
+        for _ in range(400):
+            if live and rng.random() < 0.4:
+                bid, base = live.pop(rng.randrange(len(live)))
+                galloc.free(bid, base)
+            else:
+                try:
+                    p = galloc.allocate(rng.randrange(300, 100_000))
+                except OutOfMemoryError:
+                    continue
+                live.append((p.blade_id, p.va_base))
+            assert galloc._order == brute_force_order(galloc)
+
+    def test_direct_blade_mutation_keeps_order_fresh(self):
+        """Migration mutates blades directly; the hook must still fire."""
+        galloc = make_global()
+        blade = galloc.blade(2)
+        blade.allocate(4 * PAGE_SIZE, 4 * PAGE_SIZE)
+        assert galloc._order == brute_force_order(galloc)
+        # The least-allocated choice must now avoid blade 2.
+        assert galloc.allocate(PAGE_SIZE).blade_id != 2
+
+    def test_allocate_at_keeps_order_fresh(self):
+        galloc = make_global()
+        galloc.allocate_at(1, (1 << 30) + PAGE_SIZE, PAGE_SIZE)
+        assert galloc._order == brute_force_order(galloc)
+
+    def test_remove_blade_drops_from_order(self):
+        galloc = make_global()
+        galloc.remove_blade(1)
+        assert galloc.blade_ids == [0, 2, 3]
+        assert galloc._order == brute_force_order(galloc)
+
+    def test_duplicate_blade_rejected(self):
+        galloc = make_global()
+        with pytest.raises(ValueError, match="already registered"):
+            galloc.add_blade(0, 0, BLADE_SIZE)
+
+
+class TestCostModel:
+    def test_unmodeled_by_default(self):
+        galloc = make_global()
+        assert not galloc.modeled
+        galloc.allocate(PAGE_SIZE)
+        assert galloc.last_cost_us == 0.0
+
+    def test_modeled_cost_is_affine_in_steps(self):
+        model = AllocCostModel(base_us=2.0, per_step_us=0.5)
+        galloc = make_global(cost_model=model)
+        assert galloc.modeled
+        placement = galloc.allocate(PAGE_SIZE)
+        steps = galloc.blade(placement.blade_id).last_op_steps
+        assert placement.cost_us == galloc.last_cost_us == 2.0 + 0.5 * steps
+
+    def test_enomem_charges_full_probe_scan(self):
+        galloc = make_global(cost_model=AllocCostModel(), blades=2)
+        with pytest.raises(OutOfMemoryError):
+            galloc.allocate(2 * BLADE_SIZE)
+        assert galloc.enomem_count == 1
+        assert galloc.last_cost_us == AllocCostModel().cost_us(2)
+
+    def test_identical_sequences_identical_costs(self):
+        def run():
+            galloc = make_global("slab", cost_model=AllocCostModel())
+            costs = []
+            for i in range(50):
+                costs.append(galloc.allocate(1000 * (i + 1)).cost_us)
+            return costs
+
+        assert run() == run()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown allocator policy"):
+            GlobalAllocator(policy="tlsf")
+
+
+class TestMetadataSram:
+    def test_occupancy_tracks_allocator_metadata(self):
+        sram = MetadataSram(1 << 20)
+        galloc = make_global(
+            "slab", cost_model=AllocCostModel(), metadata_sram=sram
+        )
+        assert sram.used == galloc.raw_telemetry()["metadata"]
+        p = galloc.allocate(3 * PAGE_SIZE)
+        assert sram.used == galloc.raw_telemetry()["metadata"]
+        assert sram.peak_used >= sram.used
+        galloc.free(p.blade_id, p.va_base)
+        assert sram.used == galloc.raw_telemetry()["metadata"]
+
+    def test_overflow_counted_once_per_crossing(self):
+        sram = MetadataSram(16)
+        sram.set_used(10)
+        assert sram.overflows == 0
+        sram.set_used(20)
+        sram.set_used(24)  # still over budget: same crossing
+        assert sram.overflows == 1
+        sram.set_used(8)
+        sram.set_used(32)
+        assert sram.overflows == 2
+        assert sram.peak_used == 32
+
+    def test_rejects_empty_bank(self):
+        with pytest.raises(ValueError):
+            MetadataSram(0)
+
+
+class TestGauges:
+    def test_gauges_merge_across_allocators(self):
+        a = make_global("first-fit", cost_model=AllocCostModel())
+        b = make_global("first-fit", cost_model=AllocCostModel())
+        a.allocate(PAGE_SIZE)
+        b.allocate(PAGE_SIZE)
+        merged = alloc_gauges([a.raw_telemetry(), b.raw_telemetry()])
+        assert merged["alloc:allocated_bytes"] == 2 * PAGE_SIZE
+        solo = alloc_gauges([a.raw_telemetry()])
+        # Fractions recompute from the summed bytes, not averaged.
+        assert merged["alloc:frag:internal"] == solo["alloc:frag:internal"]
+
+    def test_jain_fairness_stays_near_one(self):
+        galloc = make_global()
+        for _ in range(16):
+            galloc.allocate(PAGE_SIZE)
+        assert galloc.jain_fairness() == pytest.approx(1.0)

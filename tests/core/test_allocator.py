@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.allocator import (
+from repro.alloc import (
     FirstFitAllocator,
     GlobalAllocator,
     OutOfMemoryError,
