@@ -144,7 +144,8 @@ class GamSystem:
     def access(self, blade: GamBlade, va: int, write: bool) -> Generator:
         """One GAM memory access: software check + (maybe) remote protocol."""
         # Software permission check under the library lock -- every access.
-        yield blade.lib_lock.acquire()
+        if not blade.lib_lock.try_acquire():
+            yield blade.lib_lock.acquire()
         try:
             yield SOFT_LOCK_US
         finally:
@@ -185,7 +186,8 @@ class GamSystem:
             # Requester -> home (control message).
             yield from self._rtt(blade.port, home.port, CONTROL_MSG_BYTES)
         entry = home.dir_entry(page_va)
-        yield entry.lock.acquire()
+        if not entry.lock.try_acquire():
+            yield entry.lock.acquire()
         try:
             yield from self._home_transition(home, entry, blade.blade_id, page_va, write)
         finally:
@@ -242,7 +244,8 @@ class GamSystem:
         sharer = self.blades[target]
         self.stats.incr("invalidations_sent")
         yield from self._rtt(home.port, sharer.port, CONTROL_MSG_BYTES)
-        yield sharer._inval_resource.acquire()
+        if not sharer._inval_resource.try_acquire():
+            yield sharer._inval_resource.acquire()
         try:
             yield SOFT_ACCESS_US
             victim = sharer.cache.peek(page_va)

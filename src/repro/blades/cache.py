@@ -83,6 +83,53 @@ class PageCache:
             page.dirty = True
         return page
 
+    def consume_hit_run(
+        self,
+        vas,
+        writes,
+        start: int,
+        end: int,
+        debt: float,
+        debt_limit: float,
+        step: float,
+    ):
+        """Retire a run of consecutive cache hits in one call (batched replay).
+
+        Walks ``vas[start:end]`` applying exactly the per-access hit
+        semantics of :meth:`lookup` (hit count, LRU touch, dirty mark on
+        writes), accumulating ``step`` microseconds of local-time debt per
+        hit.  Stops *without consuming the access* at the first miss or
+        permission miss -- the caller re-runs :meth:`lookup` on that access
+        so the miss/upgrade is counted exactly once (the terminating probe
+        here neither counts nor touches the LRU).  Stops *after consuming
+        the access* once ``debt`` reaches ``debt_limit``, matching the
+        per-access loop, which pays its debt after the hit that crossed the
+        threshold.  Returns ``(next_index, debt)``.
+        """
+        pages = self._pages
+        get = pages.get
+        move = pages.move_to_end
+        hits = 0
+        i = start
+        while i < end:
+            va = vas[i]
+            page_va = va - (va % PAGE_SIZE)
+            page = get(page_va)
+            if page is None:
+                break
+            if writes[i]:
+                if not page.writable:
+                    break
+                page.dirty = True
+            move(page_va)
+            hits += 1
+            i += 1
+            debt += step
+            if debt >= debt_limit:
+                break
+        self.hits += hits
+        return i, debt
+
     def peek(self, va: int) -> Optional[CachedPage]:
         """Non-mutating lookup (no LRU update, no permission check)."""
         return self._pages.get(align_down(va, PAGE_SIZE))

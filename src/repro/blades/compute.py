@@ -113,7 +113,10 @@ class ComputeBlade:
             trace_cat="blade",
             track=tracer.track(f"blade{self.blade_id}") if tracer.enabled else 0,
         )
-        queue_delay = (yield self.kernel_lock.acquire()) or 0.0
+        if self.kernel_lock.try_acquire():
+            queue_delay = 0.0
+        else:
+            queue_delay = (yield self.kernel_lock.acquire()) or 0.0
         spans.mark("queue")
         try:
             self.stats.incr("invalidations_received")
@@ -193,7 +196,8 @@ class ComputeBlade:
         try:
             # Fault entry runs a kernel mm critical section; invalidation
             # handling contends on the same lock.
-            yield self.kernel_lock.acquire()
+            if not self.kernel_lock.try_acquire():
+                yield self.kernel_lock.acquire()
             try:
                 yield self.config.fault_overhead_us
             finally:
@@ -226,7 +230,8 @@ class ComputeBlade:
                     f"{'write' if write else 'read'}: {result.verdict.value}"
                 )
             # PTE population is another short mm critical section.
-            yield self.kernel_lock.acquire()
+            if not self.kernel_lock.try_acquire():
+                yield self.kernel_lock.acquire()
             try:
                 yield PTE_FIXUP_US
                 evicted = self.cache.insert(page_va, result.data, writable=write)
@@ -330,6 +335,14 @@ class ComputeBlade:
         vas = stream.vas
         write_flags = stream.writes
         pso = consistency is ConsistencyModel.PSO
+        if not pso and not self.engine.tracer.enabled:
+            # Vectorized replay: retire whole cache-hit runs per generator
+            # resumption.  PSO (store-buffer interleavings) and traced runs
+            # (per-access span cadence) keep the per-access loop below.
+            result = yield from self._run_thread_batched(
+                pdid, vas, write_flags, len(vas)
+            )
+            return result
         store_buffer = StoreBuffer(store_buffer_capacity) if pso else None
         dram_access_us = self.config.dram_access_us
         cache_lookup = self.cache.lookup
@@ -374,6 +387,56 @@ class ComputeBlade:
             drain = store_buffer.drain_events()
             if drain:
                 yield self.engine.all_of(drain)
+        if local_debt:
+            yield local_debt
+        return count
+
+    def _run_thread_batched(self, pdid: int, vas, write_flags, count) -> Generator:
+        """Batched replay body of :meth:`run_thread` (TSO, untraced).
+
+        Access-for-access equivalent to the per-access loop: a batch covers
+        only accesses that provably cannot fault (resident with the needed
+        permission), and nothing a batch observes -- cache contents, the
+        steal-time account -- can change without this thread yielding, which
+        batches never do.  The first miss or permission miss falls out to
+        the exact per-access fault path; the debt-flush points (crossing
+        ``LOCAL_TIME_BATCH_US``, and pre-fault) are the per-access loop's.
+        """
+        engine = self.engine
+        consume = self.cache.consume_hit_run
+        cache_lookup = self.cache.lookup
+        dram_access_us = self.config.dram_access_us
+        local_debt = 0.0
+        steal_seen = self.steal_time_us
+        i = 0
+        while i < count:
+            steal_now = self.steal_time_us
+            if steal_now != steal_seen:
+                # Pay for TLB-shootdown IPIs that interrupted this core.
+                local_debt += steal_now - steal_seen
+                steal_seen = steal_now
+            j, local_debt = consume(
+                vas, write_flags, i, count,
+                local_debt, LOCAL_TIME_BATCH_US, dram_access_us,
+            )
+            if j > i:
+                engine.batched_retires += 1
+                i = j
+                if local_debt >= LOCAL_TIME_BATCH_US:
+                    yield local_debt
+                    local_debt = 0.0
+                continue
+            va = vas[i]
+            is_write = write_flags[i]
+            # Count the miss/upgrade exactly once (the batch probe didn't).
+            cache_lookup(va, is_write)
+            if local_debt:
+                yield local_debt
+                local_debt = 0.0
+            page = yield from self._fault(pdid, va - (va % PAGE_SIZE), bool(is_write))
+            if is_write:
+                page.dirty = True
+            i += 1
         if local_debt:
             yield local_debt
         return count

@@ -59,6 +59,24 @@ class DataPath:
             yield ctx.backoff.timeout_us(min(attempt, ctx.MAX_RETRIES))
             attempt += 1
 
+    def _redeliver(self, link, size_bytes: int) -> Generator:
+        """Cold path of reliable delivery: retransmit with capped backoff
+        after a first failed leg.  The hot path at each call site runs the
+        first transfer inline (no deliver() frame, no closure) and only
+        falls in here when a fault injector dropped the leg -- the
+        retransmission sequence is exactly :meth:`deliver`'s from the first
+        failure on.
+        """
+        ctx = self.ctx
+        attempt = 0
+        while True:
+            ctx.stats.incr("retransmissions")
+            ctx.stats.incr("link_retransmissions")
+            yield ctx.backoff.timeout_us(min(attempt, ctx.MAX_RETRIES))
+            attempt += 1
+            if (yield from ctx.engine.subtask(link.transfer(size_bytes))):
+                return
+
     def blade_ready(self, blade) -> Generator:
         """Wait out a paused (crashed/stalled) memory blade: each probe
         that goes unanswered costs one backoff timeout."""
@@ -103,9 +121,16 @@ class DataPath:
                     # completions), then take our own downlink leg.
                     data = yield joined.done
                     spans.mark("coalesced_wait")
-                    yield from self.deliver(
-                        lambda: requester.from_switch.transfer(PAGE_SIZE)
-                    )
+                    link = requester.from_switch
+                    if (leg := link.try_leg(PAGE_SIZE)) >= 0.0:
+                        yield leg
+                    elif (ser := link.try_start(PAGE_SIZE)) >= 0.0:
+                        yield ser
+                        yield link.finish(PAGE_SIZE)
+                    elif not (
+                        yield from ctx.engine.subtask(link.transfer(PAGE_SIZE))
+                    ):
+                        yield from self._redeliver(link, PAGE_SIZE)
                     yield ctx.config.rdma_verb_overhead_us
                     spans.mark_wire("reply", requester.from_switch)
                     return data, 0, False, True
@@ -155,9 +180,14 @@ class DataPath:
                 inval, targets, region
             )
             spans.mark("invalidation")
-            yield from self.deliver(
-                lambda: requester.from_switch.transfer(CONTROL_MSG_BYTES)
-            )
+            link = requester.from_switch
+            if (leg := link.try_leg(CONTROL_MSG_BYTES)) >= 0.0:
+                yield leg
+            elif (ser := link.try_start(CONTROL_MSG_BYTES)) >= 0.0:
+                yield ser
+                yield link.finish(CONTROL_MSG_BYTES)
+            elif not (yield from ctx.engine.subtask(link.transfer(CONTROL_MSG_BYTES))):
+                yield from self._redeliver(link, CONTROL_MSG_BYTES)
             spans.mark_wire("reply", requester.from_switch)
             return None, len(targets), was_reset, False
         if transition.action is TransitionAction.FETCH_FROM_OWNER:
@@ -198,7 +228,19 @@ class DataPath:
 
     def fetch(self, req: MemRequest, requester: Port, page_va: int) -> Generator:
         """One-sided RDMA fetch, retransmitted on loss (Section 4.4: ACKs
-        and timeouts detect packet losses on every message class)."""
+        and timeouts detect packet losses on every message class).
+
+        Plain dispatch, not a generator: with no fault injector installed
+        the per-attempt drop check can never fire, so the retry loop's
+        generator frame is skipped entirely and callers drive
+        :meth:`_fetch_once` directly (``yield from`` and ``process()``
+        both accept the returned generator unchanged).
+        """
+        if self.ctx.fault_injector is None:
+            return self._fetch_once(req, requester, page_va)
+        return self._fetch_lossy(req, requester, page_va)
+
+    def _fetch_lossy(self, req: MemRequest, requester: Port, page_va: int) -> Generator:
         ctx = self.ctx
         for attempt in range(ctx.MAX_RETRIES + 1):
             lost = (
@@ -218,15 +260,22 @@ class DataPath:
 
     def _fetch_once(self, req: MemRequest, requester: Port, page_va: int) -> Generator:
         ctx = self.ctx
+        engine = ctx.engine
         xlate = ctx.address_space.translate(page_va)
         blade = ctx._memory_blades[xlate.blade_id]
         ctx.stats.incr("memory_fetches")
         # Stitch the requester's virtual connection to the real one.
         self.rdma_virt.rewrite(req.src_port, xlate.blade_id)
-        yield from self.deliver(
-            lambda: blade.port.from_switch.transfer(CONTROL_MSG_BYTES)
-        )
-        yield from self.blade_ready(blade)
+        link = blade.port.from_switch
+        if (leg := link.try_leg(CONTROL_MSG_BYTES)) >= 0.0:
+            yield leg
+        elif (ser := link.try_start(CONTROL_MSG_BYTES)) >= 0.0:
+            yield ser
+            yield link.finish(CONTROL_MSG_BYTES)
+        elif not (yield from engine.subtask(link.transfer(CONTROL_MSG_BYTES))):
+            yield from self._redeliver(link, CONTROL_MSG_BYTES)
+        if not getattr(blade, "available", True):
+            yield from self.blade_ready(blade)
         pending = self.pending_flushes.get(page_va)
         if pending is not None and not pending.triggered:
             # An asynchronous write-back of this very page has not landed
@@ -234,11 +283,32 @@ class DataPath:
             yield pending
         yield self.blade_service_us(blade)
         data = blade.read_page(xlate.pa)
-        yield from self.deliver(lambda: blade.port.to_switch.transfer(PAGE_SIZE))
+        link = blade.port.to_switch
+        if (leg := link.try_leg(PAGE_SIZE)) >= 0.0:
+            yield leg
+        elif (ser := link.try_start(PAGE_SIZE)) >= 0.0:
+            yield ser
+            yield link.finish(PAGE_SIZE)
+        elif not (yield from engine.subtask(link.transfer(PAGE_SIZE))):
+            yield from self._redeliver(link, PAGE_SIZE)
         # Response pass through the pipeline, then down to the requester.
         resp = ctx.pipeline.packet()
-        yield from ctx.engine.subtask(resp.traverse())
-        yield from self.deliver(lambda: requester.from_switch.transfer(PAGE_SIZE))
+        if (
+            not engine._ready
+            and not engine.tracer.enabled
+            and engine._due_head > engine.now
+        ):
+            yield resp.traverse_us()
+        else:
+            yield from engine.subtask(resp.traverse())
+        link = requester.from_switch
+        if (leg := link.try_leg(PAGE_SIZE)) >= 0.0:
+            yield leg
+        elif (ser := link.try_start(PAGE_SIZE)) >= 0.0:
+            yield ser
+            yield link.finish(PAGE_SIZE)
+        elif not (yield from engine.subtask(link.transfer(PAGE_SIZE))):
+            yield from self._redeliver(link, PAGE_SIZE)
         yield ctx.config.rdma_verb_overhead_us
         return data
 
@@ -281,9 +351,14 @@ class DataPath:
             )
         else:
             # Just the read request leg to the owner.
-            yield from self.deliver(
-                lambda: owner_port.from_switch.transfer(CONTROL_MSG_BYTES)
-            )
+            link = owner_port.from_switch
+            if (leg := link.try_leg(CONTROL_MSG_BYTES)) >= 0.0:
+                yield leg
+            elif (ser := link.try_start(CONTROL_MSG_BYTES)) >= 0.0:
+                yield ser
+                yield link.finish(CONTROL_MSG_BYTES)
+            elif not (yield from ctx.engine.subtask(link.transfer(CONTROL_MSG_BYTES))):
+                yield from self._redeliver(link, CONTROL_MSG_BYTES)
         # The owner's kernel serves the page out of its DRAM cache.
         yield ctx.config.memory_service_us + ctx.config.dram_access_us
         data = ctx._page_servers[owner_port_id](page_va)
@@ -294,10 +369,32 @@ class DataPath:
         if data == b"":
             data = None  # resident, but payload storage is disabled
         ctx.stats.incr("cache_to_cache_transfers")
-        yield from self.deliver(lambda: owner_port.to_switch.transfer(PAGE_SIZE))
+        link = owner_port.to_switch
+        if (leg := link.try_leg(PAGE_SIZE)) >= 0.0:
+            yield leg
+        elif (ser := link.try_start(PAGE_SIZE)) >= 0.0:
+            yield ser
+            yield link.finish(PAGE_SIZE)
+        elif not (yield from ctx.engine.subtask(link.transfer(PAGE_SIZE))):
+            yield from self._redeliver(link, PAGE_SIZE)
+        engine = ctx.engine
         resp = ctx.pipeline.packet()
-        yield from ctx.engine.subtask(resp.traverse())
-        yield from self.deliver(lambda: requester.from_switch.transfer(PAGE_SIZE))
+        if (
+            not engine._ready
+            and not engine.tracer.enabled
+            and engine._due_head > engine.now
+        ):
+            yield resp.traverse_us()
+        else:
+            yield from engine.subtask(resp.traverse())
+        link = requester.from_switch
+        if (leg := link.try_leg(PAGE_SIZE)) >= 0.0:
+            yield leg
+        elif (ser := link.try_start(PAGE_SIZE)) >= 0.0:
+            yield ser
+            yield link.finish(PAGE_SIZE)
+        elif not (yield from ctx.engine.subtask(link.transfer(PAGE_SIZE))):
+            yield from self._redeliver(link, PAGE_SIZE)
         yield ctx.config.rdma_verb_overhead_us
         return data, was_reset
 
@@ -318,24 +415,52 @@ class DataPath:
         ordering point fetches synchronize on.
         """
         ctx = self.ctx
+        engine = ctx.engine
         xlate = ctx.address_space.translate(page_va)
         blade = ctx._memory_blades[xlate.blade_id]
         self.rdma_virt.rewrite(src_port.port_id, xlate.blade_id)
         # Every leg is delivered reliably: a silently lost write-back would
         # leave memory stale behind an Invalid directory -- incoherence.
-        yield from self.deliver(lambda: src_port.to_switch.transfer(PAGE_SIZE))
+        link = src_port.to_switch
+        if (leg := link.try_leg(PAGE_SIZE)) >= 0.0:
+            yield leg
+        elif (ser := link.try_start(PAGE_SIZE)) >= 0.0:
+            yield ser
+            yield link.finish(PAGE_SIZE)
+        elif not (yield from engine.subtask(link.transfer(PAGE_SIZE))):
+            yield from self._redeliver(link, PAGE_SIZE)
         pkt = ctx.pipeline.packet()
-        yield from ctx.engine.subtask(pkt.traverse())
-        yield from self.deliver(lambda: blade.port.from_switch.transfer(PAGE_SIZE))
-        yield from self.blade_ready(blade)
+        if (
+            not engine._ready
+            and not engine.tracer.enabled
+            and engine._due_head > engine.now
+        ):
+            yield pkt.traverse_us()
+        else:
+            yield from engine.subtask(pkt.traverse())
+        link = blade.port.from_switch
+        if (leg := link.try_leg(PAGE_SIZE)) >= 0.0:
+            yield leg
+        elif (ser := link.try_start(PAGE_SIZE)) >= 0.0:
+            yield ser
+            yield link.finish(PAGE_SIZE)
+        elif not (yield from engine.subtask(link.transfer(PAGE_SIZE))):
+            yield from self._redeliver(link, PAGE_SIZE)
+        if not getattr(blade, "available", True):
+            yield from self.blade_ready(blade)
         yield self.blade_service_us(blade)
         blade.write_page(xlate.pa, data)
         ctx.stats.incr("pages_written_back")
         if landed is not None and not landed.triggered:
             landed.succeed()
-        yield from self.deliver(
-            lambda: blade.port.to_switch.transfer(CONTROL_MSG_BYTES)
-        )
+        link = blade.port.to_switch
+        if (leg := link.try_leg(CONTROL_MSG_BYTES)) >= 0.0:
+            yield leg
+        elif (ser := link.try_start(CONTROL_MSG_BYTES)) >= 0.0:
+            yield ser
+            yield link.finish(CONTROL_MSG_BYTES)
+        elif not (yield from engine.subtask(link.transfer(CONTROL_MSG_BYTES))):
+            yield from self._redeliver(link, CONTROL_MSG_BYTES)
 
     def flush_page_async(
         self, src_port: Port, page_va: int, data: Optional[bytes]

@@ -132,17 +132,30 @@ class InvalidationEngine:
         retry is idempotent) but the switch cannot know, and must resend.
         """
         ctx = self.ctx
+        engine = ctx.engine
         port = ctx._blade_ports[port_id]
         ctx.stats.incr("invalidations_sent")
-        delivered = yield ctx.engine.process(
-            port.from_switch.transfer(CONTROL_MSG_BYTES)
-        )
-        if not delivered:
+        link = port.from_switch
+        if (leg := link.try_leg(CONTROL_MSG_BYTES)) >= 0.0:
+            yield leg
+        elif (ser := link.try_start(CONTROL_MSG_BYTES)) >= 0.0:
+            yield ser
+            yield link.finish(CONTROL_MSG_BYTES)
+        elif not (yield engine.process(link.transfer(CONTROL_MSG_BYTES))):
             return None
         ack: InvalidationAck = yield ctx.engine.process(
             ctx._inval_handlers[port_id](inval)
         )
-        acked = yield ctx.engine.process(port.to_switch.transfer(CONTROL_MSG_BYTES))
+        link = port.to_switch
+        if (leg := link.try_leg(CONTROL_MSG_BYTES)) >= 0.0:
+            yield leg
+            acked = True
+        elif (ser := link.try_start(CONTROL_MSG_BYTES)) >= 0.0:
+            yield ser
+            yield link.finish(CONTROL_MSG_BYTES)
+            acked = True
+        else:
+            acked = yield engine.process(link.transfer(CONTROL_MSG_BYTES))
         # Fold the blade's report into directory + stats accounting.  The
         # "invalidation" breakdown (queue/tlb of Fig. 7 right) is recorded
         # by the blade's own span instrumentation, not here.

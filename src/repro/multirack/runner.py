@@ -105,19 +105,18 @@ def config_from_params(params: Dict, **overrides) -> MultiRackScenarioConfig:
     return MultiRackScenarioConfig(**merged)
 
 
-def _thread_stream(
+def _thread_draws(
     config: MultiRackScenarioConfig,
-    bases: List[int],
     home_rack: int,
     blade_id: int,
     thread_id: int,
-) -> AccessStream:
-    """Seeded access stream for one blade thread.
+):
+    """The seeded random draws behind one blade thread's stream.
 
-    Each access picks its page pool (home rack with probability
-    ``1 - cross_fraction``, a uniformly random *other* rack otherwise),
-    a page uniform in the pool, and a write with probability
-    ``1 - read_ratio``.
+    Returns ``(racks, pages, writes)`` arrays.  Kept separate from VA
+    construction so the parallel-rack planner can inspect which racks a
+    thread touches without needing the mapped pool bases -- both callers
+    consume the RNG in exactly this order, so the streams agree.
     """
     rng = np.random.default_rng(
         stable_seed("multirack", config.seed, blade_id, thread_id)
@@ -132,6 +131,24 @@ def _thread_stream(
         racks = np.zeros(n, dtype=np.int64)
     pages = rng.integers(0, config.pages_per_rack, n)
     writes = rng.random(n) >= config.read_ratio
+    return racks, pages, writes
+
+
+def _thread_stream(
+    config: MultiRackScenarioConfig,
+    bases: List[int],
+    home_rack: int,
+    blade_id: int,
+    thread_id: int,
+) -> AccessStream:
+    """Seeded access stream for one blade thread.
+
+    Each access picks its page pool (home rack with probability
+    ``1 - cross_fraction``, a uniformly random *other* rack otherwise),
+    a page uniform in the pool, and a write with probability
+    ``1 - read_ratio``.
+    """
+    racks, pages, writes = _thread_draws(config, home_rack, blade_id, thread_id)
     vas = np.asarray(bases, dtype=np.int64)[racks] + pages * PAGE_SIZE
     return AccessStream.from_numpy(vas, writes)
 

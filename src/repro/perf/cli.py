@@ -85,6 +85,22 @@ def add_profile_parser(sub: argparse._SubParsersAction) -> None:
         help="also run one pass under cProfile and print the top TOP entries",
     )
     parser.add_argument(
+        "--hotspots",
+        type=int,
+        nargs="?",
+        const=15,
+        default=0,
+        metavar="TOP",
+        help="re-run the worst (slowest) point under cProfile and print "
+        "the top TOP entries by cumulative time (default 15)",
+    )
+    parser.add_argument(
+        "--subsystems",
+        action="store_true",
+        help="attribute profile time to scheduler/replay/protocol buckets "
+        "(implied by --json-out and --cprofile)",
+    )
+    parser.add_argument(
         "--json-out",
         metavar="PATH",
         help="write the repro.profile/v1 document here",
@@ -120,7 +136,13 @@ def main(args: argparse.Namespace) -> int:
     if not grids:
         raise SystemExit("nothing to profile: pass --grid and/or --preset")
     spec = SweepSpec(grids, _parse_seeds(args.seeds))
-    report = run_profile(spec, reps=args.reps, cprofile_top=args.cprofile)
+    report = run_profile(
+        spec,
+        reps=args.reps,
+        cprofile_top=args.cprofile,
+        subsystems=args.subsystems or bool(args.json_out),
+        hotspots_top=args.hotspots,
+    )
     doc = report.to_doc()
 
     walls = ", ".join(f"{w:.3f}s" for w in report.wall_seconds_per_rep)
@@ -135,8 +157,20 @@ def main(args: argparse.Namespace) -> int:
         "kernel: "
         + ", ".join(f"{name}={totals[name]:,}" for name in sorted(totals))
     )
+    if report.subsystems is not None:
+        print(
+            "subsystems: "
+            + ", ".join(
+                f"{name}={report.subsystems[name]:.1%}"
+                for name in ("scheduler", "replay", "protocol", "other")
+            )
+        )
     if report.cprofile_text:
         print(report.cprofile_text)
+    if report.hotspot_text:
+        print(f"hotspots: worst point {report.hotspot_point} "
+              f"(top {args.hotspots} by cumulative time)")
+        print(report.hotspot_text)
 
     if args.json_out:
         tmp = f"{args.json_out}.tmp"

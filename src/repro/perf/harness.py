@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import cProfile
 import io
+import os
 import pstats
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..faults import FaultPlan
 from ..runner import run_system
@@ -29,6 +30,46 @@ from ..sweep.spec import SweepPoint, SweepSpec, build_workload_cached
 
 #: schema tag for profile documents (BENCH_speed.json is one of these).
 SCHEMA = "repro.profile/v1"
+
+#: module-path buckets for per-subsystem time attribution.  Ordered:
+#: the first matching bucket wins, so blades/compute (replay) is claimed
+#: before the catch-all protocol paths could see it.
+SUBSYSTEM_PATHS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("scheduler", ("repro/sim/engine.py",)),
+    ("replay", ("repro/workloads/", "repro/blades/")),
+    (
+        "protocol",
+        ("repro/core/", "repro/switchsim/", "repro/sim/network.py"),
+    ),
+)
+
+
+def subsystem_attribution(stats: pstats.Stats) -> Dict[str, float]:
+    """Fractions of cProfile internal time per kernel subsystem.
+
+    ``tottime`` (time inside a frame, excluding callees) sums cleanly
+    across the whole profile, so bucketing it by module path answers
+    "where does the wall clock actually go" without double counting:
+    scheduler (the event loop itself), replay (workload drive + blade
+    cache), protocol (coherence, switch, links) and other (numpy, stdlib,
+    everything else).
+    """
+    buckets = {name: 0.0 for name, _ in SUBSYSTEM_PATHS}
+    buckets["other"] = 0.0
+    total = 0.0
+    for (filename, _lineno, _func), entry in stats.stats.items():  # type: ignore[attr-defined]
+        tottime = entry[2]
+        total += tottime
+        path = filename.replace(os.sep, "/")
+        for name, needles in SUBSYSTEM_PATHS:
+            if any(needle in path for needle in needles):
+                buckets[name] += tottime
+                break
+        else:
+            buckets["other"] += tottime
+    if total <= 0.0:
+        return {name: 0.0 for name in buckets}
+    return {name: spent / total for name, spent in buckets.items()}
 
 
 @dataclass
@@ -64,6 +105,12 @@ class ProfileReport:
     wall_seconds_per_rep: List[float]
     points: List[PointProfile]
     cprofile_text: Optional[str] = None
+    #: tottime fraction per subsystem (scheduler/replay/protocol/other)
+    #: from an untimed cProfile pass; None when attribution was not run.
+    subsystems: Optional[Dict[str, float]] = None
+    #: cProfile top-N cumulative table for the worst (slowest) point.
+    hotspot_text: Optional[str] = None
+    hotspot_point: Optional[str] = None
 
     @property
     def best_wall_seconds(self) -> float:
@@ -95,7 +142,7 @@ class ProfileReport:
         return totals
 
     def to_doc(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "schema": SCHEMA,
             "spec_digest": self.spec.digest(),
             "num_points": len(self.points),
@@ -109,6 +156,11 @@ class ProfileReport:
             "kernel_totals": self.kernel_totals(),
             "points": [p.to_json() for p in self.points],
         }
+        if self.subsystems is not None:
+            doc["subsystems"] = {
+                name: self.subsystems[name] for name in sorted(self.subsystems)
+            }
+        return doc
 
 
 def _run_point(
@@ -128,6 +180,8 @@ def run_profile(
     reps: int = 3,
     fault_plan: Optional[FaultPlan] = None,
     cprofile_top: int = 0,
+    subsystems: bool = False,
+    hotspots_top: int = 0,
 ) -> ProfileReport:
     """Profile every point of ``spec``; report the best of ``reps`` passes.
 
@@ -177,7 +231,11 @@ def run_profile(
         wall_per_rep.append(rep_wall)
 
     cprofile_text = None
-    if cprofile_top > 0:
+    subsystem_fracs = None
+    if cprofile_top > 0 or subsystems:
+        # One untimed instrumented pass serves both the text table and
+        # the per-subsystem attribution (instrumentation overhead skews
+        # absolute times, not the relative split).
         profiler = cProfile.Profile()
         profiler.enable()
         for point in points:
@@ -185,8 +243,27 @@ def run_profile(
         profiler.disable()
         buf = io.StringIO()
         stats = pstats.Stats(profiler, stream=buf)
-        stats.sort_stats("tottime").print_stats(cprofile_top)
-        cprofile_text = buf.getvalue()
+        if cprofile_top > 0:
+            stats.sort_stats("tottime").print_stats(cprofile_top)
+            cprofile_text = buf.getvalue()
+        subsystem_fracs = subsystem_attribution(stats)
+
+    hotspot_text = None
+    hotspot_point = None
+    if hotspots_top > 0:
+        worst = max(best_points, key=lambda p: p.wall_seconds)
+        worst_point = next(
+            p for p in points if p.point_id == worst.point_id
+        )
+        profiler = cProfile.Profile()
+        profiler.enable()
+        _run_point(worst_point, fault_plan)
+        profiler.disable()
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("cumulative").print_stats(hotspots_top)
+        hotspot_text = buf.getvalue()
+        hotspot_point = worst_point.label()
 
     return ProfileReport(
         spec=spec,
@@ -194,6 +271,9 @@ def run_profile(
         wall_seconds_per_rep=wall_per_rep,
         points=best_points,
         cprofile_text=cprofile_text,
+        subsystems=subsystem_fracs,
+        hotspot_text=hotspot_text,
+        hotspot_point=hotspot_point,
     )
 
 

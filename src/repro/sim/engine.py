@@ -19,11 +19,24 @@ inputs and seeds.
 Fast paths (all order-preserving -- see DESIGN.md "kernel performance
 model" for the argument):
 
+- Future-time wake-ups live in a *calendar queue*: a rotating wheel of
+  :data:`WHEEL_SLOTS` buckets, each covering one ``width``-microsecond
+  window of simulated time.  Inserting into a future bucket is a plain
+  list append (O(1)); only the bucket under the cursor is kept
+  heap-ordered (heapified once when the cursor reaches it), and timers
+  beyond the wheel's horizon overflow into a small heap that is drained
+  as the cursor advances.  The bucket width adapts to the observed
+  inter-event gap so buckets stay a few entries deep.  Total order is
+  exactly the single-heap order: bucket assignment is monotone in time
+  and every bucket is heap-ordered by ``(time, seq)`` before it is
+  popped.  The earliest pending timer's ``(time, seq)`` is tracked in
+  ``_due_head``/``_due_seq`` so fast-path guards cost one float compare.
 - Zero-delay schedules (event callbacks, process starts) go to a FIFO
-  *ready deque* instead of the heap.  The run loop merges the deque and the
-  heap by the global ``(time, insertion seq)`` key, so execution order is
-  exactly the order a single heap would have produced, while the dominant
-  ``succeed()``-at-now traffic never pays ``heapq``'s log-time push/pop.
+  *ready deque* instead of the calendar.  The run loop merges the deque
+  and the calendar by the global ``(time, insertion seq)`` key, so
+  execution order is exactly the order a single queue would have
+  produced, while the dominant ``succeed()``-at-now traffic never pays
+  any queue discipline at all.
 - When a process waits on an *already-triggered* event (uncontended
   ``Resource.acquire``, joining a completed process) and no other event is
   due at the current timestamp, it resumes synchronously instead of taking
@@ -31,7 +44,9 @@ model" for the argument):
   unobservable: the continuation would have been the very next event to
   execute anyway.  A bounded continuation depth
   (:data:`MAX_INLINE_CONTINUATIONS`) keeps pathological always-ready
-  chains from starving the loop.
+  chains from starving the loop.  ``Resource.try_acquire`` applies the
+  same guard one step earlier: an uncontended grant that would have been
+  the next event anyway is taken inline, with no event object at all.
 - Events created by ``Resource.acquire`` and ``Engine.timeout`` are
   recycled through a bounded freelist.  Pooled events are single-consumer
   by contract: exactly one process yields them, and their ``.value`` must
@@ -41,6 +56,7 @@ model" for the argument):
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
@@ -52,6 +68,22 @@ MAX_INLINE_CONTINUATIONS = 64
 
 #: recycled events kept per engine; beyond this they fall to the GC.
 EVENT_POOL_CAPACITY = 1024
+
+#: calendar-queue geometry: a power-of-two bucket count so slot indexing is
+#: a mask, wide enough that one revolution covers the near future at any
+#: adapted width.
+WHEEL_SLOTS = 256
+WHEEL_MASK = WHEEL_SLOTS - 1
+
+#: starting bucket width (microseconds of simulated time per bucket); the
+#: engine re-derives it from the observed inter-pop gap as the run warms up.
+DEFAULT_BUCKET_WIDTH_US = 2.0
+MIN_BUCKET_WIDTH_US = 0.25
+MAX_BUCKET_WIDTH_US = 64.0
+#: timer pops between bucket-width recalibrations.
+WIDTH_ADAPT_EVERY = 4096
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -160,8 +192,6 @@ class Process(Event):
         engine = self.engine
         send = self._gen.send
         ready = engine._ready
-        queue = engine._queue
-        heappush = heapq.heappush
         limit = engine._until
         if _wake is None:
             value = None
@@ -197,7 +227,7 @@ class Process(Event):
                         target.triggered
                         and inline_budget > 0
                         and not ready
-                        and (not queue or queue[0][0] > engine.now)
+                        and engine._due_head > engine.now
                     ):
                         # Synchronous continuation: the scheduled wake-up
                         # would have been the next event executed, so running
@@ -221,31 +251,28 @@ class Process(Event):
                 if (
                     inline_budget > 0
                     and not ready
-                    and (not queue or queue[0][0] > wake)
+                    and engine._due_head > wake
                     and (limit is None or wake <= limit)
                 ):
                     # Inline clock advance: the wake-up at ``wake`` would be
                     # the globally next event (the ready deque is empty and
-                    # every heap entry is strictly later), so advancing the
-                    # clock and continuing here is unobservable -- the event
-                    # set and all timestamps are exactly the heap path's.
+                    # every pending timer is strictly later), so advancing
+                    # the clock and continuing here is unobservable -- the
+                    # event set and all timestamps are exactly the queue
+                    # path's.
                     inline_budget -= 1
                     engine.inline_clock_advances += 1
                     engine.now = wake
                     value = None
                     continue
-                engine._counter += 1
-                heappush(
-                    queue,
-                    (wake, engine._counter, self._resume, (None,)),
-                )
+                engine._push_timer(wake, self._resume, (None,))
                 return
             if target < 0.0:
                 raise SimulationError(f"negative timeout: {target!r}")
             if (
                 inline_budget > 0
                 and not ready
-                and (not queue or queue[0][0] > engine.now)
+                and engine._due_head > engine.now
             ):
                 inline_budget -= 1
                 engine.inline_continuations += 1
@@ -268,27 +295,59 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List = []
-        #: zero-delay entries, FIFO in insertion order; merged with the heap
-        #: by (time, seq) so the execution order matches a single queue.
+        #: zero-delay entries, FIFO in insertion order; merged with the
+        #: calendar by (time, seq) so the execution order matches a single
+        #: queue.
         self._ready: deque = deque()
         self._counter = 0
         #: time limit of the innermost ``run(until=...)``; the inline
         #: clock-advance fast path must never step past it, because the
-        #: slow path leaves later wake-ups parked in the heap.
+        #: slow path leaves later wake-ups parked in the calendar.
         self._until: Optional[float] = None
         self._processes_started = 0
+        # -- calendar queue (future-time wake-ups) ----------------------
+        #: rotating buckets; plain unsorted lists except the bucket under
+        #: the cursor, which is heap-ordered by (time, seq).
+        self._wheel: List[List] = [[] for _ in range(WHEEL_SLOTS)]
+        #: entries currently resident in the wheel (not the overflow heap).
+        self._wheel_count = 0
+        #: global bucket number of the cursor; slot index is epoch & MASK.
+        self._epoch = 0
+        #: simulated microseconds of time each bucket covers.
+        self._width = DEFAULT_BUCKET_WIDTH_US
+        #: first timestamp past the wheel's horizon; entries at or beyond
+        #: it go to the overflow heap.
+        self._wheel_limit = WHEEL_SLOTS * DEFAULT_BUCKET_WIDTH_US
+        #: far-future timers, heap-ordered; drained as the cursor advances.
+        self._overflow: List = []
+        #: (time, seq) of the earliest pending timer (+inf when none) --
+        #: the one-compare guard every fast path checks.
+        self._due_head: float = _INF
+        self._due_seq = 0
+        #: timer pops since engine start / since the last width adaptation.
+        self._timer_pops = 0
+        self._adapt_pops = 0
+        self._adapt_now = 0.0
+        # -- kernel counters --------------------------------------------
         self.events_executed = 0
         #: waits short-circuited by the synchronous-continuation fast path
         #: (each one is a scheduler round-trip that never happened).
         self.inline_continuations = 0
         #: positive-delay waits absorbed by advancing the clock in place:
-        #: the wake-up was provably the globally next event, so the heap
+        #: the wake-up was provably the globally next event, so the queue
         #: round-trip is skipped and ``now`` is set directly.
         self.inline_clock_advances = 0
         #: spawn-and-join children run as plain nested generators because
         #: nothing else was due at the instant they started (see subtask).
         self.subtasks_fused = 0
+        #: cursor advances across calendar buckets (including horizon jumps).
+        self.calendar_rotations = 0
+        #: wheel rebuilds triggered by bucket-width adaptation.
+        self.calendar_rebuilds = 0
+        #: cache-hit runs retired in one batch by the vectorized replay
+        #: path (see ComputeBlade.run_thread); counted here so the perf
+        #: harness sees all kernel-side fast paths in one place.
+        self.batched_retires = 0
         #: recycled Events (Resource.acquire / timeout) awaiting reuse.
         self._event_pool: List[Event] = []
         #: the observability sink; NULL_TRACER unless a cluster installs one.
@@ -308,13 +367,146 @@ class Engine:
             self._counter += 1
             self._ready.append((self.now, self._counter, fn, args))
             return
-        self._counter += 1
-        heapq.heappush(self._queue, (self.now + delay, self._counter, fn, args))
+        self._push_timer(self.now + delay, fn, args)
 
     def _schedule_now(self, fn: Callable, args: tuple) -> None:
         """Zero-delay schedule on the ready deque (internal hot path)."""
         self._counter += 1
         self._ready.append((self.now, self._counter, fn, args))
+
+    def _push_timer(self, wake: float, fn: Callable, args: tuple) -> None:
+        """Insert a future-time entry into the calendar (internal hot path).
+
+        Bucket assignment is monotone in ``wake`` (one float divide), so
+        popping buckets in cursor order after heapifying each preserves the
+        exact (time, seq) total order of a single heap.
+        """
+        self._counter += 1
+        entry = (wake, self._counter, fn, args)
+        if wake >= self._wheel_limit:
+            # Beyond the horizon (or +inf): park in the overflow heap; the
+            # cursor drains it as it sweeps forward.
+            heapq.heappush(self._overflow, entry)
+        else:
+            epoch = self._epoch
+            bucket = int(wake / self._width)
+            if bucket <= epoch:
+                # At (or, after an inline clock advance, behind) the cursor
+                # bucket: keep that bucket heap-ordered.
+                heapq.heappush(self._wheel[epoch & WHEEL_MASK], entry)
+            else:
+                self._wheel[bucket & WHEEL_MASK].append(entry)
+            self._wheel_count += 1
+        if wake < self._due_head:
+            self._due_head = wake
+            self._due_seq = self._counter
+
+    def _refill_cursor(self) -> Optional[List]:
+        """Advance the cursor to the next non-empty bucket and heapify it.
+
+        Pulls overflow entries due within each swept bucket's window along
+        the way, and jumps straight to the overflow head's bucket when the
+        wheel is empty (so sparse phases never pay an O(gap) scan).
+        Returns the new cursor bucket, or None when no timers remain.
+        Precondition: the current cursor bucket is empty.
+        """
+        if self._timer_pops - self._adapt_pops >= WIDTH_ADAPT_EVERY:
+            self._maybe_resize()
+        wheel = self._wheel
+        overflow = self._overflow
+        width = self._width
+        epoch = self._epoch
+        count = self._wheel_count
+        if not count:
+            if not overflow:
+                return None
+            jump = int(overflow[0][0] / width) - 1
+            if jump > epoch:
+                epoch = jump
+        rotations = 0
+        heappop = heapq.heappop
+        while True:
+            epoch += 1
+            rotations += 1
+            cur = wheel[epoch & WHEEL_MASK]
+            boundary = (epoch + 1) * width
+            while overflow and overflow[0][0] < boundary:
+                cur.append(heappop(overflow))
+                count += 1
+            if cur:
+                break
+        heapq.heapify(cur)
+        self._epoch = epoch
+        self._wheel_count = count
+        self._wheel_limit = (epoch + WHEEL_SLOTS) * width
+        self.calendar_rotations += rotations
+        return cur
+
+    def _timer_pop(self):
+        """Pop the earliest timer entry; maintains ``_due_head``/``_due_seq``.
+
+        Precondition: at least one timer is pending (``_due_head < inf``).
+        """
+        cur = self._wheel[self._epoch & WHEEL_MASK]
+        if not cur:
+            cur = self._refill_cursor()
+        entry = heapq.heappop(cur)
+        self._wheel_count -= 1
+        self._timer_pops += 1
+        if not cur:
+            cur = self._refill_cursor()
+        if cur:
+            head = cur[0]
+            self._due_head = head[0]
+            self._due_seq = head[1]
+        else:
+            self._due_head = _INF
+            self._due_seq = 0
+        return entry
+
+    def _maybe_resize(self) -> None:
+        """Re-derive the bucket width from the observed inter-pop gap.
+
+        Aims for a few entries per bucket; widths snap to powers of two so
+        jitter in the gap estimate cannot thrash the wheel.  A rebuild dumps
+        every wheel entry into the overflow heap and re-anchors the cursor
+        at the current clock -- the entry set and its total order are
+        untouched, so this is invisible to the simulation.
+        """
+        pops = self._timer_pops
+        delta = pops - self._adapt_pops
+        span = self.now - self._adapt_now
+        self._adapt_pops = pops
+        self._adapt_now = self.now
+        if span <= 0.0 or delta <= 0:
+            return
+        target = (span / delta) * 4.0
+        if target < MIN_BUCKET_WIDTH_US:
+            target = MIN_BUCKET_WIDTH_US
+        elif target > MAX_BUCKET_WIDTH_US:
+            target = MAX_BUCKET_WIDTH_US
+        new_width = 2.0 ** round(math.log2(target))
+        if new_width < MIN_BUCKET_WIDTH_US:
+            new_width = MIN_BUCKET_WIDTH_US
+        elif new_width > MAX_BUCKET_WIDTH_US:
+            new_width = MAX_BUCKET_WIDTH_US
+        if new_width == self._width:
+            return
+        overflow = self._overflow
+        for bucket in self._wheel:
+            if bucket:
+                for entry in bucket:
+                    heapq.heappush(overflow, entry)
+                del bucket[:]
+        self._wheel_count = 0
+        self._width = new_width
+        self._epoch = int(self.now / new_width)
+        self._wheel_limit = (self._epoch + WHEEL_SLOTS) * new_width
+        self.calendar_rebuilds += 1
+
+    def pending_timer_count(self) -> int:
+        """Future-time entries currently parked (wheel + overflow)."""
+        return self._wheel_count + len(self._overflow)
 
     def _pooled_event(self) -> Event:
         """A recycled (or fresh) single-consumer event."""
@@ -350,6 +542,9 @@ class Engine:
             "inline_continuations": self.inline_continuations,
             "inline_clock_advances": self.inline_clock_advances,
             "subtasks_fused": self.subtasks_fused,
+            "calendar_rotations": self.calendar_rotations,
+            "calendar_rebuilds": self.calendar_rebuilds,
+            "batched_retires": self.batched_retires,
         }
 
     def event(self) -> Event:
@@ -380,7 +575,7 @@ class Engine:
         if (
             not self._ready
             and not self.tracer.enabled
-            and (not self._queue or self._queue[0][0] > self.now)
+            and self._due_head > self.now
         ):
             self.subtasks_fused += 1
             return gen
@@ -404,18 +599,16 @@ class Engine:
     # -- execution -----------------------------------------------------
 
     def _next_entry(self):
-        """Pop the globally next (time, seq) entry from deque + heap."""
+        """Pop the globally next (time, seq) entry from deque + calendar."""
         ready = self._ready
-        queue = self._queue
         if ready:
-            if queue:
-                head = queue[0]
-                first = ready[0]
-                if head[0] < first[0] or (head[0] == first[0] and head[1] < first[1]):
-                    return heapq.heappop(queue)
+            due = self._due_head
+            first = ready[0]
+            if due < first[0] or (due == first[0] and self._due_seq < first[1]):
+                return self._timer_pop()
             return ready.popleft()
-        if queue:
-            return heapq.heappop(queue)
+        if self._due_head != _INF:
+            return self._timer_pop()
         return None
 
     def run(self, until: Optional[float] = None) -> float:
@@ -426,41 +619,32 @@ class Engine:
         if self.tracer.enabled:
             return self._run_traced(until)
         # Untraced loop: no tracer branches on the hot path.
-        ready = self._ready
-        queue = self._queue
-        pop = heapq.heappop
-        executed = 0
         self._until = until
         try:
-            return self._run_loop(ready, queue, pop, executed, until)
+            return self._run_loop(self._ready, 0, until)
         finally:
             self._until = None
 
     def _run_loop(
         self,
         ready: deque,
-        queue: List,
-        pop: Any,
         executed: int,
         until: Optional[float],
     ) -> float:
         while True:
             if ready:
-                if queue:
-                    head = queue[0]
-                    first = ready[0]
-                    if head[0] < first[0] or (
-                        head[0] == first[0] and head[1] < first[1]
-                    ):
-                        entry = pop(queue)
-                    else:
-                        entry = ready.popleft()
+                due = self._due_head
+                first = ready[0]
+                if due < first[0] or (
+                    due == first[0] and self._due_seq < first[1]
+                ):
+                    entry = self._timer_pop()
                 else:
                     entry = ready.popleft()
-            elif queue:
-                if until is not None and queue[0][0] > until:
+            elif self._due_head != _INF:
+                if until is not None and self._due_head > until:
                     break
-                entry = pop(queue)
+                entry = self._timer_pop()
             else:
                 self.events_executed += executed
                 return self.now
@@ -481,9 +665,12 @@ class Engine:
     def _run_traced_loop(self, until: Optional[float]) -> float:
         tracer = self.tracer
         while True:
-            ready = self._ready
-            queue = self._queue
-            if not ready and queue and until is not None and queue[0][0] > until:
+            if (
+                not self._ready
+                and self._due_head != _INF
+                and until is not None
+                and self._due_head > until
+            ):
                 self.now = until
                 return self.now
             entry = self._next_entry()
@@ -495,7 +682,7 @@ class Engine:
             if self.events_executed % self.TRACE_EVERY == 0:
                 tracer.counter(
                     self.now, "engine", "event_queue_depth",
-                    len(self._queue) + len(self._ready),
+                    self.pending_timer_count() + len(self._ready),
                 )
 
     def run_until_complete(self, ev: Event) -> Any:
@@ -509,24 +696,19 @@ class Engine:
         if self.tracer.enabled:
             return self._run_until_complete_traced(ev)
         ready = self._ready
-        queue = self._queue
-        pop = heapq.heappop
         executed = 0
         while not ev.triggered:
             if ready:
-                if queue:
-                    head = queue[0]
-                    first = ready[0]
-                    if head[0] < first[0] or (
-                        head[0] == first[0] and head[1] < first[1]
-                    ):
-                        entry = pop(queue)
-                    else:
-                        entry = ready.popleft()
+                due = self._due_head
+                first = ready[0]
+                if due < first[0] or (
+                    due == first[0] and self._due_seq < first[1]
+                ):
+                    entry = self._timer_pop()
                 else:
                     entry = ready.popleft()
-            elif queue:
-                entry = pop(queue)
+            elif self._due_head != _INF:
+                entry = self._timer_pop()
             else:
                 break
             self.now = entry[0]
@@ -549,7 +731,7 @@ class Engine:
             if self.events_executed % self.TRACE_EVERY == 0:
                 tracer.counter(
                     self.now, "engine", "event_queue_depth",
-                    len(self._queue) + len(self._ready),
+                    self.pending_timer_count() + len(self._ready),
                 )
         if not ev.triggered:
             raise SimulationError("event never fired: simulation deadlocked")
@@ -630,6 +812,30 @@ class Resource:
             self.busy_time += self._in_use * (now - self._last_change)
             self._last_change = now
 
+    def try_acquire(self) -> bool:
+        """Inline uncontended grant; True iff the caller now holds a server.
+
+        Semantically ``(yield self.acquire()) == 0.0`` with identical
+        accounting, minus the event object and the scheduler round trip.
+        Only takes effect when the grant is provably unobservable: the
+        resource has a free server *and* nothing else is due at the current
+        instant, so the acquiring process would have been resumed next
+        anyway (the same guard the synchronous-continuation path uses).  On
+        False the caller must fall back to ``yield self.acquire()``.
+        """
+        if self._in_use >= self.capacity:
+            return False
+        engine = self.engine
+        if engine._ready or engine._due_head <= engine.now:
+            return False
+        now = engine.now
+        if now != self._last_change:  # _account(), inlined on the hot path
+            self.busy_time += self._in_use * (now - self._last_change)
+            self._last_change = now
+        self._in_use += 1
+        self.grants += 1
+        return True
+
     def acquire(self) -> Event:
         engine = self.engine
         ev = engine._pooled_event()
@@ -687,3 +893,14 @@ class Resource:
         if self.engine.now <= 0:
             return 0.0
         return self.busy_time / (self.engine.now * self.capacity)
+
+    def busy_integral(self) -> float:
+        """Capacity-time integral of use so far (advances accounting first).
+
+        Dividing by ``horizon * capacity`` reproduces :meth:`utilization`
+        against an arbitrary horizon -- the parallel multirack merge needs
+        this to evaluate utilization against the *global* makespan rather
+        than one worker engine's local clock.
+        """
+        self._account()
+        return self.busy_time

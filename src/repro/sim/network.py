@@ -126,6 +126,103 @@ class Link:
 
     # -- the wire -------------------------------------------------------
 
+    def try_leg(self, size_bytes: int) -> float:
+        """Entire uncontended leg (serialization + propagation) as ONE
+        delay; -1.0 means fall back to :meth:`try_start` / :meth:`transfer`.
+
+        Strictly stronger guard than :meth:`try_start`: besides an idle
+        wire, a fault-free link and an empty ready deque, no parked timer
+        may be due before ``now + ser + prop`` and no ``run(until=...)``
+        limit may cut inside that window.  Under those conditions *no
+        other event can execute* anywhere in the open interval -- events
+        only spring from the ready deque, the timer wheel, or code this
+        frame runs -- so nobody can observe (or contend for) the wire
+        mid-leg.  The hold is therefore virtual: the busy-time integral
+        is credited as a lump sum at the start and the server is never
+        marked in use, which collapses the leg's two scheduler events
+        into a single timer.
+
+        A timer or ``until`` limit landing *exactly* at the leg's end is
+        safe: the slow path would have released the wire at the
+        serialization boundary, so an observer at the endpoint sees a
+        free wire and identical accounting either way.
+        """
+        engine = self.engine
+        res = self._resource
+        if self._faults or engine._ready or res._in_use:
+            return -1.0
+        ser_us = self._ser_us.get(size_bytes)
+        if ser_us is None:
+            ser_us = self._ser_us[size_bytes] = self.config.serialization_us(size_bytes)
+        now = engine.now
+        # Float discipline: the slow path wakes at fl(fl(now+ser)+prop),
+        # and every timestamp is doc-visible, so the single fused delay
+        # must reproduce that exact sum -- addition is not associative.
+        # When no representable delta lands there, take the slow path.
+        mid = now + ser_us
+        done = mid + self.config.link_propagation_us
+        if engine._due_head < done:
+            return -1.0
+        until = engine._until
+        if until is not None and until < done:
+            return -1.0
+        delta = done - now
+        if now + delta != done:
+            return -1.0
+        if now != res._last_change:  # Resource._account(), inlined
+            res.busy_time += res._in_use * (now - res._last_change)
+            res._last_change = now
+        # The lump-sum hold, in the exact floats the slow path accrues.
+        res.busy_time += mid - now
+        res.grants += 1
+        self.bytes_carried += size_bytes
+        return delta
+
+    def try_start(self, size_bytes: int) -> float:
+        """Claim the wire for a fast-path leg; -1.0 means take
+        :meth:`transfer`.
+
+        The generator protocol costs real time on legs that dominate the
+        kernel profile, and an uncontended, fault-free leg does nothing a
+        plain pair of delays cannot express.  On success the link is held
+        (exactly as :meth:`transfer` would hold it) and the caller must::
+
+            yield ser_us              # the value returned here
+            yield link.finish(size)   # releases at now, pays propagation
+
+        which reproduces transfer()'s yield sequence -- serialization
+        while holding the wire, release at the serialization boundary,
+        then propagation -- with no generator frame.  Contended links and
+        links with armed fault windows refuse (-1.0): queueing and
+        loss/delay injection stay on the one authoritative path.
+
+        The quiet-window guard (ready deque empty, no timer due now) is
+        load-bearing: transfer() driven through subtask() acquires the
+        wire one-or-more *events* later at the same timestamp, so
+        claiming it here is only unobservable when no other event can
+        run at this instant -- exactly the condition under which
+        subtask() would have fused the transfer inline anyway.
+        """
+        engine = self.engine
+        if (
+            self._faults
+            or engine._ready
+            or engine._due_head <= engine.now
+            or not self._resource.try_acquire()
+        ):
+            return -1.0
+        ser_us = self._ser_us.get(size_bytes)
+        if ser_us is None:
+            ser_us = self._ser_us[size_bytes] = self.config.serialization_us(size_bytes)
+        return ser_us
+
+    def finish(self, size_bytes: int) -> float:
+        """Complete a :meth:`try_start` leg: account the payload, free the
+        wire, and return the propagation delay still to be paid."""
+        self.bytes_carried += size_bytes
+        self._resource.release()
+        return self.config.link_propagation_us
+
     def transfer(self, size_bytes: int) -> Generator:
         """Process generator: completes when the payload has fully arrived.
 
@@ -136,7 +233,8 @@ class Link:
         ser_us = self._ser_us.get(size_bytes)
         if ser_us is None:
             ser_us = self._ser_us[size_bytes] = self.config.serialization_us(size_bytes)
-        yield self._resource.acquire()
+        if not self._resource.try_acquire():
+            yield self._resource.acquire()
         try:
             yield ser_us
             self.bytes_carried += size_bytes
@@ -164,6 +262,11 @@ class Link:
 
     def utilization(self) -> float:
         return self._resource.utilization()
+
+    def busy_stats(self) -> Tuple[float, int]:
+        """``(busy_time integral, capacity)`` for horizon-independent
+        utilization accounting (see :meth:`Resource.busy_integral`)."""
+        return self._resource.busy_integral(), self._resource.capacity
 
 
 class CompositePath:
@@ -206,6 +309,14 @@ class CompositePath:
         self.bytes_carried = 0
         self.packets_dropped = 0
         self.bytes_dropped = 0
+
+    def try_leg(self, size_bytes: int) -> float:
+        """Multi-leg paths always take the full :meth:`transfer` path."""
+        return -1.0
+
+    def try_start(self, size_bytes: int) -> float:
+        """Multi-leg paths always take the full :meth:`transfer` path."""
+        return -1.0
 
     def transfer(self, size_bytes: int) -> Generator:
         """Traverse every leg in order; True iff all legs delivered."""

@@ -58,7 +58,8 @@ class ControlCpu:
         return self._occupy(cost_us)
 
     def _occupy(self, cost_us: float) -> Generator:
-        yield self._cpu.acquire()
+        if not self._cpu.try_acquire():
+            yield self._cpu.acquire()
         try:
             yield cost_us
             self.busy_us += cost_us

@@ -193,7 +193,7 @@ def _request(
     stats = blade.stats
     timeline = stats.timeline
     t_arrival = engine.now
-    wait = (yield worker.acquire()) or 0.0
+    wait = 0.0 if worker.try_acquire() else ((yield worker.acquire()) or 0.0)
     try:
         yield from blade.run_thread(pdid, accesses, consistency=consistency)
     finally:

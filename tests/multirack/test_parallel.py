@@ -1,0 +1,118 @@
+"""Parallel-in-time multirack execution: byte-identity with the serial
+runner, planner conservatism, and the serial fallback."""
+
+import json
+
+from repro.multirack import MultiRackScenarioConfig, run_multirack
+from repro.multirack.parallel import (
+    plan_components,
+    rack_parallelism,
+    run_multirack_auto,
+    run_multirack_parallel,
+    set_rack_parallelism,
+)
+from repro.sweep.engine import extract_metrics
+
+
+def _doc_bytes(result) -> str:
+    """A run digested exactly as sweep documents record it."""
+    return json.dumps(extract_metrics(result), sort_keys=True)
+
+
+def _independent_config(**overrides) -> MultiRackScenarioConfig:
+    base = dict(
+        racks=2,
+        compute_blades_per_rack=2,
+        threads_per_blade=2,
+        accesses_per_thread=150,
+        cross_fraction=0.0,
+        pages_per_rack=128,
+        cache_capacity_pages=64,
+        seed=3,
+    )
+    base.update(overrides)
+    return MultiRackScenarioConfig(**base)
+
+
+# -- planning ----------------------------------------------------------------
+
+
+def test_plan_zero_cross_splits_per_rack():
+    assert plan_components(_independent_config()) == [(0,), (1,)]
+    assert plan_components(_independent_config(racks=3)) == [(0,), (1,), (2,)]
+
+
+def test_plan_falls_back_when_racks_couple():
+    # cross traffic connects everything into one component -> serial.
+    assert plan_components(_independent_config(cross_fraction=0.5)) is None
+
+
+def test_plan_falls_back_on_out_of_band_coupling():
+    assert plan_components(_independent_config(racks=1)) is None
+    assert plan_components(_independent_config(telemetry=True)) is None
+    assert (
+        plan_components(_independent_config(allocator="buddy")) is None
+    )
+
+
+# -- byte-identity -----------------------------------------------------------
+
+
+def test_parallel_merge_is_byte_identical_in_process():
+    """workers=1 runs components one at a time in-process through the full
+    partial/merge machinery -- the pure merge-correctness check."""
+    config = _independent_config()
+    serial = run_multirack(config)
+    parallel = run_multirack_parallel(config, workers=1)
+    assert _doc_bytes(parallel) == _doc_bytes(serial)
+    assert parallel.runtime_us == serial.runtime_us
+    assert parallel.total_accesses == serial.total_accesses
+    assert parallel.num_blades == serial.num_blades
+    assert parallel.num_threads == serial.num_threads
+
+
+def test_parallel_merge_is_byte_identical_across_processes():
+    """workers=2 fans components out to spawned workers; the document must
+    not depend on which process simulated which rack."""
+    config = _independent_config(seed=5)
+    serial = run_multirack(config)
+    parallel = run_multirack_parallel(config, workers=2)
+    assert _doc_bytes(parallel) == _doc_bytes(serial)
+
+
+def test_parallel_open_loop_byte_identical():
+    config = _independent_config(
+        racks=3,
+        compute_blades_per_rack=1,
+        threads_per_blade=1,
+        accesses_per_thread=100,
+        arrival_process="poisson",
+        arrival_rate_per_thread=0.05,
+        seed=7,
+    )
+    serial = run_multirack(config)
+    parallel = run_multirack_parallel(config, workers=1)
+    assert _doc_bytes(parallel) == _doc_bytes(serial)
+
+
+def test_coupled_point_falls_back_to_serial():
+    config = _independent_config(cross_fraction=0.5, seed=1)
+    serial = run_multirack(config)
+    parallel = run_multirack_parallel(config, workers=2)
+    assert _doc_bytes(parallel) == _doc_bytes(serial)
+
+
+# -- the process-wide toggle -------------------------------------------------
+
+
+def test_auto_dispatch_follows_toggle():
+    config = _independent_config()
+    assert rack_parallelism() is None
+    baseline = _doc_bytes(run_multirack_auto(config))  # serial by default
+    set_rack_parallelism(1)
+    try:
+        assert rack_parallelism() == 1
+        assert _doc_bytes(run_multirack_auto(config)) == baseline
+    finally:
+        set_rack_parallelism(None)
+    assert rack_parallelism() is None

@@ -367,7 +367,7 @@ def test_run_until_leaves_future_events_queued():
     engine.schedule(8.0, fired.append, "late")
     assert engine.run(until=5.0) == 5.0
     assert fired == ["early"]
-    assert len(engine._queue) == 1  # the t=8 event survives the pause
+    assert engine.pending_timer_count() == 1  # the t=8 event survives the pause
     # Resuming picks the queued event back up and drains it.
     assert engine.run() == 8.0
     assert fired == ["early", "late"]

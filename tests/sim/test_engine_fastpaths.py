@@ -7,6 +7,9 @@ tests pin both sides: the optimization actually engages (counters move)
 and the simulated behaviour is exactly the slow path's.
 """
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.sim.engine import (
@@ -319,6 +322,46 @@ class TestKernelStats:
         assert stats["inline_continuations"] == engine.inline_continuations
         assert stats["subtasks_fused"] == engine.subtasks_fused
         assert stats["processes_started"] >= 1
+
+
+class TestBenchSpeedDocument:
+    """The checked-in speed baseline must advertise every kernel fast
+    path: a counter that silently vanished from the document is a fast
+    path CI stopped watching."""
+
+    @staticmethod
+    def _doc():
+        path = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "BENCH_speed.json"
+        )
+        return json.loads(path.read_text())
+
+    def test_kernel_totals_match_engine_counters(self):
+        doc = self._doc()
+        assert doc["schema"] == "repro.profile/v1"
+        # The document's totals and a live engine's kernel_stats() must
+        # name the same counters -- adding a counter without re-blessing
+        # (or re-blessing with a stale kernel) trips here.
+        assert set(doc["kernel_totals"]) == set(Engine().kernel_stats())
+
+    def test_calendar_and_batch_counters_are_live(self):
+        totals = self._doc()["kernel_totals"]
+        for key in ("calendar_rotations", "calendar_rebuilds", "batched_retires"):
+            assert key in totals
+        # ci-quick exercises both the wheel and the batched replay path.
+        assert totals["calendar_rotations"] > 0
+        assert totals["batched_retires"] > 0
+        assert totals["events_executed"] > 0
+
+    def test_subsystem_attribution_is_recorded(self):
+        doc = self._doc()
+        assert set(doc["subsystems"]) == {
+            "scheduler", "replay", "protocol", "other",
+        }
+        total = sum(doc["subsystems"].values())
+        assert 0.99 <= total <= 1.01
 
 
 def test_negative_yield_still_rejected():
